@@ -1,0 +1,62 @@
+// Ablation (DESIGN.md §5): FRESQUE's array-of-leaves (AL/ALN, O(1)) vs
+// PINED-RQ++'s template tree walk (O(log_k n)) for the per-record
+// check+update, sweeping the domain size.
+//
+// Expected shape: the tree walk grows with the domain (more levels, more
+// cache misses) while the array update stays flat — this is design
+// feature (b) of §5.1 and part of why NASA (3421 bins) gains more from
+// FRESQUE than Gowalla (626 bins). Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20.h"
+#include "index/al.h"
+#include "index/binning.h"
+#include "index/index.h"
+
+namespace {
+
+fresque::index::DomainBinning MakeBinning(size_t bins) {
+  auto b = fresque::index::DomainBinning::Create(
+      0, static_cast<double>(bins), 1.0);
+  return std::move(b).ValueOrDie();
+}
+
+void BM_TreeWalkCheckUpdate(benchmark::State& state) {
+  const size_t bins = static_cast<size_t>(state.range(0));
+  auto binning = MakeBinning(bins);
+  fresque::crypto::SecureRandom rng(1);
+  auto tmpl =
+      fresque::index::IndexTemplate::Create(binning, 16, 1.0, &rng);
+  fresque::index::HistogramIndex tree = tmpl->noise_index();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    double v = static_cast<double>(i++ % bins);
+    size_t leaf = tree.WalkToLeaf(v);
+    benchmark::DoNotOptimize(tree.leaf_count(leaf) < 0);
+    tree.AddAlongPath(leaf, 1);
+  }
+  state.SetLabel("bins=" + std::to_string(bins));
+}
+BENCHMARK(BM_TreeWalkCheckUpdate)->Arg(626)->Arg(3421)->Arg(20000)->Arg(100000);
+
+void BM_ArrayLeafCheckUpdate(benchmark::State& state) {
+  const size_t bins = static_cast<size_t>(state.range(0));
+  auto binning = MakeBinning(bins);
+  fresque::crypto::SecureRandom rng(1);
+  auto tmpl =
+      fresque::index::IndexTemplate::Create(binning, 16, 1.0, &rng);
+  fresque::index::LeafArrays al(tmpl->leaf_noise());
+  uint64_t i = 0;
+  for (auto _ : state) {
+    double v = static_cast<double>(i++ % bins);
+    size_t leaf = binning.LeafOffset(v);
+    benchmark::DoNotOptimize(al.Admit(leaf));
+  }
+  state.SetLabel("bins=" + std::to_string(bins));
+}
+BENCHMARK(BM_ArrayLeafCheckUpdate)->Arg(626)->Arg(3421)->Arg(20000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Ablation (DESIGN.md §5): asynchronous vs synchronous publication.
+//
+// Measures how long Publish() *blocks the ingestion thread* in each
+// prototype. FRESQUE shifts the publication work to the merger and opens
+// the next interval immediately (§5.1c); the PINED-RQ++ family blocks
+// until overflow arrays are encrypted and shipped; PINED-RQ blocks for
+// the entire batch pipeline.
+
+#include "bench/bench_util.h"
+#include "bench/drivers.h"
+#include "common/clock.h"
+
+using fresque::Stopwatch;
+using fresque::bench::BinningOf;
+using fresque::bench::Fmt;
+using fresque::bench::MakeConfig;
+using fresque::bench::TableWriter;
+using fresque::bench::ValueOrExit;
+
+namespace {
+
+template <typename Collector>
+double PublishBlockMillis(const fresque::engine::CollectorConfig& cfg,
+                          const fresque::record::DatasetSpec& spec,
+                          uint64_t records) {
+  fresque::cloud::CloudServer server(BinningOf(spec));
+  fresque::engine::CloudNode cloud_node(&server, cfg.mailbox_capacity);
+  cloud_node.Start();
+  fresque::crypto::KeyManager keys(fresque::Bytes(32, 0x42));
+  Collector collector(cfg, keys, cloud_node.inbox());
+  (void)collector.Start();
+  auto gen = fresque::record::MakeGenerator(spec, 11);
+  double total = 0;
+  constexpr int kIntervals = 3;
+  for (int iv = 0; iv < kIntervals; ++iv) {
+    for (uint64_t i = 0; i < records; ++i) {
+      (void)collector.Ingest((*gen)->NextLine());
+    }
+    Stopwatch watch;
+    (void)collector.Publish();
+    total += watch.ElapsedMillis();  // time the ingest thread was stalled
+  }
+  (void)collector.Shutdown();
+  cloud_node.Shutdown();
+  return total / kIntervals;
+}
+
+}  // namespace
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto nasa = ValueOrExit(fresque::record::NasaDataset());
+  auto gowalla = ValueOrExit(fresque::record::GowallaDataset());
+  constexpr uint64_t kRecords = 30000;
+
+  TableWriter table(
+      "Ablation: Publish() ingestion-thread stall (ms, lower is better)",
+      {"prototype", "publication", "nasa_ms", "gowalla_ms"});
+
+  auto cfg_n = MakeConfig(nasa, 4);
+  auto cfg_g = MakeConfig(gowalla, 4);
+
+  table.Row({"fresque", "asynchronous",
+             Fmt(PublishBlockMillis<fresque::engine::FresqueCollector>(
+                     cfg_n, nasa, kRecords),
+                 "%.2f"),
+             Fmt(PublishBlockMillis<fresque::engine::FresqueCollector>(
+                     cfg_g, gowalla, kRecords),
+                 "%.2f")});
+  table.Row(
+      {"parallel-pp", "synchronous",
+       Fmt(PublishBlockMillis<fresque::engine::ParallelPinedRqPpCollector>(
+               cfg_n, nasa, kRecords),
+           "%.2f"),
+       Fmt(PublishBlockMillis<fresque::engine::ParallelPinedRqPpCollector>(
+               cfg_g, gowalla, kRecords),
+           "%.2f")});
+  table.Row({"pined-rq++", "synchronous",
+             Fmt(PublishBlockMillis<fresque::engine::PinedRqPpCollector>(
+                     cfg_n, nasa, kRecords),
+                 "%.2f"),
+             Fmt(PublishBlockMillis<fresque::engine::PinedRqPpCollector>(
+                     cfg_g, gowalla, kRecords),
+                 "%.2f")});
+  table.Row({"pined-rq", "synchronous batch",
+             Fmt(PublishBlockMillis<fresque::engine::PinedRqCollector>(
+                     cfg_n, nasa, kRecords),
+                 "%.2f"),
+             Fmt(PublishBlockMillis<fresque::engine::PinedRqCollector>(
+                     cfg_g, gowalla, kRecords),
+                 "%.2f")});
+  table.WriteCsv("ablation_async_publish");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation (paper §5.1a): where should the checker sit?
+//
+// FRESQUE puts the checker *after* the parser and encrypter so records
+// cross the collector network once. The rejected alternative — checker
+// between parser and encrypter — sends every record to the checking node
+// and back, "increasing unnecessary communication overheads". This bench
+// quantifies that choice under the paper-cluster profile and the
+// measured-TCP link cost.
+
+#include "bench/bench_util.h"
+#include "net/tcp.h"
+#include "sim/pipeline.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::TableWriter;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto nasa = fresque::sim::PaperProfileNasa();
+  auto gow = fresque::sim::PaperProfileGowalla();
+
+  fresque::sim::SimConfig cfg;
+  cfg.num_records = 1000000;
+
+  TableWriter table(
+      "Ablation: checker placement (paper-cluster profile, records/s)",
+      {"nodes", "nasa_after", "nasa_between", "nasa_loss_pct", "gow_after",
+       "gow_between", "gow_loss_pct"});
+  for (size_t k = 2; k <= 12; k += 2) {
+    auto na = fresque::sim::SimulateFresque(nasa, k, cfg);
+    auto nb = fresque::sim::SimulateFresqueCheckerFirst(nasa, k, cfg);
+    auto ga = fresque::sim::SimulateFresque(gow, k, cfg);
+    auto gb = fresque::sim::SimulateFresqueCheckerFirst(gow, k, cfg);
+    table.Row(
+        {std::to_string(k), Fmt(na.throughput_rps, "%.0f"),
+         Fmt(nb.throughput_rps, "%.0f"),
+         Fmt(100 * (1 - nb.throughput_rps / na.throughput_rps), "%.1f"),
+         Fmt(ga.throughput_rps, "%.0f"), Fmt(gb.throughput_rps, "%.0f"),
+         Fmt(100 * (1 - gb.throughput_rps / ga.throughput_rps), "%.1f")});
+  }
+  table.WriteCsv("ablation_checker_placement");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation (DESIGN.md §2 substitution): what do real network links do to
+// the collector's scaling?
+//
+// The threaded runtime replaces the paper's TCP sockets with in-process
+// mailboxes. This bench measures *actual* TCP-loopback per-message costs
+// on this host (framed Message frames, batched vs TCP_NODELAY) and
+// re-runs the FRESQUE scaling simulation with each as the inter-node hop
+// cost. Expected shape: expensive per-message links move the bottleneck
+// from the computing nodes to the single-stream checking node/dispatcher
+// links, flattening the scaling curve — which is why the paper's numbers
+// plateau far below this host's in-process capacity.
+
+#include "bench/bench_util.h"
+#include "net/tcp.h"
+#include "sim/pipeline.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::TableWriter;
+using fresque::bench::Workloads;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto w = Workloads::MeasureAll();
+
+  auto batched = fresque::net::MeasureTcpHopNanos(30000, 120, false);
+  auto nodelay = fresque::net::MeasureTcpHopNanos(20000, 120, true);
+  if (!batched.ok() || !nodelay.ok()) {
+    std::cerr << "TCP calibration failed\n";
+    return 1;
+  }
+  std::cout << "measured TCP loopback per message: batched "
+            << Fmt(*batched, "%.0f") << " ns, TCP_NODELAY "
+            << Fmt(*nodelay, "%.0f") << " ns\n";
+
+  fresque::sim::SimConfig base;
+  base.num_records = 1000000;
+
+  struct Link {
+    const char* label;
+    double extra_hop_ns;
+  };
+  Link links[] = {
+      {"in-process (measured)", 0},
+      {"tcp-batched (measured)", *batched},
+      {"tcp-nodelay (measured)", *nodelay},
+  };
+
+  TableWriter table(
+      "Ablation: FRESQUE throughput (NASA costs) vs link technology",
+      {"nodes", "inproc_rps", "tcp_batched", "tcp_nodelay"});
+  for (size_t k = 2; k <= 12; k += 2) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const auto& link : links) {
+      auto cfg = base;
+      cfg.extra_hop_ns = link.extra_hop_ns;
+      auto r = fresque::sim::SimulateFresque(w.nasa_costs, k, cfg);
+      row.push_back(Fmt(r.throughput_rps, "%.0f"));
+    }
+    table.Row(row);
+  }
+  table.WriteCsv("ablation_network");
+  return 0;
+}

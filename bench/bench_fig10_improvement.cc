@@ -1,0 +1,59 @@
+// Reproduces Figure 10 (+ §7.2a text): FRESQUE's ingestion-throughput
+// improvement over *non-parallel* PINED-RQ++, as the computing-node count
+// grows.
+//
+// Paper shape: improvement grows with nodes; NASA ~43x and Gowalla ~11x
+// at 12 nodes; even 2 nodes give 7.6x (NASA) / 2.7x (Gowalla). The
+// absolute non-parallel throughputs (3,159 rec/s NASA / 13,223 rec/s
+// Gowalla) are the calibration anchors of the paper profile.
+
+#include "bench/bench_util.h"
+#include "sim/pipeline.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::TableWriter;
+using fresque::bench::Workloads;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto w = Workloads::MeasureAll();
+
+  fresque::sim::SimConfig cfg;
+  cfg.num_records = 2000000;
+
+  struct Mode {
+    const char* label;
+    fresque::sim::CostModel nasa;
+    fresque::sim::CostModel gowalla;
+    const char* csv;
+  };
+  Mode modes[] = {
+      {"paper-cluster profile", fresque::sim::PaperProfileNasa(),
+       fresque::sim::PaperProfileGowalla(), "fig10_improvement_paper"},
+      {"measured-substrate costs", w.nasa_costs, w.gowalla_costs,
+       "fig10_improvement_measured"},
+  };
+
+  for (const auto& mode : modes) {
+    auto base_nasa = fresque::sim::SimulateNonParallelPp(mode.nasa, cfg);
+    auto base_gow = fresque::sim::SimulateNonParallelPp(mode.gowalla, cfg);
+    std::cout << "\nNon-parallel PINED-RQ++ baseline (" << mode.label
+              << "): NASA " << Fmt(base_nasa.throughput_rps, "%.0f")
+              << " rec/s, Gowalla " << Fmt(base_gow.throughput_rps, "%.0f")
+              << " rec/s\n";
+
+    TableWriter table(
+        std::string("Fig 10 (") + mode.label +
+            "): FRESQUE improvement over non-parallel PINED-RQ++ (x)",
+        {"nodes", "nasa_x", "gowalla_x"});
+    for (size_t k = 2; k <= 12; k += 2) {
+      auto nasa = fresque::sim::SimulateFresque(mode.nasa, k, cfg);
+      auto gow = fresque::sim::SimulateFresque(mode.gowalla, k, cfg);
+      table.Row({std::to_string(k),
+                 Fmt(nasa.throughput_rps / base_nasa.throughput_rps, "%.1f"),
+                 Fmt(gow.throughput_rps / base_gow.throughput_rps, "%.1f")});
+    }
+    table.WriteCsv(mode.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 11: FRESQUE vs parallel PINED-RQ++ ingestion
+// throughput as computing nodes vary.
+//
+// Paper shape: FRESQUE above parallel PINED-RQ++ at every node count;
+// biggest gap at 12 nodes (~5.6x NASA, ~2.2x Gowalla); Gowalla's FRESQUE
+// curve flattens after 8 nodes.
+
+#include "bench/bench_util.h"
+#include "sim/pipeline.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::TableWriter;
+using fresque::bench::Workloads;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto w = Workloads::MeasureAll();
+
+  fresque::sim::SimConfig cfg;
+  cfg.num_records = 2000000;
+
+  struct Mode {
+    const char* label;
+    fresque::sim::CostModel nasa;
+    fresque::sim::CostModel gowalla;
+    const char* csv;
+  };
+  Mode modes[] = {
+      {"paper-cluster profile", fresque::sim::PaperProfileNasa(),
+       fresque::sim::PaperProfileGowalla(), "fig11_vs_parallel_paper"},
+      {"measured-substrate costs", w.nasa_costs, w.gowalla_costs,
+       "fig11_vs_parallel_measured"},
+  };
+
+  for (const auto& mode : modes) {
+    TableWriter table(
+        std::string("Fig 11 (") + mode.label +
+            "): FRESQUE vs parallel PINED-RQ++ (records/s)",
+        {"nodes", "nasa_fresque", "nasa_ppp", "nasa_x", "gow_fresque",
+         "gow_ppp", "gow_x"});
+    for (size_t k = 2; k <= 12; k += 2) {
+      auto fn = fresque::sim::SimulateFresque(mode.nasa, k, cfg);
+      auto pn = fresque::sim::SimulateParallelPp(mode.nasa, k, cfg);
+      auto fg = fresque::sim::SimulateFresque(mode.gowalla, k, cfg);
+      auto pg = fresque::sim::SimulateParallelPp(mode.gowalla, k, cfg);
+      table.Row({std::to_string(k), Fmt(fn.throughput_rps, "%.0f"),
+                 Fmt(pn.throughput_rps, "%.0f"),
+                 Fmt(fn.throughput_rps / pn.throughput_rps, "%.1f"),
+                 Fmt(fg.throughput_rps, "%.0f"),
+                 Fmt(pg.throughput_rps, "%.0f"),
+                 Fmt(fg.throughput_rps / pg.throughput_rps, "%.1f")});
+    }
+    table.WriteCsv(mode.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 12: throughput degradation at the collector — how
+// much of the raw incoming throughput each prototype sacrifices to its
+// processing (degradation = 1 - max_ingestion / max_incoming).
+//
+// Paper shape: FRESQUE has by far the lowest degradation; non-parallel
+// PINED-RQ++ the highest (worst on Gowalla, ~7.9x worse than FRESQUE);
+// parallel PINED-RQ++ sits in between.
+
+#include "bench/bench_util.h"
+#include "sim/pipeline.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::TableWriter;
+using fresque::bench::Workloads;
+
+namespace {
+
+double DegradationPct(double ingest, double incoming) {
+  return 100.0 * (1.0 - ingest / incoming);
+}
+
+}  // namespace
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto w = Workloads::MeasureAll();
+
+  fresque::sim::SimConfig cfg;
+  cfg.num_records = 2000000;
+  constexpr size_t kNodes = 12;  // paper uses the full cluster here
+
+  struct Mode {
+    const char* label;
+    fresque::sim::CostModel nasa;
+    fresque::sim::CostModel gowalla;
+    const char* csv;
+  };
+  Mode modes[] = {
+      {"paper-cluster profile", fresque::sim::PaperProfileNasa(),
+       fresque::sim::PaperProfileGowalla(), "fig12_degradation_paper"},
+      {"measured-substrate costs", w.nasa_costs, w.gowalla_costs,
+       "fig12_degradation_measured"},
+  };
+
+  for (const auto& mode : modes) {
+    auto in_nasa = fresque::sim::SimulateIncomingOnly(mode.nasa, cfg);
+    auto in_gow = fresque::sim::SimulateIncomingOnly(mode.gowalla, cfg);
+
+    TableWriter table(std::string("Fig 12 (") + mode.label +
+                          "): collector throughput degradation (%)",
+                      {"prototype", "nasa_pct", "gowalla_pct"});
+
+    auto fresque_n = fresque::sim::SimulateFresque(mode.nasa, kNodes, cfg);
+    auto fresque_g =
+        fresque::sim::SimulateFresque(mode.gowalla, kNodes, cfg);
+    table.Row({"fresque",
+               Fmt(DegradationPct(fresque_n.throughput_rps,
+                                  in_nasa.throughput_rps)),
+               Fmt(DegradationPct(fresque_g.throughput_rps,
+                                  in_gow.throughput_rps))});
+
+    auto ppp_n = fresque::sim::SimulateParallelPp(mode.nasa, kNodes, cfg);
+    auto ppp_g = fresque::sim::SimulateParallelPp(mode.gowalla, kNodes, cfg);
+    table.Row({"parallel-pp",
+               Fmt(DegradationPct(ppp_n.throughput_rps,
+                                  in_nasa.throughput_rps)),
+               Fmt(DegradationPct(ppp_g.throughput_rps,
+                                  in_gow.throughput_rps))});
+
+    auto pp_n = fresque::sim::SimulateNonParallelPp(mode.nasa, cfg);
+    auto pp_g = fresque::sim::SimulateNonParallelPp(mode.gowalla, cfg);
+    table.Row({"pined-rq++",
+               Fmt(DegradationPct(pp_n.throughput_rps,
+                                  in_nasa.throughput_rps)),
+               Fmt(DegradationPct(pp_g.throughput_rps,
+                                  in_gow.throughput_rps))});
+
+    table.WriteCsv(mode.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Figure 13: FRESQUE publishing time per component
+// (dispatcher, merger, checking node) and cloud matching time, as the
+// number of computing nodes varies. Uses the real threaded collector.
+//
+// Paper shape: all components stay in the sub-second range; NASA costs
+// more than Gowalla everywhere (5.5x larger histogram domain); the
+// checking node is the largest contributor (randomer buffer flush);
+// matching at the cloud stays in the tens-to-hundreds of ms.
+
+#include "bench/bench_util.h"
+#include "bench/drivers.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::MakeConfig;
+using fresque::bench::Mean;
+using fresque::bench::RunCollector;
+using fresque::bench::TableWriter;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto nasa = fresque::bench::ValueOrExit(fresque::record::NasaDataset());
+  auto gowalla =
+      fresque::bench::ValueOrExit(fresque::record::GowallaDataset());
+
+  struct Workload {
+    const char* label;
+    fresque::record::DatasetSpec spec;
+    uint64_t records;
+    const char* csv;
+  };
+  Workload workloads[] = {
+      {"NASA", nasa, 30000, "fig13_publishing_time_nasa"},
+      {"Gowalla", gowalla, 30000, "fig13_publishing_time_gowalla"},
+  };
+
+  for (auto& wl : workloads) {
+    TableWriter table(std::string("Fig 13 (") + wl.label +
+                          "): FRESQUE publishing time (ms/publication)",
+                      {"nodes", "dispatcher", "checking", "merger",
+                       "cloud_match"});
+    for (size_t k = 2; k <= 12; k += 2) {
+      auto cfg = MakeConfig(wl.spec, k);
+      auto out = RunCollector<fresque::engine::FresqueCollector>(
+          cfg, wl.spec, wl.records, 3);
+      auto m = Mean(out);
+      table.Row({std::to_string(k), Fmt(m.dispatcher_ms, "%.2f"),
+                 Fmt(m.checking_ms, "%.2f"), Fmt(m.merger_ms, "%.2f"),
+                 Fmt(m.matching_ms, "%.2f")});
+    }
+    table.WriteCsv(wl.csv);
+  }
+  return 0;
+}

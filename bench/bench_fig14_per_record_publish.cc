@@ -1,0 +1,60 @@
+// Reproduces Figure 14: publishing time *per record* at the collector —
+// FRESQUE's dispatcher / merger / checking node against the parallel
+// PINED-RQ++ dispatcher.
+//
+// Paper shape: the parallel PINED-RQ++ dispatcher pays far more per
+// record than any FRESQUE component (up to ~62x NASA / ~127x Gowalla vs
+// the FRESQUE dispatcher), because its synchronous publication encrypts
+// removed records and builds overflow arrays in-line.
+
+#include "bench/bench_util.h"
+#include "bench/drivers.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::MakeConfig;
+using fresque::bench::Mean;
+using fresque::bench::RunCollector;
+using fresque::bench::TableWriter;
+using fresque::bench::ValueOrExit;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  struct Workload {
+    const char* label;
+    fresque::record::DatasetSpec spec;
+    const char* csv;
+  };
+  Workload workloads[] = {
+      {"NASA", ValueOrExit(fresque::record::NasaDataset()),
+       "fig14_per_record_publish_nasa"},
+      {"Gowalla", ValueOrExit(fresque::record::GowallaDataset()),
+       "fig14_per_record_publish_gowalla"},
+  };
+  constexpr uint64_t kRecords = 30000;
+
+  for (auto& wl : workloads) {
+    TableWriter table(
+        std::string("Fig 14 (") + wl.label +
+            "): per-record publishing time (ns/record)",
+        {"nodes", "fresque_D", "fresque_C", "fresque_M", "ppp_D",
+         "ppp_vs_D_x"});
+    for (size_t k = 2; k <= 12; k += 2) {
+      auto cfg = MakeConfig(wl.spec, k);
+      auto fr = Mean(RunCollector<fresque::engine::FresqueCollector>(
+          cfg, wl.spec, kRecords, 3));
+      auto pp =
+          Mean(RunCollector<fresque::engine::ParallelPinedRqPpCollector>(
+              cfg, wl.spec, kRecords, 3));
+      const double n = static_cast<double>(kRecords);
+      double fd = fr.dispatcher_ms * 1e6 / n;
+      double fc = fr.checking_ms * 1e6 / n;
+      double fm = fr.merger_ms * 1e6 / n;
+      double pd = pp.dispatcher_ms * 1e6 / n;
+      table.Row({std::to_string(k), Fmt(fd, "%.0f"), Fmt(fc, "%.0f"),
+                 Fmt(fm, "%.0f"), Fmt(pd, "%.0f"),
+                 Fmt(fd > 0 ? pd / fd : 0, "%.1f")});
+    }
+    table.WriteCsv(wl.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Figure 16: FRESQUE publishing time per component as the
+// per-publication privacy budget epsilon varies from 0.1 to 2.0
+// (alpha = 2, 10 computing nodes). Real threaded collector.
+//
+// Paper shape: smaller epsilon => more noise => more dummies, bigger
+// overflow arrays and a bigger randomer buffer => every component's
+// publishing time rises, the checking node (buffer flush) and merger
+// (overflow-array build) the most; seconds at eps = 0.1, tens-to-hundreds
+// of ms at eps = 2.
+
+#include "bench/bench_util.h"
+#include "bench/drivers.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::MakeConfig;
+using fresque::bench::Mean;
+using fresque::bench::RunCollector;
+using fresque::bench::TableWriter;
+using fresque::bench::ValueOrExit;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  struct Workload {
+    const char* label;
+    fresque::record::DatasetSpec spec;
+    const char* csv;
+  };
+  Workload workloads[] = {
+      {"NASA", ValueOrExit(fresque::record::NasaDataset()),
+       "fig16_budget_publish_nasa"},
+      {"Gowalla", ValueOrExit(fresque::record::GowallaDataset()),
+       "fig16_budget_publish_gowalla"},
+  };
+  const double budgets[] = {0.1, 0.2, 0.4, 0.6, 0.8,
+                            1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
+  constexpr size_t kNodes = 10;
+  constexpr uint64_t kRecords = 20000;
+
+  for (auto& wl : workloads) {
+    TableWriter table(std::string("Fig 16 (") + wl.label +
+                          "): publishing time vs privacy budget (ms)",
+                      {"epsilon", "dispatcher", "checking", "merger",
+                       "cloud_match", "dummies"});
+    for (double eps : budgets) {
+      auto cfg = MakeConfig(wl.spec, kNodes, eps, /*alpha=*/2.0);
+      auto out = RunCollector<fresque::engine::FresqueCollector>(
+          cfg, wl.spec, kRecords, 2);
+      auto m = Mean(out);
+      double dummies = 0;
+      size_t n = 0;
+      for (const auto& r : out.reports) {
+        if (r.real_records == 0 && r.checking_millis == 0) continue;
+        dummies += static_cast<double>(r.dummy_records);
+        ++n;
+      }
+      if (n) dummies /= static_cast<double>(n);
+      table.Row({Fmt(eps, "%.1f"), Fmt(m.dispatcher_ms, "%.2f"),
+                 Fmt(m.checking_ms, "%.2f"), Fmt(m.merger_ms, "%.2f"),
+                 Fmt(m.matching_ms, "%.2f"), Fmt(dummies, "%.0f")});
+    }
+    table.WriteCsv(wl.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 17: FRESQUE publishing time per component as the
+// randomer coefficient alpha varies from 2 to 20 (epsilon = 1, 10
+// computing nodes). Real threaded collector.
+//
+// Paper shape: larger alpha => bigger randomer buffer => the checking
+// node's publish-time flush grows (to ~6s NASA / ~0.8s Gowalla at
+// alpha = 20 in the paper), while dispatcher, merger and cloud barely
+// move.
+
+#include "bench/bench_util.h"
+#include "bench/drivers.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::MakeConfig;
+using fresque::bench::Mean;
+using fresque::bench::RunCollector;
+using fresque::bench::TableWriter;
+using fresque::bench::ValueOrExit;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  struct Workload {
+    const char* label;
+    fresque::record::DatasetSpec spec;
+    uint64_t records;  // large enough to fill the buffer at every alpha
+    const char* csv;
+  };
+  // The flush cost only tracks alpha once the interval ingests more
+  // records than the buffer holds (alpha * T; NASA T ~ 55k records, so
+  // alpha = 20 needs > 1.1M records per interval).
+  Workload workloads[] = {
+      {"NASA", ValueOrExit(fresque::record::NasaDataset()), 1200000,
+       "fig17_alpha_publish_nasa"},
+      {"Gowalla", ValueOrExit(fresque::record::GowallaDataset()), 250000,
+       "fig17_alpha_publish_gowalla"},
+  };
+  constexpr size_t kNodes = 10;
+
+  for (auto& wl : workloads) {
+    TableWriter table(std::string("Fig 17 (") + wl.label +
+                          "): publishing time vs coefficient alpha (ms)",
+                      {"alpha", "dispatcher", "checking", "merger",
+                       "cloud_match"});
+    for (double alpha = 2; alpha <= 20; alpha += 2) {
+      auto cfg = MakeConfig(wl.spec, kNodes, /*epsilon=*/1.0, alpha);
+      auto out = RunCollector<fresque::engine::FresqueCollector>(
+          cfg, wl.spec, wl.records, 1);
+      auto m = Mean(out);
+      table.Row({Fmt(alpha, "%.0f"), Fmt(m.dispatcher_ms, "%.2f"),
+                 Fmt(m.checking_ms, "%.2f"), Fmt(m.merger_ms, "%.2f"),
+                 Fmt(m.matching_ms, "%.2f")});
+    }
+    table.WriteCsv(wl.csv);
+  }
+  return 0;
+}

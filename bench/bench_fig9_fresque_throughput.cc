@@ -1,0 +1,56 @@
+// Reproduces Figure 9: FRESQUE ingestion throughput vs number of
+// computing nodes (2..12), NASA and Gowalla workloads.
+//
+// Paper shape: throughput rises with computing nodes; Gowalla sits above
+// NASA (smaller records and domain); NASA keeps scaling to 12 nodes while
+// Gowalla's curve flattens around 8 (checking node becomes the
+// bottleneck).
+
+#include "bench/bench_util.h"
+#include "sim/pipeline.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::TableWriter;
+using fresque::bench::Workloads;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto w = Workloads::MeasureAll();
+
+  fresque::sim::SimConfig cfg;
+  cfg.num_records = 2000000;
+
+  // Paper-cluster emulation (Java/TCP Table-2 profile; see cost_model.h
+  // for the anchor-based derivation). This is the series to compare with
+  // the paper's Figure 9.
+  auto nasa_paper = fresque::sim::PaperProfileNasa();
+  auto gow_paper = fresque::sim::PaperProfileGowalla();
+  TableWriter paper(
+      "Fig 9 (paper-cluster profile): FRESQUE throughput (records/s)",
+      {"nodes", "nasa_rps", "gowalla_rps", "nasa_bottleneck",
+       "gowalla_bneck"});
+  for (size_t k = 2; k <= 12; ++k) {
+    auto nasa = fresque::sim::SimulateFresque(nasa_paper, k, cfg);
+    auto gow = fresque::sim::SimulateFresque(gow_paper, k, cfg);
+    paper.Row({std::to_string(k), Fmt(nasa.throughput_rps, "%.0f"),
+               Fmt(gow.throughput_rps, "%.0f"), nasa.bottleneck,
+               gow.bottleneck});
+  }
+  paper.WriteCsv("fig9_fresque_throughput_paper_profile");
+
+  // Same topology over costs measured from this host's real component
+  // code (this C++ system on an ideal zero-latency cluster).
+  TableWriter table(
+      "Fig 9 (measured-substrate costs): FRESQUE throughput (records/s)",
+      {"nodes", "nasa_rps", "gowalla_rps", "nasa_bottleneck",
+       "gowalla_bneck"});
+  for (size_t k = 2; k <= 12; k += 2) {
+    auto nasa = fresque::sim::SimulateFresque(w.nasa_costs, k, cfg);
+    auto gow = fresque::sim::SimulateFresque(w.gowalla_costs, k, cfg);
+    table.Row({std::to_string(k), Fmt(nasa.throughput_rps, "%.0f"),
+               Fmt(gow.throughput_rps, "%.0f"), nasa.bottleneck,
+               gow.bottleneck});
+  }
+  table.WriteCsv("fig9_fresque_throughput_measured");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Supplementary: collector sojourn latency vs offered load (not a paper
+// figure — the paper reports throughput and publish times only — but the
+// natural SLO view of the same pipeline). Classic queueing behaviour:
+// latency is flat until utilization approaches 1, then explodes; Poisson
+// (bursty) sources pay more than a smooth clocked source at the same
+// rate.
+
+#include "bench/bench_util.h"
+#include "sim/pipeline.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::TableWriter;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto nasa = fresque::sim::PaperProfileNasa();
+  constexpr size_t kNodes = 12;
+
+  fresque::sim::SimConfig base;
+  base.num_records = 500000;
+
+  // Capacity at 12 nodes ≈ 166k rec/s (Fig 9); sweep utilization.
+  auto capacity =
+      fresque::sim::SimulateFresque(nasa, kNodes, base).throughput_rps;
+
+  TableWriter table(
+      "Collector latency vs offered load (NASA paper profile, 12 nodes)",
+      {"load_pct", "det_mean_us", "det_p99_us", "poisson_mean_us",
+       "poisson_p99_us"});
+  for (double load : {0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99}) {
+    auto cfg = base;
+    cfg.offered_rate_rps = capacity * load;
+    auto det = fresque::sim::SimulateFresque(nasa, kNodes, cfg);
+    cfg.poisson_arrivals = true;
+    auto poi = fresque::sim::SimulateFresque(nasa, kNodes, cfg);
+    table.Row({Fmt(load * 100, "%.0f"),
+               Fmt(det.mean_latency_seconds * 1e6, "%.1f"),
+               Fmt(det.p99_latency_seconds * 1e6, "%.1f"),
+               Fmt(poi.mean_latency_seconds * 1e6, "%.1f"),
+               Fmt(poi.p99_latency_seconds * 1e6, "%.1f")});
+  }
+  table.WriteCsv("latency_load");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Live-mode throughput: drives the *real threaded* collectors (not the
+// simulator) as fast as this host can feed them and reports sustained
+// records/second. On a single-core host all stages share one CPU, so
+// this measures the total per-record CPU cost of each prototype — the
+// per-node parallelism shapes come from the calibrated simulator (Figs
+// 9-12); this bench grounds the simulator's inputs in an actually-running
+// pipeline.
+
+#include "bench/bench_util.h"
+#include "bench/drivers.h"
+#include "common/clock.h"
+
+using fresque::Stopwatch;
+using fresque::bench::BinningOf;
+using fresque::bench::Fmt;
+using fresque::bench::MakeConfig;
+using fresque::bench::TableWriter;
+using fresque::bench::ValueOrExit;
+
+namespace {
+
+template <typename Collector>
+double LiveThroughput(const fresque::engine::CollectorConfig& cfg,
+                      const fresque::record::DatasetSpec& spec,
+                      uint64_t records) {
+  fresque::cloud::CloudServer server(BinningOf(spec));
+  fresque::engine::CloudNode cloud_node(&server, cfg.mailbox_capacity);
+  cloud_node.Start();
+  fresque::crypto::KeyManager keys(fresque::Bytes(32, 0x42));
+  Collector collector(cfg, keys, cloud_node.inbox());
+  (void)collector.Start();
+
+  // Pre-generate lines so the source is never the bottleneck.
+  auto gen = fresque::record::MakeGenerator(spec, 555);
+  std::vector<std::string> lines;
+  lines.reserve(records);
+  for (uint64_t i = 0; i < records; ++i) lines.push_back((*gen)->NextLine());
+
+  Stopwatch watch;
+  for (auto& line : lines) (void)collector.Ingest(line);
+  (void)collector.Publish();
+  (void)collector.Shutdown();  // waits for the pipeline to drain
+  double seconds = watch.ElapsedSeconds();
+  cloud_node.Shutdown();
+  return static_cast<double>(records) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto nasa = ValueOrExit(fresque::record::NasaDataset());
+  auto gowalla = ValueOrExit(fresque::record::GowallaDataset());
+  constexpr uint64_t kRecords = 100000;
+
+  TableWriter table(
+      "Live threaded pipeline throughput on this host (records/s)",
+      {"prototype", "nasa_rps", "gowalla_rps"});
+  auto cfg_n = MakeConfig(nasa, 4);
+  auto cfg_g = MakeConfig(gowalla, 4);
+
+  table.Row({"fresque(k=4)",
+             Fmt(LiveThroughput<fresque::engine::FresqueCollector>(
+                     cfg_n, nasa, kRecords),
+                 "%.0f"),
+             Fmt(LiveThroughput<fresque::engine::FresqueCollector>(
+                     cfg_g, gowalla, kRecords),
+                 "%.0f")});
+  table.Row(
+      {"parallel-pp(k=4)",
+       Fmt(LiveThroughput<fresque::engine::ParallelPinedRqPpCollector>(
+               cfg_n, nasa, kRecords),
+           "%.0f"),
+       Fmt(LiveThroughput<fresque::engine::ParallelPinedRqPpCollector>(
+               cfg_g, gowalla, kRecords),
+           "%.0f")});
+  table.Row({"pined-rq++",
+             Fmt(LiveThroughput<fresque::engine::PinedRqPpCollector>(
+                     cfg_n, nasa, kRecords),
+                 "%.0f"),
+             Fmt(LiveThroughput<fresque::engine::PinedRqPpCollector>(
+                     cfg_g, gowalla, kRecords),
+                 "%.0f")});
+  table.Row({"pined-rq(batch)",
+             Fmt(LiveThroughput<fresque::engine::PinedRqCollector>(
+                     cfg_n, nasa, kRecords),
+                 "%.0f"),
+             Fmt(LiveThroughput<fresque::engine::PinedRqCollector>(
+                     cfg_g, gowalla, kRecords),
+                 "%.0f")});
+  table.WriteCsv("live_throughput");
+  return 0;
+}

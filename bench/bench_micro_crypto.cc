@@ -1,0 +1,91 @@
+// Micro-benchmarks of the crypto substrate (google-benchmark): AES block,
+// AES-CBC over record-sized payloads, SHA-256, HMAC, ChaCha20 CSPRNG.
+// These are the raw costs behind the CostModel calibration.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/cbc.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using fresque::Bytes;
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  auto aes = fresque::crypto::Aes::Create(Bytes(16, 0x42));
+  uint8_t block[16] = {};
+  for (auto _ : state) {
+    aes->EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  auto cbc = fresque::crypto::AesCbc::Create(Bytes(32, 0x42));
+  fresque::crypto::SecureRandom rng(1);
+  Bytes payload = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ct = cbc->Encrypt(
+        payload, [&](uint8_t* out, size_t n) { rng.Fill(out, n); });
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(48)->Arg(120)->Arg(1024)->Arg(16384);
+
+void BM_AesCbcDecrypt(benchmark::State& state) {
+  auto cbc = fresque::crypto::AesCbc::Create(Bytes(32, 0x42));
+  fresque::crypto::SecureRandom rng(1);
+  Bytes payload = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  auto ct = cbc->Encrypt(payload,
+                         [&](uint8_t* out, size_t n) { rng.Fill(out, n); });
+  for (auto _ : state) {
+    auto pt = cbc->Decrypt(*ct);
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcDecrypt)->Arg(120)->Arg(1024);
+
+void BM_Sha256(benchmark::State& state) {
+  fresque::crypto::SecureRandom rng(1);
+  Bytes payload = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto d = fresque::crypto::Sha256::Hash(payload);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  fresque::crypto::SecureRandom rng(1);
+  Bytes payload = rng.RandomBytes(128);
+  for (auto _ : state) {
+    auto mac = fresque::crypto::HmacSha256::Mac(key, payload);
+    benchmark::DoNotOptimize(mac);
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_SecureRandomFill(benchmark::State& state) {
+  fresque::crypto::SecureRandom rng(1);
+  Bytes buf(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rng.Fill(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SecureRandomFill)->Arg(16)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Micro-benchmarks of the index substrate (google-benchmark): leaf-offset
+// arithmetic, template perturbation, traversal, serialization — the
+// building blocks behind the publishing-time figures.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20.h"
+#include "dp/laplace.h"
+#include "index/binning.h"
+#include "index/index.h"
+#include "index/matching.h"
+
+namespace {
+
+fresque::index::DomainBinning NasaBinning() {
+  auto b = fresque::index::DomainBinning::Create(0, 3421.0 * 1024.0, 1024.0);
+  return std::move(b).ValueOrDie();
+}
+
+void BM_LeafOffset(benchmark::State& state) {
+  auto binning = NasaBinning();
+  double v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(binning.LeafOffset(v));
+    v += 1234.5;
+    if (v >= binning.domain_max()) v = 0;
+  }
+}
+BENCHMARK(BM_LeafOffset);
+
+void BM_TemplateCreate(benchmark::State& state) {
+  auto binning = NasaBinning();
+  fresque::crypto::SecureRandom rng(1);
+  for (auto _ : state) {
+    auto tmpl =
+        fresque::index::IndexTemplate::Create(binning, 16, 1.0, &rng);
+    benchmark::DoNotOptimize(tmpl);
+  }
+  state.SetLabel("3421 leaves, fanout 16");
+}
+BENCHMARK(BM_TemplateCreate);
+
+void BM_LaplaceSample(benchmark::State& state) {
+  fresque::crypto::SecureRandom rng(1);
+  fresque::dp::LaplaceSampler sampler(4.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleInteger());
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_IndexTraverse(benchmark::State& state) {
+  auto binning = NasaBinning();
+  fresque::crypto::SecureRandom rng(1);
+  auto tmpl = fresque::index::IndexTemplate::Create(binning, 16, 1.0, &rng);
+  const auto& index = tmpl->noise_index();
+  const double width = static_cast<double>(state.range(0)) * 1024.0;
+  double lo = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Traverse({lo, lo + width}));
+    lo += 977.0;
+    if (lo + width >= binning.domain_max()) lo = 0;
+  }
+  state.SetLabel("query width " + std::to_string(state.range(0)) + " bins");
+}
+BENCHMARK(BM_IndexTraverse)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_IndexSerializeRoundtrip(benchmark::State& state) {
+  auto binning = NasaBinning();
+  fresque::crypto::SecureRandom rng(1);
+  auto tmpl = fresque::index::IndexTemplate::Create(binning, 16, 1.0, &rng);
+  for (auto _ : state) {
+    auto bytes = tmpl->noise_index().Serialize();
+    auto back = fresque::index::HistogramIndex::Deserialize(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_IndexSerializeRoundtrip);
+
+void BM_MatchingTableAdd(benchmark::State& state) {
+  fresque::index::MatchingTable table;
+  uint64_t tag = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Add(tag++, 7));
+  }
+}
+BENCHMARK(BM_MatchingTableAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Supplementary: cloud-side range-query latency (the serving half the
+// ingestion paper §5.3(c) describes but does not benchmark). Sweeps
+// query selectivity over a populated multi-publication store and
+// contrasts index-served publications against a still-open (unindexed)
+// one.
+
+#include "bench/bench_util.h"
+#include "bench/drivers.h"
+#include "common/clock.h"
+
+using fresque::Stopwatch;
+using fresque::bench::BinningOf;
+using fresque::bench::Fmt;
+using fresque::bench::MakeConfig;
+using fresque::bench::TableWriter;
+using fresque::bench::ValueOrExit;
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  auto spec = ValueOrExit(fresque::record::GowallaDataset());
+  fresque::cloud::CloudServer server(BinningOf(spec));
+  fresque::engine::CloudNode cloud_node(&server);
+  cloud_node.Start();
+  fresque::crypto::KeyManager keys(fresque::Bytes(32, 0x42));
+  auto cfg = MakeConfig(spec, 4);
+  cfg.delta = 0.51;  // small randomer buffer: open publication visible
+  fresque::engine::FresqueCollector collector(cfg, keys,
+                                              cloud_node.inbox());
+  (void)collector.Start();
+
+  // 4 published publications of 50k records, plus 20k left open.
+  auto gen = fresque::record::MakeGenerator(spec, 8);
+  for (int interval = 0; interval < 4; ++interval) {
+    for (int i = 0; i < 50000; ++i) {
+      (void)collector.Ingest((*gen)->NextLine());
+    }
+    (void)collector.Publish();
+  }
+  for (int i = 0; i < 20000; ++i) (void)collector.Ingest((*gen)->NextLine());
+  (void)collector.Shutdown();
+  cloud_node.Shutdown();
+  std::cout << "store: " << server.num_publications() << " publications, "
+            << server.total_records() << " e-records, "
+            << server.total_bytes() / (1 << 20) << " MiB\n";
+
+  fresque::client::Client client(keys, &spec.parser->schema());
+  double span = spec.domain_max - spec.domain_min;
+
+  TableWriter table("Range-query latency at the cloud (Gowalla store)",
+                    {"selectivity", "cloud_us", "e2e_ms", "records"});
+  for (double frac : {0.001, 0.01, 0.05, 0.2, 0.5, 1.0}) {
+    fresque::index::RangeQuery q{spec.domain_min,
+                                 spec.domain_min + frac * span - 1};
+    // Cloud-only evaluation (what the paper's server does).
+    Stopwatch cloud_watch;
+    auto raw = server.ExecuteQuery(q);
+    double cloud_us = cloud_watch.ElapsedMillis() * 1000;
+    if (!raw.ok()) continue;
+    // End-to-end including client decryption + filtering.
+    Stopwatch e2e;
+    auto records = client.Query(server, q);
+    double e2e_ms = e2e.ElapsedMillis();
+    table.Row({Fmt(frac * 100, "%.1f") + "%", Fmt(cloud_us, "%.0f"),
+               Fmt(e2e_ms, "%.1f"),
+               std::to_string(records.ok() ? records->size() : 0)});
+  }
+  table.WriteCsv("query_latency");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#ifndef FRESQUE_BENCH_BENCH_UTIL_H_
+#define FRESQUE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "record/dataset.h"
+#include "sim/cost_model.h"
+
+namespace fresque {
+namespace bench {
+
+/// Simple fixed-width table printer + CSV writer for the figure benches.
+/// Every bench prints the paper's series to stdout and drops a CSV next
+/// to the binary so plots can be regenerated.
+class TableWriter {
+ public:
+  TableWriter(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {
+    std::cout << "\n=== " << title_ << " ===\n";
+    for (const auto& c : columns_) std::printf("%16s", c.c_str());
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%16s", c.c_str());
+    std::printf("\n");
+    rows_.push_back(cells);
+  }
+
+  /// Writes "<name>.csv" in the working directory.
+  void WriteCsv(const std::string& name) {
+    std::ofstream out(name + ".csv");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      out << (i ? "," : "") << columns_[i];
+    }
+    out << "\n";
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        out << (i ? "," : "") << row[i];
+      }
+      out << "\n";
+    }
+    std::cout << "[csv] " << name << ".csv\n";
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Unwraps a Result in bench main()s, aborting with a message on error.
+template <typename T>
+T ValueOrExit(fresque::Result<T> r, const char* what = "setup") {
+  if (!r.ok()) {
+    std::cerr << what << " failed: " << r.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// Measures (and memoizes within the process) the cost models for the two
+/// paper workloads; prints them so every bench run documents its inputs.
+struct Workloads {
+  record::DatasetSpec nasa;
+  record::DatasetSpec gowalla;
+  sim::CostModel nasa_costs;
+  sim::CostModel gowalla_costs;
+
+  static Workloads MeasureAll(size_t samples = 20000) {
+    Workloads w;
+    auto nasa = record::NasaDataset();
+    auto gow = record::GowallaDataset();
+    if (!nasa.ok() || !gow.ok()) {
+      std::cerr << "dataset setup failed\n";
+      std::exit(1);
+    }
+    w.nasa = *nasa;
+    w.gowalla = *gow;
+    auto nc = sim::MeasureCosts(w.nasa, samples);
+    auto gc = sim::MeasureCosts(w.gowalla, samples);
+    if (!nc.ok() || !gc.ok()) {
+      std::cerr << "cost calibration failed\n";
+      std::exit(1);
+    }
+    w.nasa_costs = *nc;
+    w.gowalla_costs = *gc;
+    std::cout << w.nasa_costs.ToString() << "\n"
+              << w.gowalla_costs.ToString() << "\n";
+    return w;
+  }
+};
+
+/// Paper Table 2 header: the cluster every figure bench emulates.
+inline void PrintEnvironmentHeader() {
+  std::cout
+      << "# Emulated cluster (paper Table 2): dispatcher/merger/checking\n"
+      << "# node 4 CPU / 8 GB, computing nodes 2 CPU / 2 GB, cloud 16 CPU\n"
+      << "# / 64 GB. This run: calibrated discrete-event simulation over\n"
+      << "# service costs measured from the real component code (see\n"
+      << "# DESIGN.md, substitution table).\n";
+}
+
+}  // namespace bench
+}  // namespace fresque
+
+#endif  // FRESQUE_BENCH_BENCH_UTIL_H_

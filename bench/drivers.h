@@ -1,0 +1,133 @@
+#ifndef FRESQUE_BENCH_DRIVERS_H_
+#define FRESQUE_BENCH_DRIVERS_H_
+
+#include <iostream>
+#include <vector>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "crypto/key_manager.h"
+#include "engine/cloud_node.h"
+#include "engine/config.h"
+#include "engine/fresque_collector.h"
+#include "engine/metrics.h"
+#include "engine/pined_rq.h"
+#include "engine/pined_rqpp.h"
+#include "engine/pined_rqpp_parallel.h"
+#include "record/dataset.h"
+
+namespace fresque {
+namespace bench {
+
+/// Everything a publish-time experiment produces.
+struct RunOutcome {
+  std::vector<engine::PublishReport> reports;
+  std::vector<cloud::MatchingStats> matching;
+  uint64_t records_per_interval = 0;
+};
+
+inline engine::CollectorConfig MakeConfig(const record::DatasetSpec& spec,
+                                          size_t k, double epsilon = 1.0,
+                                          double alpha = 2.0) {
+  engine::CollectorConfig cfg;
+  cfg.dataset = spec;
+  cfg.num_computing_nodes = k;
+  cfg.epsilon = epsilon;
+  cfg.alpha = alpha;
+  cfg.delta = 0.99;
+  cfg.seed = 20210323;  // EDBT 2021 opening day
+  return cfg;
+}
+
+inline index::DomainBinning BinningOf(const record::DatasetSpec& spec) {
+  auto b = index::DomainBinning::Create(spec.domain_min, spec.domain_max,
+                                        spec.bin_width);
+  if (!b.ok()) {
+    std::cerr << "binning failed: " << b.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(b).ValueOrDie();
+}
+
+/// Runs a real threaded collector for `intervals` publications of
+/// `records` lines each and collects the per-component publish reports
+/// and cloud matching stats. Works for every prototype exposing
+/// Start/Ingest/SetIntervalProgress?/Publish/Shutdown.
+template <typename Collector>
+RunOutcome RunCollector(const engine::CollectorConfig& cfg,
+                        const record::DatasetSpec& spec, uint64_t records,
+                        int intervals) {
+  cloud::CloudServer server(BinningOf(spec));
+  engine::CloudNode cloud_node(&server, cfg.mailbox_capacity);
+  cloud_node.Start();
+  crypto::KeyManager keys(Bytes(32, 0x42));
+  Collector collector(cfg, keys, cloud_node.inbox());
+  auto st = collector.Start();
+  if (!st.ok()) {
+    std::cerr << "collector start failed: " << st.ToString() << "\n";
+    std::exit(1);
+  }
+  auto gen = record::MakeGenerator(spec, 7 + records);
+  if (!gen.ok()) std::exit(1);
+  for (int iv = 0; iv < intervals; ++iv) {
+    for (uint64_t i = 0; i < records; ++i) {
+      if constexpr (requires(Collector& c) { c.SetIntervalProgress(0.5); }) {
+        collector.SetIntervalProgress(static_cast<double>(i) /
+                                      static_cast<double>(records));
+      }
+      (void)collector.Ingest((*gen)->NextLine());
+    }
+    (void)collector.Publish();
+  }
+  (void)collector.Shutdown();
+  cloud_node.Shutdown();
+  if (!cloud_node.first_error().ok()) {
+    std::cerr << "cloud error: " << cloud_node.first_error().ToString()
+              << "\n";
+  }
+
+  RunOutcome out;
+  out.reports = collector.Reports();
+  out.matching = cloud_node.matching_stats();
+  out.records_per_interval = records;
+  return out;
+}
+
+/// Means over the completed publications of a run (skips the final
+/// never-published interval report if present).
+struct MeanReport {
+  double dispatcher_ms = 0;
+  double checking_ms = 0;
+  double merger_ms = 0;
+  double matching_ms = 0;
+  double real_records = 0;
+};
+
+inline MeanReport Mean(const RunOutcome& out) {
+  MeanReport m;
+  size_t n = 0;
+  for (const auto& r : out.reports) {
+    if (r.real_records == 0 && r.checking_millis == 0) continue;  // open
+    m.dispatcher_ms += r.dispatcher_millis;
+    m.checking_ms += r.checking_millis;
+    m.merger_ms += r.merger_millis;
+    m.real_records += static_cast<double>(r.real_records);
+    ++n;
+  }
+  if (n > 0) {
+    m.dispatcher_ms /= static_cast<double>(n);
+    m.checking_ms /= static_cast<double>(n);
+    m.merger_ms /= static_cast<double>(n);
+    m.real_records /= static_cast<double>(n);
+  }
+  if (!out.matching.empty()) {
+    for (const auto& s : out.matching) m.matching_ms += s.matching_millis;
+    m.matching_ms /= static_cast<double>(out.matching.size());
+  }
+  return m;
+}
+
+}  // namespace bench
+}  // namespace fresque
+
+#endif  // FRESQUE_BENCH_DRIVERS_H_

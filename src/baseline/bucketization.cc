@@ -1,0 +1,60 @@
+#include "baseline/bucketization.h"
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace fresque {
+namespace baseline {
+
+Result<Bucketization> Bucketization::Create(const Bytes& key,
+                                            double domain_min,
+                                            double domain_max,
+                                            size_t num_buckets) {
+  if (!(domain_max > domain_min)) {
+    return Status::InvalidArgument("bucketization domain must be non-empty");
+  }
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("need at least one bucket");
+  }
+  auto digest = crypto::Sha256::Hash(key);
+  uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) seed = (seed << 8) | digest[i];
+  crypto::SecureRandom prf(seed);
+  std::vector<uint64_t> tags(num_buckets);
+  for (auto& t : tags) t = prf.NextU64();
+  return Bucketization(domain_min, domain_max, std::move(tags));
+}
+
+size_t Bucketization::BucketIndex(double v) const {
+  double width = (hi_ - lo_) / static_cast<double>(tags_.size());
+  if (v <= lo_) return 0;
+  size_t idx = static_cast<size_t>((v - lo_) / width);
+  return idx >= tags_.size() ? tags_.size() - 1 : idx;
+}
+
+Result<uint64_t> Bucketization::TagOf(double v) const {
+  if (v < lo_ || v >= hi_) {
+    return Status::OutOfRange("value outside bucketized domain");
+  }
+  return tags_[BucketIndex(v)];
+}
+
+Result<std::vector<uint64_t>> Bucketization::TagsForRange(double lo,
+                                                          double hi) const {
+  if (lo > hi) return Status::InvalidArgument("empty range");
+  size_t first = BucketIndex(lo < lo_ ? lo_ : lo);
+  size_t last = BucketIndex(hi >= hi_ ? hi_ - 1e-9 : hi);
+  std::vector<uint64_t> out;
+  out.reserve(last - first + 1);
+  for (size_t i = first; i <= last; ++i) out.push_back(tags_[i]);
+  return out;
+}
+
+double Bucketization::OverfetchFactor(double query_width) const {
+  if (query_width <= 0) return 1.0;
+  double bucket_width = (hi_ - lo_) / static_cast<double>(tags_.size());
+  return (query_width + 2 * bucket_width) / query_width;
+}
+
+}  // namespace baseline
+}  // namespace fresque

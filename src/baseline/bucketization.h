@@ -1,0 +1,58 @@
+#ifndef FRESQUE_BASELINE_BUCKETIZATION_H_
+#define FRESQUE_BASELINE_BUCKETIZATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace fresque {
+namespace baseline {
+
+/// Bucketization baseline (Table 1): the attribute domain splits into a
+/// fixed number of equal-width buckets; each bucket gets a random opaque
+/// tag. The client keeps the tag directory; the server sees only tags and
+/// returns whole buckets, so every query over-fetches up to two bucket
+/// widths (false positives filtered client-side). No formal security
+/// guarantee: bucket cardinalities leak the histogram at bucket
+/// granularity.
+class Bucketization {
+ public:
+  /// `num_buckets` >= 1 over the domain [domain_min, domain_max).
+  static Result<Bucketization> Create(const Bytes& key, double domain_min,
+                                      double domain_max,
+                                      size_t num_buckets);
+
+  /// Opaque tag of the bucket covering `v` (what the server indexes by).
+  Result<uint64_t> TagOf(double v) const;
+
+  /// Tags of every bucket intersecting [lo, hi] — the query the client
+  /// sends to the server.
+  Result<std::vector<uint64_t>> TagsForRange(double lo, double hi) const;
+
+  size_t num_buckets() const { return tags_.size(); }
+  /// Client-side directory size in bytes.
+  size_t DirectoryBytes() const { return tags_.size() * sizeof(uint64_t); }
+
+  /// Expected over-fetch factor for queries of width `w`: buckets must be
+  /// returned whole, so up to (w + 2*bucket_width) / w of the data
+  /// qualifies.
+  double OverfetchFactor(double query_width) const;
+
+ private:
+  Bucketization(double lo, double hi, std::vector<uint64_t> tags)
+      : lo_(lo), hi_(hi), tags_(std::move(tags)) {}
+
+  size_t BucketIndex(double v) const;
+
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> tags_;  // bucket index -> random tag
+};
+
+}  // namespace baseline
+}  // namespace fresque
+
+#endif  // FRESQUE_BASELINE_BUCKETIZATION_H_

@@ -1,0 +1,61 @@
+#include "baseline/ope.h"
+
+#include <algorithm>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace fresque {
+namespace baseline {
+
+Result<OpeScheme> OpeScheme::Create(const Bytes& key, uint64_t domain_size,
+                                    uint64_t max_gap) {
+  if (domain_size == 0) {
+    return Status::InvalidArgument("OPE domain must be non-empty");
+  }
+  if (max_gap < 2) {
+    return Status::InvalidArgument("OPE max gap must be >= 2");
+  }
+  // Key the gap stream with a hash of the key so equal keys give equal
+  // mappings and different keys diverge completely.
+  auto digest = crypto::Sha256::Hash(key);
+  uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) seed = (seed << 8) | digest[i];
+  crypto::SecureRandom prf(seed);
+
+  std::vector<uint64_t> cum(domain_size);
+  uint64_t acc = prf.NextBounded(max_gap) + 1;
+  for (uint64_t v = 0; v < domain_size; ++v) {
+    cum[v] = acc;
+    acc += prf.NextBounded(max_gap) + 1;  // gaps >= 1 keep strict order
+  }
+  return OpeScheme(std::move(cum));
+}
+
+Result<uint64_t> OpeScheme::Encrypt(uint64_t v) const {
+  if (v >= cum_.size()) {
+    return Status::OutOfRange("OPE plaintext outside domain");
+  }
+  return cum_[v];
+}
+
+Result<uint64_t> OpeScheme::Decrypt(uint64_t c) const {
+  auto it = std::lower_bound(cum_.begin(), cum_.end(), c);
+  if (it == cum_.end() || *it != c) {
+    return Status::NotFound("not a valid OPE ciphertext");
+  }
+  return static_cast<uint64_t>(it - cum_.begin());
+}
+
+Result<std::pair<uint64_t, uint64_t>> OpeScheme::EncryptRange(
+    uint64_t lo, uint64_t hi) const {
+  if (lo > hi) return Status::InvalidArgument("empty OPE range");
+  auto clo = Encrypt(lo);
+  auto chi = Encrypt(hi);
+  if (!clo.ok()) return clo.status();
+  if (!chi.ok()) return chi.status();
+  return std::make_pair(*clo, *chi);
+}
+
+}  // namespace baseline
+}  // namespace fresque

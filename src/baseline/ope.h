@@ -1,0 +1,52 @@
+#ifndef FRESQUE_BASELINE_OPE_H_
+#define FRESQUE_BASELINE_OPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace fresque {
+namespace baseline {
+
+/// Order-preserving encryption over an integer domain [0, domain_size):
+/// ciphertext(v) = base + sum of keyed pseudo-random gaps up to v, so
+/// v1 < v2  <=>  Enc(v1) < Enc(v2).
+///
+/// Implemented as one of Table 1's comparison points. Range predicates
+/// evaluate directly on ciphertexts — no index needed — but the scheme
+/// leaks the total order (and with it the plaintext distribution), which
+/// the paper's Table 1 flags as the lack of formal security guarantees.
+/// The bench demonstrates that leak empirically (rank correlation 1).
+class OpeScheme {
+ public:
+  /// Expands the keyed gap table for the whole domain. O(domain_size)
+  /// time and 8 bytes per domain value.
+  static Result<OpeScheme> Create(const Bytes& key, uint64_t domain_size,
+                                  uint64_t max_gap = 16);
+
+  /// Deterministic order-preserving ciphertext of `v`.
+  Result<uint64_t> Encrypt(uint64_t v) const;
+
+  /// Inverts a ciphertext (binary search over the monotone table).
+  Result<uint64_t> Decrypt(uint64_t c) const;
+
+  /// Ciphertext interval equivalent to the plaintext range [lo, hi].
+  Result<std::pair<uint64_t, uint64_t>> EncryptRange(uint64_t lo,
+                                                     uint64_t hi) const;
+
+  uint64_t domain_size() const { return cum_.size(); }
+  /// Bytes of key-dependent state the encryptor must keep.
+  size_t StateBytes() const { return cum_.size() * sizeof(uint64_t); }
+
+ private:
+  explicit OpeScheme(std::vector<uint64_t> cum) : cum_(std::move(cum)) {}
+
+  std::vector<uint64_t> cum_;  // cum_[v] = Enc(v), strictly increasing
+};
+
+}  // namespace baseline
+}  // namespace fresque
+
+#endif  // FRESQUE_BASELINE_OPE_H_

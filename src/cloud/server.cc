@@ -1,0 +1,227 @@
+#include "cloud/server.h"
+
+namespace fresque {
+namespace cloud {
+
+CloudServer::CloudServer(index::DomainBinning binning, const Clock* clock)
+    : binning_(std::move(binning)), clock_(clock) {}
+
+Status CloudServer::StartPublication(uint64_t pn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = publications_.try_emplace(pn);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("publication " + std::to_string(pn) +
+                                 " already open");
+  }
+  return Status::OK();
+}
+
+Result<CloudServer::Publication*> CloudServer::Find(uint64_t pn) {
+  auto it = publications_.find(pn);
+  if (it == publications_.end()) {
+    return Status::NotFound("unknown publication " + std::to_string(pn));
+  }
+  return &it->second;
+}
+
+Status CloudServer::IngestRecord(uint64_t pn, uint32_t leaf,
+                                 const Bytes& e_record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto pub = Find(pn);
+  if (!pub.ok()) return pub.status();
+  if ((*pub)->published) {
+    return Status::FailedPrecondition("publication already published");
+  }
+  PhysicalAddress addr = (*pub)->storage.Append(e_record);
+  (*pub)->metadata[leaf].push_back(addr);
+  return Status::OK();
+}
+
+Status CloudServer::IngestTagged(uint64_t pn, uint64_t tag,
+                                 const Bytes& e_record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto pub = Find(pn);
+  if (!pub.ok()) return pub.status();
+  if ((*pub)->published) {
+    return Status::FailedPrecondition("publication already published");
+  }
+  PhysicalAddress addr = (*pub)->storage.Append(e_record);
+  (*pub)->tagged.emplace_back(tag, addr);
+  return Status::OK();
+}
+
+Result<MatchingStats> CloudServer::InstallPublication(
+    uint64_t pn, Publication* pub, net::IndexPublication publication,
+    const index::MatchingTable* table, Bytes raw_payload) {
+  Stopwatch watch(clock_);
+  const size_t num_leaves = publication.index.layout().num_leaves();
+  pub->postings.assign(num_leaves, {});
+
+  MatchingStats stats;
+  stats.pn = pn;
+
+  if (table == nullptr) {
+    // FRESQUE matching: the metadata cache already groups addresses by
+    // leaf; matching is a move per leaf.
+    for (auto& [leaf, addrs] : pub->metadata) {
+      if (leaf < num_leaves) {
+        stats.records_matched += addrs.size();
+        auto& posting = pub->postings[leaf];
+        posting.insert(posting.end(), addrs.begin(), addrs.end());
+      }
+    }
+  } else {
+    // PINED-RQ++ matching: re-read every record from storage ("disk") and
+    // join its tag against the matching table.
+    for (const auto& [tag, addr] : pub->tagged) {
+      auto bytes = pub->storage.Read(addr);
+      if (!bytes.ok()) return bytes.status();
+      auto leaf = table->Lookup(tag);
+      if (!leaf.ok()) return leaf.status();
+      if (*leaf < num_leaves) {
+        pub->postings[*leaf].push_back(addr);
+        ++stats.records_matched;
+      }
+    }
+  }
+
+  pub->index.emplace(std::move(publication.index));
+  pub->overflow.emplace(std::move(publication.overflow));
+  pub->evidence = std::move(raw_payload);
+  pub->metadata.clear();  // metadata destroyed after matching (paper §5.3)
+  pub->tagged.clear();
+  pub->published = true;
+
+  stats.matching_millis = watch.ElapsedMillis();
+  return stats;
+}
+
+Result<MatchingStats> CloudServer::PublishIndexed(
+    uint64_t pn, net::IndexPublication publication, Bytes raw_payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto pub = Find(pn);
+  if (!pub.ok()) return pub.status();
+  if ((*pub)->published) {
+    return Status::FailedPrecondition("publication already published");
+  }
+  return InstallPublication(pn, *pub, std::move(publication), nullptr,
+                            std::move(raw_payload));
+}
+
+Result<MatchingStats> CloudServer::PublishWithMatchingTable(
+    uint64_t pn, net::IndexPublication publication,
+    const index::MatchingTable& table, Bytes raw_payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto pub = Find(pn);
+  if (!pub.ok()) return pub.status();
+  if ((*pub)->published) {
+    return Status::FailedPrecondition("publication already published");
+  }
+  return InstallPublication(pn, *pub, std::move(publication), &table,
+                            std::move(raw_payload));
+}
+
+Result<MatchingStats> CloudServer::PublishBatch(
+    uint64_t pn, net::IndexPublication publication,
+    const std::vector<std::pair<uint32_t, Bytes>>& records) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (publications_.count(pn)) {
+      return Status::AlreadyExists("publication exists");
+    }
+  }
+  FRESQUE_RETURN_NOT_OK(StartPublication(pn));
+  for (const auto& [leaf, bytes] : records) {
+    FRESQUE_RETURN_NOT_OK(IngestRecord(pn, leaf, bytes));
+  }
+  return PublishIndexed(pn, std::move(publication));
+}
+
+Result<QueryResult> CloudServer::ExecuteQuery(
+    const index::RangeQuery& q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryResult result;
+  for (const auto& [pn, pub] : publications_) {
+    if (pub.published) {
+      std::vector<size_t> leaves = pub.index->Traverse(q);
+      for (size_t leaf : leaves) {
+        for (const auto& addr : pub.postings[leaf]) {
+          auto bytes = pub.storage.Read(addr);
+          if (!bytes.ok()) return bytes.status();
+          result.indexed_records.push_back({pn, std::move(*bytes)});
+        }
+        if (pub.overflow && leaf < pub.overflow->num_leaves()) {
+          for (const auto& slot : pub.overflow->leaf(leaf)) {
+            if (!slot.empty()) result.overflow_records.push_back({pn, slot});
+          }
+        }
+      }
+    } else {
+      // Open publication: no index yet; filter the cached pairs one by
+      // one on the (public) leaf interval.
+      for (const auto& [leaf, addrs] : pub.metadata) {
+        double lo = binning_.LeafLow(leaf);
+        double hi = binning_.LeafHigh(leaf);
+        if (hi <= q.lo || lo > q.hi) continue;
+        for (const auto& addr : addrs) {
+          auto bytes = pub.storage.Read(addr);
+          if (!bytes.ok()) return bytes.status();
+          result.unindexed_records.push_back({pn, std::move(*bytes)});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+int64_t CloudServer::ApproximateCount(const index::RangeQuery& q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [pn, pub] : publications_) {
+    (void)pn;
+    if (pub.published) total += pub.index->NoisyRangeCount(q);
+  }
+  return total;
+}
+
+Result<Bytes> CloudServer::PublicationEvidence(uint64_t pn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = publications_.find(pn);
+  if (it == publications_.end() || !it->second.published ||
+      it->second.evidence.empty()) {
+    return Status::NotFound("no publication evidence for " +
+                            std::to_string(pn));
+  }
+  return it->second.evidence;
+}
+
+size_t CloudServer::num_publications() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return publications_.size();
+}
+
+size_t CloudServer::total_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t t = 0;
+  for (const auto& [pn, pub] : publications_) {
+    (void)pn;
+    t += pub.storage.num_records();
+  }
+  return t;
+}
+
+size_t CloudServer::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t t = 0;
+  for (const auto& [pn, pub] : publications_) {
+    (void)pn;
+    t += pub.storage.total_bytes();
+    if (pub.index) t += pub.index->CountBytes();
+    if (pub.overflow) t += pub.overflow->PayloadBytes();
+  }
+  return t;
+}
+
+}  // namespace cloud
+}  // namespace fresque

@@ -1,0 +1,167 @@
+#ifndef FRESQUE_CLOUD_SERVER_H_
+#define FRESQUE_CLOUD_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/storage.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "index/binning.h"
+#include "index/index.h"
+#include "index/matching.h"
+#include "index/overflow.h"
+#include "net/payloads.h"
+
+namespace fresque {
+namespace cloud {
+
+/// One ciphertext in a query result, tagged with the publication it
+/// belongs to so the client can derive the right decryption key.
+struct ResultRecord {
+  uint64_t pn = 0;
+  Bytes e_record;
+};
+
+/// Everything a range query returns from the cloud: ciphertexts only.
+struct QueryResult {
+  /// Records reachable through published secure indexes.
+  std::vector<ResultRecord> indexed_records;
+  /// Overflow-array slots of the leaves the query touched.
+  std::vector<ResultRecord> overflow_records;
+  /// Records of still-open publications whose leaf interval overlaps the
+  /// query (the paper's "unindexed data, processed one by one").
+  std::vector<ResultRecord> unindexed_records;
+
+  size_t TotalRecords() const {
+    return indexed_records.size() + overflow_records.size() +
+           unindexed_records.size();
+  }
+};
+
+/// Per-publication matching cost, reported for Fig. 13/15.
+struct MatchingStats {
+  uint64_t pn = 0;
+  size_t records_matched = 0;
+  double matching_millis = 0;
+};
+
+/// The untrusted cloud server (paper §5.3 "Cloud").
+///
+/// Streaming ingestion writes each e-record to segment storage and caches
+/// `<leaf offset, physical location>` metadata in memory; publication then
+/// only reshuffles addresses (FRESQUE), or — in PINED-RQ++ mode — re-reads
+/// every record and joins it against the matching table, which is the
+/// expensive path Fig. 15 contrasts.
+class CloudServer {
+ public:
+  /// `binning` describes how leaf offsets map to value intervals (public
+  /// configuration shared by collector and cloud).
+  explicit CloudServer(index::DomainBinning binning,
+                       const Clock* clock = SystemClock::Global());
+
+  /// Opens a new publication (kPublicationStart).
+  Status StartPublication(uint64_t pn);
+
+  /// Streams one `<leaf offset, e-record>` pair (FRESQUE / PINED-RQ++).
+  Status IngestRecord(uint64_t pn, uint32_t leaf, const Bytes& e_record);
+
+  /// Streams one `<random tag, e-record>` pair (PINED-RQ++ with matching
+  /// table; the leaf is unknown until the table arrives).
+  Status IngestTagged(uint64_t pn, uint64_t tag, const Bytes& e_record);
+
+  /// FRESQUE publication: associates cached metadata with the index
+  /// leaves, installs index + overflow arrays, destroys the metadata.
+  /// `raw_payload`, when provided, is retained verbatim as integrity
+  /// evidence for client-side verification.
+  Result<MatchingStats> PublishIndexed(uint64_t pn,
+                                       net::IndexPublication publication,
+                                       Bytes raw_payload = {});
+
+  /// PINED-RQ++ publication: re-reads every stored record of the
+  /// publication from storage and joins its tag against the matching
+  /// table to rebuild leaf pointers.
+  Result<MatchingStats> PublishWithMatchingTable(
+      uint64_t pn, net::IndexPublication publication,
+      const index::MatchingTable& table, Bytes raw_payload = {});
+
+  /// The verbatim publication payload as received from the collector
+  /// (index + overflow + tag); what an auditor would fetch to verify the
+  /// publication was not tampered with. NotFound if `pn` was never
+  /// published or carried no payload.
+  Result<Bytes> PublicationEvidence(uint64_t pn) const;
+
+  /// Batch publication (PINED-RQ): stores `records` as `<leaf, e-record>`
+  /// pairs and installs the index in one shot.
+  Result<MatchingStats> PublishBatch(
+      uint64_t pn, net::IndexPublication publication,
+      const std::vector<std::pair<uint32_t, Bytes>>& records);
+
+  /// Evaluates a range query over every publication (published indexes +
+  /// open metadata).
+  Result<QueryResult> ExecuteQuery(const index::RangeQuery& q) const;
+
+  /// Differentially-private approximate COUNT(*) for `q`, answered from
+  /// the published indexes alone — no records touched, no keys needed
+  /// (the noisy counts are public by design). Open publications are not
+  /// included: they have no DP index yet, and counting their cached
+  /// pairs would leak un-noised cardinalities.
+  int64_t ApproximateCount(const index::RangeQuery& q) const;
+
+  /// Persists the whole server state (every publication: ciphertext
+  /// segments, postings, indexes, overflow arrays, metadata of open
+  /// publications) to one snapshot file, so the cloud survives restarts.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Restores a server from SaveSnapshot output. (Heap-allocated: the
+  /// server holds a mutex and is not movable.)
+  static Result<std::unique_ptr<CloudServer>> LoadSnapshot(
+      const std::string& path);
+
+  /// Number of publications the server knows about.
+  size_t num_publications() const;
+  /// Stored record count across all publications.
+  size_t total_records() const;
+  /// Stored bytes across all publications (ciphertext + index + overflow).
+  size_t total_bytes() const;
+
+  const index::DomainBinning& binning() const { return binning_; }
+
+ private:
+  struct Publication {
+    SegmentStorage storage;
+    // Streaming metadata: leaf -> addresses (FRESQUE mode).
+    std::unordered_map<uint32_t, std::vector<PhysicalAddress>> metadata;
+    // Streaming metadata: tag -> address (PINED-RQ++ mode).
+    std::vector<std::pair<uint64_t, PhysicalAddress>> tagged;
+    // Set once published.
+    std::optional<index::HistogramIndex> index;
+    std::optional<index::OverflowArrays> overflow;
+    std::vector<std::vector<PhysicalAddress>> postings;  // per leaf
+    Bytes evidence;  // verbatim publication payload, for integrity checks
+    bool published = false;
+  };
+
+  Result<Publication*> Find(uint64_t pn);
+
+  Result<MatchingStats> InstallPublication(
+      uint64_t pn, Publication* pub, net::IndexPublication publication,
+      const index::MatchingTable* table, Bytes raw_payload);
+
+  index::DomainBinning binning_;
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Publication> publications_;
+};
+
+}  // namespace cloud
+}  // namespace fresque
+
+#endif  // FRESQUE_CLOUD_SERVER_H_

@@ -1,0 +1,201 @@
+// CloudServer snapshot persistence: one binary file holding the whole
+// multi-publication state. Format (little-endian, length-prefixed):
+//   magic "FQSNAP01"
+//   binning: f64 dmin, f64 dmax, f64 width
+//   u64 publication count, then per publication:
+//     u64 pn, u8 published
+//     bytes storage snapshot
+//     open state:    u64 metadata groups { u32 leaf, u64 n, n addresses }
+//                    u64 tagged count { u64 tag, address }
+//     published state: bytes index, bytes overflow, bytes evidence,
+//                      u64 leaves { u64 n, n addresses }
+// Addresses encode as u32 segment, u32 offset, u32 length.
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+
+#include "cloud/server.h"
+
+namespace fresque {
+namespace cloud {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'Q', 'S', 'N', 'A', 'P', '0', '1'};
+
+void PutAddress(BinaryWriter* w, const PhysicalAddress& a) {
+  w->PutU32(a.segment);
+  w->PutU32(a.offset);
+  w->PutU32(a.length);
+}
+
+Result<PhysicalAddress> GetAddress(BinaryReader* r) {
+  auto seg = r->GetU32();
+  auto off = r->GetU32();
+  auto len = r->GetU32();
+  if (!seg.ok() || !off.ok() || !len.ok()) {
+    return Status::Corruption("truncated address");
+  }
+  PhysicalAddress a;
+  a.segment = *seg;
+  a.offset = *off;
+  a.length = *len;
+  return a;
+}
+
+}  // namespace
+
+Status CloudServer::SaveSnapshot(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryWriter w;
+  w.PutRaw(reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic));
+  w.PutF64(binning_.domain_min());
+  w.PutF64(binning_.domain_max());
+  w.PutF64(binning_.bin_width());
+  w.PutU64(publications_.size());
+  for (const auto& [pn, pub] : publications_) {
+    w.PutU64(pn);
+    w.PutU8(pub.published ? 1 : 0);
+    w.PutBytes(pub.storage.Serialize());
+    if (!pub.published) {
+      w.PutU64(pub.metadata.size());
+      for (const auto& [leaf, addrs] : pub.metadata) {
+        w.PutU32(leaf);
+        w.PutU64(addrs.size());
+        for (const auto& a : addrs) PutAddress(&w, a);
+      }
+      w.PutU64(pub.tagged.size());
+      for (const auto& [tag, addr] : pub.tagged) {
+        w.PutU64(tag);
+        PutAddress(&w, addr);
+      }
+    } else {
+      w.PutBytes(pub.index->Serialize());
+      w.PutBytes(pub.overflow->Serialize());
+      w.PutBytes(pub.evidence);
+      w.PutU64(pub.postings.size());
+      for (const auto& posting : pub.postings) {
+        w.PutU64(posting.size());
+        for (const auto& a : posting) PutAddress(&w, a);
+      }
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for write");
+  out.write(reinterpret_cast<const char*>(w.buffer().data()),
+            static_cast<std::streamsize>(w.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CloudServer>> CloudServer::LoadSnapshot(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) return Status::IOError("read failed for " + path);
+
+  BinaryReader r(data);
+  auto magic = r.GetRaw(sizeof(kMagic));
+  if (!magic.ok() ||
+      !std::equal(magic->begin(), magic->end(),
+                  reinterpret_cast<const uint8_t*>(kMagic))) {
+    return Status::Corruption("not a cloud snapshot: " + path);
+  }
+  auto dmin = r.GetF64();
+  auto dmax = r.GetF64();
+  auto width = r.GetF64();
+  if (!dmin.ok() || !dmax.ok() || !width.ok()) {
+    return Status::Corruption("truncated snapshot header");
+  }
+  auto binning = index::DomainBinning::Create(*dmin, *dmax, *width);
+  if (!binning.ok()) return binning.status();
+  auto server =
+      std::make_unique<CloudServer>(std::move(binning).ValueOrDie());
+
+  auto count = r.GetU64();
+  if (!count.ok()) return Status::Corruption("truncated snapshot");
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto pn = r.GetU64();
+    auto published = r.GetU8();
+    auto storage_bytes = r.GetBytes();
+    if (!pn.ok() || !published.ok() || !storage_bytes.ok()) {
+      return Status::Corruption("truncated publication header");
+    }
+    Publication pub;
+    auto storage = SegmentStorage::Deserialize(*storage_bytes);
+    if (!storage.ok()) return storage.status();
+    pub.storage = std::move(*storage);
+
+    if (*published == 0) {
+      auto groups = r.GetU64();
+      if (!groups.ok()) return Status::Corruption("truncated metadata");
+      for (uint64_t g = 0; g < *groups; ++g) {
+        auto leaf = r.GetU32();
+        auto n = r.GetU64();
+        if (!leaf.ok() || !n.ok()) {
+          return Status::Corruption("truncated metadata group");
+        }
+        auto& addrs = pub.metadata[*leaf];
+        addrs.reserve(*n);
+        for (uint64_t j = 0; j < *n; ++j) {
+          auto a = GetAddress(&r);
+          if (!a.ok()) return a.status();
+          addrs.push_back(*a);
+        }
+      }
+      auto tagged = r.GetU64();
+      if (!tagged.ok()) return Status::Corruption("truncated tagged list");
+      for (uint64_t j = 0; j < *tagged; ++j) {
+        auto tag = r.GetU64();
+        auto a = GetAddress(&r);
+        if (!tag.ok() || !a.ok()) {
+          return Status::Corruption("truncated tagged entry");
+        }
+        pub.tagged.emplace_back(*tag, *a);
+      }
+    } else {
+      auto index_bytes = r.GetBytes();
+      auto overflow_bytes = r.GetBytes();
+      auto evidence = r.GetBytes();
+      auto leaves = r.GetU64();
+      if (!index_bytes.ok() || !overflow_bytes.ok() || !evidence.ok() ||
+          !leaves.ok()) {
+        return Status::Corruption("truncated published state");
+      }
+      auto idx = index::HistogramIndex::Deserialize(*index_bytes);
+      if (!idx.ok()) return idx.status();
+      auto ovf = index::OverflowArrays::Deserialize(*overflow_bytes);
+      if (!ovf.ok()) return ovf.status();
+      pub.index.emplace(std::move(*idx));
+      pub.overflow.emplace(std::move(*ovf));
+      pub.evidence = std::move(*evidence);
+      pub.postings.resize(*leaves);
+      for (uint64_t leaf = 0; leaf < *leaves; ++leaf) {
+        auto n = r.GetU64();
+        if (!n.ok()) return Status::Corruption("truncated postings");
+        pub.postings[leaf].reserve(*n);
+        for (uint64_t j = 0; j < *n; ++j) {
+          auto a = GetAddress(&r);
+          if (!a.ok()) return a.status();
+          pub.postings[leaf].push_back(*a);
+        }
+      }
+      pub.published = true;
+    }
+    server->publications_.emplace(*pn, std::move(pub));
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("trailing bytes in snapshot");
+  }
+  return server;
+}
+
+}  // namespace cloud
+}  // namespace fresque

@@ -1,0 +1,77 @@
+#include "cloud/storage.h"
+
+#include <cstring>
+
+namespace fresque {
+namespace cloud {
+
+SegmentStorage::SegmentStorage(size_t segment_capacity)
+    : segment_capacity_(segment_capacity) {
+  segments_.emplace_back();
+  segments_.back().reserve(segment_capacity_);
+}
+
+PhysicalAddress SegmentStorage::Append(const Bytes& e_record) {
+  if (segments_.back().size() + e_record.size() > segment_capacity_ &&
+      !segments_.back().empty()) {
+    segments_.emplace_back();
+    segments_.back().reserve(segment_capacity_);
+  }
+  Bytes& seg = segments_.back();
+  PhysicalAddress addr;
+  addr.segment = static_cast<uint32_t>(segments_.size() - 1);
+  addr.offset = static_cast<uint32_t>(seg.size());
+  addr.length = static_cast<uint32_t>(e_record.size());
+  seg.insert(seg.end(), e_record.begin(), e_record.end());
+  ++num_records_;
+  total_bytes_ += e_record.size();
+  return addr;
+}
+
+Result<Bytes> SegmentStorage::Read(const PhysicalAddress& addr) const {
+  if (addr.segment >= segments_.size()) {
+    return Status::OutOfRange("segment out of range");
+  }
+  const Bytes& seg = segments_[addr.segment];
+  if (static_cast<size_t>(addr.offset) + addr.length > seg.size()) {
+    return Status::OutOfRange("record range outside segment");
+  }
+  Bytes out(addr.length);
+  std::memcpy(out.data(), seg.data() + addr.offset, addr.length);
+  return out;
+}
+
+Bytes SegmentStorage::Serialize() const {
+  BinaryWriter w;
+  w.PutU64(segment_capacity_);
+  w.PutU64(num_records_);
+  w.PutU64(total_bytes_);
+  w.PutU64(segments_.size());
+  for (const auto& seg : segments_) w.PutBytes(seg);
+  return w.Release();
+}
+
+Result<SegmentStorage> SegmentStorage::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  auto capacity = r.GetU64();
+  auto records = r.GetU64();
+  auto total = r.GetU64();
+  auto count = r.GetU64();
+  if (!capacity.ok() || !records.ok() || !total.ok() || !count.ok()) {
+    return Status::Corruption("truncated storage snapshot");
+  }
+  SegmentStorage out(*capacity);
+  out.segments_.clear();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto seg = r.GetBytes();
+    if (!seg.ok()) return Status::Corruption("truncated storage segment");
+    out.segments_.push_back(std::move(*seg));
+  }
+  if (out.segments_.empty()) out.segments_.emplace_back();
+  out.num_records_ = *records;
+  out.total_bytes_ = *total;
+  return out;
+}
+
+}  // namespace cloud
+}  // namespace fresque

@@ -1,0 +1,58 @@
+#ifndef FRESQUE_CLOUD_STORAGE_H_
+#define FRESQUE_CLOUD_STORAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace fresque {
+namespace cloud {
+
+/// Physical location of one stored e-record.
+struct PhysicalAddress {
+  uint32_t segment = 0;
+  uint32_t offset = 0;
+  uint32_t length = 0;
+
+  bool operator==(const PhysicalAddress& o) const {
+    return segment == o.segment && offset == o.offset && length == o.length;
+  }
+};
+
+/// Append-only segmented record store — the cloud's on-disk file for one
+/// publication. Records append to the tail segment and are addressed by
+/// (segment, offset, length), mirroring how the paper's cloud writes
+/// e-records to disk and keeps their physical addresses in metadata.
+class SegmentStorage {
+ public:
+  /// `segment_capacity` bytes per segment (default 4 MiB).
+  explicit SegmentStorage(size_t segment_capacity = 4 << 20);
+
+  /// Appends one e-record; returns its address.
+  PhysicalAddress Append(const Bytes& e_record);
+
+  /// Reads the record at `addr`. This performs a copy — the "disk read" —
+  /// so read-back-based matching (PINED-RQ++) pays a real per-record cost.
+  Result<Bytes> Read(const PhysicalAddress& addr) const;
+
+  size_t num_segments() const { return segments_.size(); }
+  size_t num_records() const { return num_records_; }
+  size_t total_bytes() const { return total_bytes_; }
+
+  /// Snapshot encoding (for cloud persistence).
+  Bytes Serialize() const;
+  static Result<SegmentStorage> Deserialize(const Bytes& data);
+
+ private:
+  size_t segment_capacity_;
+  std::vector<Bytes> segments_;
+  size_t num_records_ = 0;
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace cloud
+}  // namespace fresque
+
+#endif  // FRESQUE_CLOUD_STORAGE_H_

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace fresque {
+
+SystemClock* SystemClock::Global() {
+  static SystemClock* const kInstance = new SystemClock();
+  return kInstance;
+}
+
+}  // namespace fresque

@@ -1,0 +1,69 @@
+#ifndef FRESQUE_COMMON_CLOCK_H_
+#define FRESQUE_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fresque {
+
+/// Time source abstraction so components can run against either real time
+/// (threaded runtime) or a virtual clock (discrete-event simulator and
+/// deterministic tests). Times are nanoseconds from an arbitrary epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+
+  double NowSeconds() const {
+    return static_cast<double>(NowNanos()) * 1e-9;
+  }
+};
+
+/// Monotonic wall clock backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide instance (trivially destructible per style rules).
+  static SystemClock* Global();
+};
+
+/// Manually-advanced clock for simulation and tests.
+class VirtualClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_; }
+
+  void AdvanceNanos(int64_t delta) { now_ += delta; }
+  void SetNanos(int64_t t) { now_ = t; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Scoped stopwatch reporting elapsed nanoseconds.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock = SystemClock::Global())
+      : clock_(clock), start_(clock->NowNanos()) {}
+
+  int64_t ElapsedNanos() const { return clock_->NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+  void Reset() { start_ = clock_->NowNanos(); }
+
+ private:
+  const Clock* clock_;
+  int64_t start_;
+};
+
+}  // namespace fresque
+
+#endif  // FRESQUE_COMMON_CLOCK_H_

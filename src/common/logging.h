@@ -1,0 +1,69 @@
+#ifndef FRESQUE_COMMON_LOGGING_H_
+#define FRESQUE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fresque {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Thread-safe in the sense that
+/// each message is emitted with a single stream insertion.
+class Logger {
+ public:
+  /// Messages below this level are dropped. Default: kInfo.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  static void Log(LogLevel level, const std::string& msg);
+};
+
+namespace log_internal {
+
+/// Collects one message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace fresque
+
+#define FRESQUE_LOG(level)                                             \
+  ::fresque::log_internal::LogMessage(::fresque::LogLevel::k##level,   \
+                                      __FILE__, __LINE__)              \
+      .stream()
+
+/// Fatal invariant check: logs and aborts. Used for programming errors
+/// only; recoverable conditions use Status.
+#define FRESQUE_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::fresque::Logger::Log(::fresque::LogLevel::kError,                \
+                             std::string("CHECK failed: " #cond " at ") + \
+                                 __FILE__ + ":" + std::to_string(__LINE__)); \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#endif  // FRESQUE_COMMON_LOGGING_H_

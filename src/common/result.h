@@ -1,0 +1,79 @@
+#ifndef FRESQUE_COMMON_RESULT_H_
+#define FRESQUE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace fresque {
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+///
+/// A default-constructed Result is in the error state (Internal). Use
+/// `ok()` before dereferencing; `ValueOrDie()` asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Error state; deliberately not OK so an unset Result is never mistaken
+  /// for a value.
+  Result() : repr_(Status::Internal("uninitialized Result")) {}
+
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit so `return SomeStatus();` works. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value into `out` and returns OK, or returns the error.
+  Status MoveTo(T* out) && {
+    if (!ok()) return std::get<Status>(std::move(repr_));
+    *out = std::get<T>(std::move(repr_));
+    return Status::OK();
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace fresque
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs`.
+#define FRESQUE_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  do {                                                       \
+    auto _res = (rexpr);                                     \
+    if (!_res.ok()) return _res.status();                    \
+    lhs = std::move(_res).ValueOrDie();                      \
+  } while (false)
+
+#endif  // FRESQUE_COMMON_RESULT_H_

@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fresque {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double LatencyRecorder::Quantile(double q) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double idx = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+FixedHistogram::FixedHistogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void FixedHistogram::Add(double x) {
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  long idx = width > 0 ? static_cast<long>((x - lo_) / width) : 0;
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double FixedHistogram::TotalVariationDistance(
+    const FixedHistogram& other) const {
+  if (total_ == 0 || other.total_ == 0) return 1.0;
+  double tv = 0.0;
+  size_t n = std::min(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < n; ++i) {
+    double p = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+    double q = static_cast<double>(other.counts_[i]) /
+               static_cast<double>(other.total_);
+    tv += std::abs(p - q);
+  }
+  return tv / 2.0;
+}
+
+std::string FixedHistogram::ToString() const {
+  std::ostringstream os;
+  os << "hist[" << lo_ << "," << hi_ << ")x" << counts_.size() << ":";
+  for (uint64_t c : counts_) os << " " << c;
+  return os.str();
+}
+
+}  // namespace fresque

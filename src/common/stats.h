@@ -1,0 +1,81 @@
+#ifndef FRESQUE_COMMON_STATS_H_
+#define FRESQUE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fresque {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every sample; answers arbitrary quantiles by sorting on demand.
+/// Intended for benchmark reporting, not hot paths.
+class LatencyRecorder {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double Quantile(double q);
+  double Mean() const;
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Used for arrival-time distribution checks in the randomer
+/// security experiments.
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+
+  /// Total-variation distance to another histogram over the same range:
+  /// 0.5 * sum |p_i - q_i| of the normalized bucket masses. Returns 1.0 if
+  /// either histogram is empty. Bucket layouts must match.
+  double TotalVariationDistance(const FixedHistogram& other) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace fresque
+
+#endif  // FRESQUE_COMMON_STATS_H_

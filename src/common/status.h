@@ -1,0 +1,111 @@
+#ifndef FRESQUE_COMMON_STATUS_H_
+#define FRESQUE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fresque {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kCorruption = 6,
+  kIOError = 7,
+  kResourceExhausted = 8,
+  kCancelled = 9,
+  kUnimplemented = 10,
+  kInternal = 11,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: either OK or an error code with a message.
+///
+/// FRESQUE ingestion paths do not throw; fallible operations return Status
+/// (or Result<T> for value-producing ones). The OK status carries no
+/// allocation; error statuses carry a message describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace fresque
+
+/// Returns from the enclosing function if `expr` evaluates to a non-OK
+/// Status.
+#define FRESQUE_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::fresque::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#endif  // FRESQUE_COMMON_STATUS_H_

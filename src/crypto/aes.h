@@ -1,0 +1,47 @@
+#ifndef FRESQUE_CRYPTO_AES_H_
+#define FRESQUE_CRYPTO_AES_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace fresque {
+namespace crypto {
+
+/// AES block cipher (FIPS 197) for 128/192/256-bit keys.
+///
+/// This is the primitive under AesCbc; callers encrypting records should
+/// use AesCbc, which adds chaining and padding.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// `key` must be 16, 24 or 32 bytes.
+  static Result<Aes> Create(const Bytes& key);
+
+  /// Encrypts one 16-byte block in place from `in` to `out` (may alias).
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block.
+  void DecryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+
+  Status Init(const Bytes& key);
+
+  // Round keys for encryption, 4*(rounds+1) words.
+  uint32_t round_keys_[60];
+  int rounds_ = 0;
+};
+
+}  // namespace crypto
+}  // namespace fresque
+
+#endif  // FRESQUE_CRYPTO_AES_H_

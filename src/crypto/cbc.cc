@@ -1,0 +1,76 @@
+#include "crypto/cbc.h"
+
+#include <cstring>
+
+namespace fresque {
+namespace crypto {
+
+Result<AesCbc> AesCbc::Create(const Bytes& key) {
+  auto aes = Aes::Create(key);
+  if (!aes.ok()) return aes.status();
+  return AesCbc(std::move(aes).ValueOrDie());
+}
+
+Result<Bytes> AesCbc::EncryptWithIv(const Bytes& plaintext,
+                                    const Bytes& iv) const {
+  if (iv.size() != Aes::kBlockSize) {
+    return Status::InvalidArgument("CBC IV must be 16 bytes");
+  }
+  const size_t pad = Aes::kBlockSize - plaintext.size() % Aes::kBlockSize;
+  const size_t padded_len = plaintext.size() + pad;
+
+  Bytes out(Aes::kBlockSize + padded_len);
+  std::memcpy(out.data(), iv.data(), Aes::kBlockSize);
+
+  uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+
+  uint8_t block[Aes::kBlockSize];
+  for (size_t off = 0; off < padded_len; off += Aes::kBlockSize) {
+    for (size_t i = 0; i < Aes::kBlockSize; ++i) {
+      uint8_t p = (off + i < plaintext.size())
+                      ? plaintext[off + i]
+                      : static_cast<uint8_t>(pad);
+      block[i] = p ^ chain[i];
+    }
+    aes_.EncryptBlock(block, chain);
+    std::memcpy(out.data() + Aes::kBlockSize + off, chain, Aes::kBlockSize);
+  }
+  return out;
+}
+
+Result<Bytes> AesCbc::Decrypt(const Bytes& ciphertext) const {
+  if (ciphertext.size() < 2 * Aes::kBlockSize ||
+      ciphertext.size() % Aes::kBlockSize != 0) {
+    return Status::Corruption("CBC ciphertext has invalid length");
+  }
+  const uint8_t* iv = ciphertext.data();
+  const uint8_t* body = ciphertext.data() + Aes::kBlockSize;
+  const size_t body_len = ciphertext.size() - Aes::kBlockSize;
+
+  Bytes plain(body_len);
+  uint8_t block[Aes::kBlockSize];
+  const uint8_t* chain = iv;
+  for (size_t off = 0; off < body_len; off += Aes::kBlockSize) {
+    aes_.DecryptBlock(body + off, block);
+    for (size_t i = 0; i < Aes::kBlockSize; ++i) {
+      plain[off + i] = block[i] ^ chain[i];
+    }
+    chain = body + off;
+  }
+
+  uint8_t pad = plain.back();
+  if (pad == 0 || pad > Aes::kBlockSize || pad > plain.size()) {
+    return Status::Corruption("CBC: invalid PKCS#7 padding");
+  }
+  for (size_t i = plain.size() - pad; i < plain.size(); ++i) {
+    if (plain[i] != pad) {
+      return Status::Corruption("CBC: inconsistent PKCS#7 padding");
+    }
+  }
+  plain.resize(plain.size() - pad);
+  return plain;
+}
+
+}  // namespace crypto
+}  // namespace fresque

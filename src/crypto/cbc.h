@@ -1,0 +1,54 @@
+#ifndef FRESQUE_CRYPTO_CBC_H_
+#define FRESQUE_CRYPTO_CBC_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/aes.h"
+
+namespace fresque {
+namespace crypto {
+
+/// AES in CBC mode with PKCS#7 padding — the semantically-secure
+/// encryption scheme the PINED-RQ family assumes (§2.2.2 of the paper).
+///
+/// The ciphertext layout is `IV || C_1 || ... || C_n`; a fresh random IV
+/// is drawn per message so equal plaintexts yield unlinkable ciphertexts.
+class AesCbc {
+ public:
+  /// `key` must be 16, 24 or 32 bytes.
+  static Result<AesCbc> Create(const Bytes& key);
+
+  /// Encrypts with the provided 16-byte IV (deterministic; used by tests
+  /// against NIST vectors and by callers that manage their own IVs).
+  Result<Bytes> EncryptWithIv(const Bytes& plaintext, const Bytes& iv) const;
+
+  /// Encrypts with a random IV drawn from `iv_source` (any callable
+  /// filling a 16-byte buffer). The IV is prepended to the output.
+  template <typename IvFiller>
+  Result<Bytes> Encrypt(const Bytes& plaintext, IvFiller&& fill_iv) const {
+    Bytes iv(Aes::kBlockSize);
+    fill_iv(iv.data(), iv.size());
+    return EncryptWithIv(plaintext, iv);
+  }
+
+  /// Decrypts `IV || ciphertext`; verifies and strips PKCS#7 padding.
+  /// Returns Corruption on malformed input or bad padding.
+  Result<Bytes> Decrypt(const Bytes& ciphertext) const;
+
+  /// Size of Encrypt() output for a `plaintext_len`-byte message
+  /// (IV + padded payload).
+  static size_t CiphertextSize(size_t plaintext_len) {
+    return Aes::kBlockSize +
+           (plaintext_len / Aes::kBlockSize + 1) * Aes::kBlockSize;
+  }
+
+ private:
+  explicit AesCbc(Aes aes) : aes_(std::move(aes)) {}
+
+  Aes aes_;
+};
+
+}  // namespace crypto
+}  // namespace fresque
+
+#endif  // FRESQUE_CRYPTO_CBC_H_

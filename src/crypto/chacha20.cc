@@ -1,0 +1,146 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/sha256.h"
+
+namespace fresque {
+namespace crypto {
+
+namespace {
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl(d ^ a, 16);
+  c += d;
+  b = Rotl(b ^ c, 12);
+  a += b;
+  d = Rotl(d ^ a, 8);
+  c += d;
+  b = Rotl(b ^ c, 7);
+}
+
+inline uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+ChaCha20::ChaCha20(const std::array<uint8_t, kKeySize>& key,
+                   const std::array<uint8_t, kNonceSize>& nonce,
+                   uint32_t counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = LoadLE32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = LoadLE32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::NextBlock(uint8_t out[kBlockSize]) {
+  uint32_t x[16];
+  std::memcpy(x, state_, sizeof(x));
+  for (int i = 0; i < 10; ++i) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + state_[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+  ++state_[12];
+}
+
+namespace {
+std::array<uint8_t, ChaCha20::kKeySize> OsEntropyKey() {
+  std::random_device rd;
+  std::array<uint8_t, ChaCha20::kKeySize> key;
+  for (size_t i = 0; i < key.size(); i += 4) {
+    uint32_t r = rd();
+    key[i] = static_cast<uint8_t>(r);
+    key[i + 1] = static_cast<uint8_t>(r >> 8);
+    key[i + 2] = static_cast<uint8_t>(r >> 16);
+    key[i + 3] = static_cast<uint8_t>(r >> 24);
+  }
+  return key;
+}
+
+std::array<uint8_t, ChaCha20::kKeySize> SeedKey(uint64_t seed) {
+  Bytes seed_bytes(8);
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<uint8_t>(seed >> (8 * i));
+  }
+  auto digest = Sha256::Hash(seed_bytes);
+  std::array<uint8_t, ChaCha20::kKeySize> key;
+  std::memcpy(key.data(), digest.data(), key.size());
+  return key;
+}
+
+constexpr std::array<uint8_t, ChaCha20::kNonceSize> kZeroNonce = {};
+}  // namespace
+
+SecureRandom::SecureRandom() : cipher_(OsEntropyKey(), kZeroNonce, 0) {}
+
+SecureRandom::SecureRandom(uint64_t seed)
+    : cipher_(SeedKey(seed), kZeroNonce, 0) {}
+
+void SecureRandom::Refill() {
+  cipher_.NextBlock(buffer_);
+  buffer_pos_ = 0;
+}
+
+void SecureRandom::Fill(uint8_t* out, size_t len) {
+  while (len > 0) {
+    if (buffer_pos_ >= ChaCha20::kBlockSize) Refill();
+    size_t take = std::min(len, ChaCha20::kBlockSize - buffer_pos_);
+    std::memcpy(out, buffer_ + buffer_pos_, take);
+    buffer_pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+Bytes SecureRandom::RandomBytes(size_t len) {
+  Bytes out(len);
+  Fill(out.data(), len);
+  return out;
+}
+
+uint64_t SecureRandom::NextU64() {
+  uint8_t raw[8];
+  Fill(raw, sizeof(raw));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(raw[i]) << (8 * i);
+  return v;
+}
+
+double SecureRandom::NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+double SecureRandom::NextDoubleOpenLow() {
+  return ((NextU64() >> 11) + 1) * 0x1.0p-53;
+}
+
+uint64_t SecureRandom::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace crypto
+}  // namespace fresque

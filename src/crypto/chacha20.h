@@ -1,0 +1,65 @@
+#ifndef FRESQUE_CRYPTO_CHACHA20_H_
+#define FRESQUE_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace fresque {
+namespace crypto {
+
+/// ChaCha20 stream cipher core (RFC 8439). Used here as the expansion
+/// function of SecureRandom, not for record encryption.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kBlockSize = 64;
+
+  /// `key` is 32 bytes; `nonce` 12 bytes; `counter` the initial block count.
+  ChaCha20(const std::array<uint8_t, kKeySize>& key,
+           const std::array<uint8_t, kNonceSize>& nonce, uint32_t counter);
+
+  /// Produces the next 64-byte keystream block and advances the counter.
+  void NextBlock(uint8_t out[kBlockSize]);
+
+ private:
+  uint32_t state_[16];
+};
+
+/// Deterministic random byte generator: ChaCha20 keyed by a seed. With a
+/// secret high-entropy seed this is a CSPRNG; with a fixed seed it gives
+/// reproducible "randomness" for tests and simulations.
+class SecureRandom {
+ public:
+  /// Seeds from the OS entropy source (std::random_device).
+  SecureRandom();
+
+  /// Deterministic stream derived from `seed` (for tests/simulations).
+  explicit SecureRandom(uint64_t seed);
+
+  void Fill(uint8_t* out, size_t len);
+  Bytes RandomBytes(size_t len);
+
+  uint64_t NextU64();
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in (0, 1]; safe as a log() argument.
+  double NextDoubleOpenLow();
+  /// Uniform integer in [0, bound); 0 if bound == 0.
+  uint64_t NextBounded(uint64_t bound);
+
+ private:
+  void Refill();
+
+  ChaCha20 cipher_;
+  uint8_t buffer_[ChaCha20::kBlockSize];
+  size_t buffer_pos_ = ChaCha20::kBlockSize;
+};
+
+}  // namespace crypto
+}  // namespace fresque
+
+#endif  // FRESQUE_CRYPTO_CHACHA20_H_

@@ -1,0 +1,51 @@
+#ifndef FRESQUE_CRYPTO_SHA256_H_
+#define FRESQUE_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace fresque {
+namespace crypto {
+
+/// Incremental SHA-256 (FIPS 180-4). Used for key derivation fingerprints
+/// and as the compression function inside HMAC-SHA-256.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  /// Returns the hasher to its initial state.
+  void Reset();
+
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  /// Finishes the hash. The object must be Reset() before reuse.
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(const uint8_t* data,
+                                               size_t len);
+  static std::array<uint8_t, kDigestSize> Hash(const Bytes& data) {
+    return Hash(data.data(), data.size());
+  }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace crypto
+}  // namespace fresque
+
+#endif  // FRESQUE_CRYPTO_SHA256_H_

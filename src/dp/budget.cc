@@ -1,0 +1,52 @@
+#include "dp/budget.h"
+
+#include <cassert>
+
+namespace fresque {
+namespace dp {
+
+BudgetAccountant::BudgetAccountant(double total_epsilon)
+    : total_(total_epsilon) {
+  assert(total_epsilon > 0.0);
+}
+
+Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Tolerate floating-point drift when budgets are split evenly.
+  if (spent_ + epsilon > total_ * (1.0 + 1e-9)) {
+    return Status::ResourceExhausted(
+        "privacy budget exhausted: spent " + std::to_string(spent_) +
+        " of " + std::to_string(total_) + ", requested " +
+        std::to_string(epsilon) + " for " + label);
+  }
+  spent_ += epsilon;
+  history_.push_back(label);
+  return Status::OK();
+}
+
+double BudgetAccountant::spent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spent_;
+}
+
+double BudgetAccountant::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - spent_;
+}
+
+double BudgetAccountant::SplitEvenly(double total_epsilon,
+                                     size_t num_publications) {
+  if (num_publications == 0) return 0.0;
+  return total_epsilon / static_cast<double>(num_publications);
+}
+
+std::vector<std::string> BudgetAccountant::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+}  // namespace dp
+}  // namespace fresque

@@ -1,0 +1,51 @@
+#ifndef FRESQUE_DP_BUDGET_H_
+#define FRESQUE_DP_BUDGET_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fresque {
+namespace dp {
+
+/// Tracks cumulative epsilon consumption across publications under
+/// sequential composition (Theorem 1 of the paper): the epsilons of all
+/// mechanisms run over the same individual's data add up.
+///
+/// The FluTracking-style deployment (paper §8) divides a total budget
+/// over a retention horizon — e.g. epsilon_total over 52 weekly
+/// publications — which `SplitEvenly` models.
+class BudgetAccountant {
+ public:
+  /// `total_epsilon` must be positive.
+  explicit BudgetAccountant(double total_epsilon);
+
+  /// Attempts to reserve `epsilon` for one mechanism invocation. Fails
+  /// with ResourceExhausted once the total would be exceeded.
+  Status Spend(double epsilon, const std::string& label);
+
+  double total_epsilon() const { return total_; }
+  double spent() const;
+  double remaining() const;
+
+  /// Per-publication epsilon when the total is split evenly over
+  /// `num_publications` sequential publications.
+  static double SplitEvenly(double total_epsilon, size_t num_publications);
+
+  /// Labels of all successful spends, in order (for audit output).
+  std::vector<std::string> History() const;
+
+ private:
+  const double total_;
+  mutable std::mutex mu_;
+  double spent_ = 0.0;
+  std::vector<std::string> history_;
+};
+
+}  // namespace dp
+}  // namespace fresque
+
+#endif  // FRESQUE_DP_BUDGET_H_

@@ -1,0 +1,45 @@
+#include "dp/individual_ledger.h"
+
+#include <cassert>
+
+namespace fresque {
+namespace dp {
+
+IndividualLedger::IndividualLedger(double total_epsilon)
+    : total_(total_epsilon) {
+  assert(total_epsilon > 0);
+}
+
+Status IndividualLedger::Admit(uint64_t individual, double epsilon) {
+  if (epsilon <= 0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  double& spent = spent_[individual];
+  if (spent + epsilon > total_ * (1.0 + 1e-9)) {
+    return Status::ResourceExhausted(
+        "individual " + std::to_string(individual) +
+        " has consumed " + std::to_string(spent) + " of " +
+        std::to_string(total_));
+  }
+  spent += epsilon;
+  return Status::OK();
+}
+
+double IndividualLedger::Spent(uint64_t individual) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spent_.find(individual);
+  return it == spent_.end() ? 0.0 : it->second;
+}
+
+double IndividualLedger::Remaining(uint64_t individual) const {
+  return total_ - Spent(individual);
+}
+
+size_t IndividualLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spent_.size();
+}
+
+}  // namespace dp
+}  // namespace fresque

@@ -1,0 +1,55 @@
+#ifndef FRESQUE_DP_INDIVIDUAL_LEDGER_H_
+#define FRESQUE_DP_INDIVIDUAL_LEDGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+
+namespace fresque {
+namespace dp {
+
+/// Per-individual budget management for multi-insertion workloads
+/// (paper §8): when the same participant submits records to several
+/// publications, sequential composition charges that individual the sum
+/// of the publications' epsilons — not the system-wide average.
+///
+/// The ledger tracks, per individual, how much epsilon their submissions
+/// have consumed, and refuses admissions that would push them past the
+/// total. The FluTracking pattern — at most one record per individual
+/// per weekly publication, 52 publications per year — then enforces
+/// itself: Admit(id, eps_week) succeeds exactly 52 times per id when
+/// eps_week = eps_total / 52.
+class IndividualLedger {
+ public:
+  /// `total_epsilon` each individual may consume over the retention
+  /// horizon; must be positive.
+  explicit IndividualLedger(double total_epsilon);
+
+  /// Charges `epsilon` to `individual` for participating in the current
+  /// publication. ResourceExhausted once the individual's budget would
+  /// be exceeded (the submission must then be rejected or deferred).
+  Status Admit(uint64_t individual, double epsilon);
+
+  /// Epsilon already consumed by `individual` (0 if never seen).
+  double Spent(uint64_t individual) const;
+
+  /// Remaining budget for `individual`.
+  double Remaining(uint64_t individual) const;
+
+  /// Individuals tracked so far.
+  size_t size() const;
+
+  double total_epsilon() const { return total_; }
+
+ private:
+  const double total_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, double> spent_;
+};
+
+}  // namespace dp
+}  // namespace fresque
+
+#endif  // FRESQUE_DP_INDIVIDUAL_LEDGER_H_

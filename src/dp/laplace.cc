@@ -1,0 +1,83 @@
+#include "dp/laplace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fresque {
+namespace dp {
+
+double LaplacePdf(double x, double scale) {
+  return std::exp(-std::abs(x) / scale) / (2.0 * scale);
+}
+
+double LaplaceCdf(double x, double scale) {
+  if (x < 0) return 0.5 * std::exp(x / scale);
+  return 1.0 - 0.5 * std::exp(-x / scale);
+}
+
+double LaplaceQuantile(double p, double scale) {
+  // F^{-1}(p) = -b * sgn(p - 1/2) * ln(1 - 2|p - 1/2|)
+  double u = p - 0.5;
+  double sign = (u > 0) - (u < 0);
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+LaplaceSampler::LaplaceSampler(double scale, crypto::SecureRandom* rng)
+    : scale_(scale), rng_(rng) {}
+
+double LaplaceSampler::Sample() {
+  // Inverse-CDF sampling; NextDoubleOpenLow keeps log()'s argument > 0.
+  double u = rng_->NextDoubleOpenLow() - 0.5;
+  double sign = (u > 0) - (u < 0);
+  double mag = std::abs(u);
+  // Guard the p == 1 edge (u == 0.5 exactly) which maps to +inf.
+  mag = std::min(mag, 0.5 - 1e-17);
+  return -scale_ * sign * std::log(1.0 - 2.0 * mag);
+}
+
+int64_t LaplaceSampler::SampleInteger() {
+  return static_cast<int64_t>(std::llround(Sample()));
+}
+
+int64_t DummyUpperBoundPerLeaf(double scale, double delta) {
+  if (delta >= 1.0) delta = 1.0 - 1e-12;
+  if (delta <= 0.5) return 0;  // quantile is non-positive at or below median
+  double q = LaplaceQuantile(delta, scale);
+  return std::max<int64_t>(0, static_cast<int64_t>(std::ceil(q)));
+}
+
+int64_t DummyUpperBoundTotal(double scale, double delta_per_leaf,
+                             size_t num_leaves) {
+  if (num_leaves == 0) return 0;
+  int64_t per_leaf = DummyUpperBoundPerLeaf(scale, delta_per_leaf);
+  return per_leaf * static_cast<int64_t>(num_leaves);
+}
+
+int64_t DummyUpperBoundTotalUnion(double scale, double delta,
+                                  size_t num_leaves) {
+  if (num_leaves == 0) return 0;
+  // If each leaf exceeds its bound with probability (1-delta)/m, all m
+  // leaves respect theirs simultaneously with probability >= delta.
+  double per_leaf_delta =
+      1.0 - (1.0 - delta) / static_cast<double>(num_leaves);
+  int64_t per_leaf = DummyUpperBoundPerLeaf(scale, per_leaf_delta);
+  return per_leaf * static_cast<int64_t>(num_leaves);
+}
+
+Result<size_t> RandomerBufferSize(double scale, double delta,
+                                  size_t num_leaves, double alpha) {
+  if (alpha < 2.0) {
+    return Status::InvalidArgument(
+        "randomer coefficient alpha must be >= 2 (paper §5.2)");
+  }
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("Laplace scale must be positive");
+  }
+  int64_t total = DummyUpperBoundTotal(scale, delta, num_leaves);
+  double size = alpha * static_cast<double>(total);
+  // Never return a degenerate buffer even for tiny domains.
+  return static_cast<size_t>(std::max(size, 16.0));
+}
+
+}  // namespace dp
+}  // namespace fresque

@@ -1,0 +1,68 @@
+#ifndef FRESQUE_DP_LAPLACE_H_
+#define FRESQUE_DP_LAPLACE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "crypto/chacha20.h"
+
+namespace fresque {
+namespace dp {
+
+/// Laplace(0, b) density at x.
+double LaplacePdf(double x, double scale);
+
+/// Laplace(0, b) cumulative distribution at x.
+double LaplaceCdf(double x, double scale);
+
+/// Inverse CDF (quantile) of Laplace(0, b): the x with CDF(x) = p,
+/// p in (0, 1). Used both for sampling and for the randomer buffer bound
+/// (paper §5.2: per-leaf dummy upper bound s_i at probability δ').
+double LaplaceQuantile(double p, double scale);
+
+/// Draws Laplace(0, scale) noise via inverse-CDF sampling over a
+/// cryptographically strong uniform source. The PINED-RQ index perturbs
+/// every histogram count with one independent draw.
+class LaplaceSampler {
+ public:
+  /// `scale` = sensitivity / epsilon; must be > 0.
+  /// `rng` must outlive the sampler.
+  LaplaceSampler(double scale, crypto::SecureRandom* rng);
+
+  double Sample();
+
+  /// Noise rounded to the nearest integer, as applied to histogram counts.
+  int64_t SampleInteger();
+
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  crypto::SecureRandom* rng_;
+};
+
+/// Upper bound, holding with probability >= delta, on a single
+/// max(0, round(Lap(0, scale))) draw — the number of dummy records one
+/// leaf can demand. (Positive noise on a leaf becomes dummy records.)
+int64_t DummyUpperBoundPerLeaf(double scale, double delta);
+
+/// Paper-style bound on the total dummy records of an index: every leaf
+/// bounded at the same per-leaf probability delta' (the paper sets
+/// delta' = 99%), T = num_leaves * s.
+int64_t DummyUpperBoundTotal(double scale, double delta_per_leaf,
+                             size_t num_leaves);
+
+/// Stricter variant: T holds *simultaneously* for all leaves with
+/// probability >= delta, via a union bound (per-leaf level
+/// 1 - (1-delta)/num_leaves). Used by the ablation benchmarks.
+int64_t DummyUpperBoundTotalUnion(double scale, double delta,
+                                  size_t num_leaves);
+
+/// Randomer buffer capacity S = alpha * T (paper §5.2; alpha >= 2).
+Result<size_t> RandomerBufferSize(double scale, double delta,
+                                  size_t num_leaves, double alpha);
+
+}  // namespace dp
+}  // namespace fresque
+
+#endif  // FRESQUE_DP_LAPLACE_H_

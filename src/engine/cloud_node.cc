@@ -1,0 +1,121 @@
+#include "engine/cloud_node.h"
+
+#include "common/logging.h"
+
+namespace fresque {
+namespace engine {
+
+CloudNode::CloudNode(cloud::CloudServer* server, size_t mailbox_capacity)
+    : server_(server),
+      node_("cloud", net::MakeMailbox(mailbox_capacity),
+            [this](net::Message&& m) { return Handle(std::move(m)); }) {}
+
+void CloudNode::Shutdown() {
+  node_.Stop();
+  node_.Join();
+}
+
+Status CloudNode::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+std::vector<cloud::MatchingStats> CloudNode::matching_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void CloudNode::NoteError(const Status& st) {
+  if (st.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok()) {
+    first_error_ = st;
+    FRESQUE_LOG(Warn) << "cloud node error: " << st.ToString();
+  }
+}
+
+void CloudNode::TryFinishTagged(uint64_t pn) {
+  auto idx_it = pending_index_.find(pn);
+  auto tab_it = pending_table_.find(pn);
+  if (idx_it == pending_index_.end() || tab_it == pending_table_.end()) {
+    return;
+  }
+  Bytes payload;
+  if (auto pit = pending_payload_.find(pn); pit != pending_payload_.end()) {
+    payload = std::move(pit->second);
+    pending_payload_.erase(pit);
+  }
+  auto stats = server_->PublishWithMatchingTable(
+      pn, std::move(idx_it->second), tab_it->second, std::move(payload));
+  pending_index_.erase(idx_it);
+  pending_table_.erase(tab_it);
+  tagged_pns_.erase(pn);
+  if (!stats.ok()) {
+    if (first_error_.ok()) first_error_ = stats.status();
+    return;
+  }
+  stats_.push_back(*stats);
+}
+
+bool CloudNode::Handle(net::Message&& m) {
+  switch (m.type) {
+    case net::MessageType::kPublicationStart:
+      NoteError(server_->StartPublication(m.pn));
+      return true;
+    case net::MessageType::kCloudRecord:
+      NoteError(server_->IngestRecord(m.pn, static_cast<uint32_t>(m.leaf),
+                                      m.payload));
+      return true;
+    case net::MessageType::kCloudTaggedRecord: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        tagged_pns_.insert(m.pn);
+      }
+      NoteError(server_->IngestTagged(m.pn, m.leaf, m.payload));
+      return true;
+    }
+    case net::MessageType::kIndexPublication: {
+      auto pub = net::DecodeIndexPublication(m.payload);
+      if (!pub.ok()) {
+        NoteError(pub.status());
+        return true;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tagged_pns_.count(m.pn)) {
+        pending_index_.emplace(m.pn, std::move(*pub));
+        pending_payload_[m.pn] = std::move(m.payload);
+        TryFinishTagged(m.pn);
+      } else {
+        auto stats = server_->PublishIndexed(m.pn, std::move(*pub),
+                                             std::move(m.payload));
+        if (!stats.ok()) {
+          if (first_error_.ok()) first_error_ = stats.status();
+        } else {
+          stats_.push_back(*stats);
+        }
+      }
+      return true;
+    }
+    case net::MessageType::kMatchingTable: {
+      auto table = net::DecodeMatchingTable(m.payload);
+      if (!table.ok()) {
+        NoteError(table.status());
+        return true;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_table_.emplace(m.pn, std::move(*table));
+      TryFinishTagged(m.pn);
+      return true;
+    }
+    case net::MessageType::kShutdown:
+      return false;
+    default:
+      NoteError(Status::Internal(
+          std::string("cloud node got unexpected frame ") +
+          net::MessageTypeToString(m.type)));
+      return true;
+  }
+}
+
+}  // namespace engine
+}  // namespace fresque

@@ -1,0 +1,67 @@
+#ifndef FRESQUE_ENGINE_CLOUD_NODE_H_
+#define FRESQUE_ENGINE_CLOUD_NODE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cloud/server.h"
+#include "common/result.h"
+#include "index/matching.h"
+#include "net/message.h"
+#include "net/node.h"
+#include "net/payloads.h"
+
+namespace fresque {
+namespace engine {
+
+/// Cloud front-end: a Node that applies incoming collector frames to a
+/// CloudServer.
+///
+/// Handles both ingestion styles: `<leaf, e-record>` streams publish as
+/// soon as the index arrives, while `<tag, e-record>` streams (PINED-RQ++)
+/// wait until *both* the index publication and the matching table are
+/// here, pairing them by publication number.
+class CloudNode {
+ public:
+  /// `server` must outlive the node.
+  explicit CloudNode(cloud::CloudServer* server,
+                     size_t mailbox_capacity = 8192);
+
+  void Start() { node_.Start(); }
+  /// Stops accepting frames, drains the inbox and joins the thread.
+  void Shutdown();
+
+  const net::MailboxPtr& inbox() const { return node_.inbox(); }
+
+  /// First error the handler hit, if any (frames after an error are still
+  /// processed; the first failure is sticky for post-run inspection).
+  Status first_error() const;
+
+  /// Matching stats of completed publications, by pn.
+  std::vector<cloud::MatchingStats> matching_stats() const;
+
+ private:
+  bool Handle(net::Message&& m);
+  void NoteError(const Status& st);
+  void TryFinishTagged(uint64_t pn);
+
+  cloud::CloudServer* server_;
+  mutable std::mutex mu_;
+  Status first_error_;
+  std::vector<cloud::MatchingStats> stats_;
+  // PINED-RQ++ pairing state.
+  std::set<uint64_t> tagged_pns_;
+  std::map<uint64_t, net::IndexPublication> pending_index_;
+  std::map<uint64_t, index::MatchingTable> pending_table_;
+  std::map<uint64_t, Bytes> pending_payload_;
+  net::Node node_;
+};
+
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_CLOUD_NODE_H_

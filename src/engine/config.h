@@ -1,0 +1,49 @@
+#ifndef FRESQUE_ENGINE_CONFIG_H_
+#define FRESQUE_ENGINE_CONFIG_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "record/dataset.h"
+
+namespace fresque {
+namespace engine {
+
+/// Shared configuration of every collector prototype (PINED-RQ,
+/// PINED-RQ++, parallel PINED-RQ++, FRESQUE). Defaults mirror the paper's
+/// benchmark settings (§7.1).
+struct CollectorConfig {
+  /// Workload: parser + indexed-attribute domain/binning.
+  record::DatasetSpec dataset;
+
+  /// Index fanout k (paper: 16).
+  size_t fanout = 16;
+
+  /// Per-publication privacy budget epsilon (paper default: 1.0).
+  double epsilon = 1.0;
+
+  /// Probability with which per-leaf noise bounds hold (paper: 99%).
+  double delta = 0.99;
+
+  /// Randomer buffer coefficient alpha >= 2 (paper default: 2).
+  double alpha = 2.0;
+
+  /// Number of computing nodes at the collector (paper sweeps 2..12).
+  size_t num_computing_nodes = 4;
+
+  /// Mailbox capacity per link (bounded, for back-pressure).
+  size_t mailbox_capacity = 8192;
+
+  /// Plaintext padding length of dummy records; pick near the dataset's
+  /// typical record size so ciphertext lengths blend in.
+  size_t dummy_padding_len = 64;
+
+  /// Seed for all collector-side randomness; same seed => same noise,
+  /// dummies and schedules (tests and reproducible experiments).
+  uint64_t seed = 42;
+};
+
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_CONFIG_H_

@@ -1,0 +1,34 @@
+#include "engine/dummy_schedule.h"
+
+#include <algorithm>
+
+namespace fresque {
+namespace engine {
+
+DummySchedule::DummySchedule(const std::vector<int64_t>& leaf_noise,
+                             crypto::SecureRandom* rng) {
+  for (size_t leaf = 0; leaf < leaf_noise.size(); ++leaf) {
+    for (int64_t u = 0; u < leaf_noise[leaf]; ++u) {
+      entries_.push_back(
+          {rng->NextDouble(), static_cast<uint32_t>(leaf)});
+    }
+  }
+  SortEntries();
+}
+
+void DummySchedule::SortEntries() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.at < b.at; });
+}
+
+std::vector<uint32_t> DummySchedule::Due(double progress) {
+  std::vector<uint32_t> out;
+  while (next_ < entries_.size() && entries_[next_].at <= progress) {
+    out.push_back(entries_[next_].leaf);
+    ++next_;
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace fresque

@@ -1,0 +1,69 @@
+#ifndef FRESQUE_ENGINE_DUMMY_SCHEDULE_H_
+#define FRESQUE_ENGINE_DUMMY_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha20.h"
+
+namespace fresque {
+namespace engine {
+
+/// Release plan for one publication's dummy records (paper §5.2): every
+/// positive leaf noise unit becomes one dummy, released at a point chosen
+/// uniformly at random over the publishing interval.
+///
+/// The interval is tracked as a progress fraction in [0, 1] (wall-clock
+/// in live runs, record-count in driven tests), so the schedule works
+/// without knowing the real arrival-time distribution — that independence
+/// is FRESQUE's improvement over PINED-RQ++'s distribution-matched
+/// release.
+class DummySchedule {
+ public:
+  /// `leaf_noise[i]` is leaf i's template noise; each positive unit
+  /// schedules one dummy for leaf i, released uniformly at random.
+  DummySchedule(const std::vector<int64_t>& leaf_noise,
+                crypto::SecureRandom* rng);
+
+  /// PINED-RQ++-style schedule: release points drawn from an assumed
+  /// arrival-time distribution instead of uniformly. `sampler` returns a
+  /// release fraction in [0, 1) per call — e.g. the inverse CDF of the
+  /// believed real-data distribution applied to a uniform draw. FRESQUE
+  /// does not need this (that is the point of §5.2); it exists to
+  /// reproduce the baseline behaviour and its failure mode when the
+  /// assumed distribution is wrong.
+  template <typename Sampler>
+  DummySchedule(const std::vector<int64_t>& leaf_noise, Sampler&& sampler) {
+    for (size_t leaf = 0; leaf < leaf_noise.size(); ++leaf) {
+      for (int64_t u = 0; u < leaf_noise[leaf]; ++u) {
+        entries_.push_back({sampler(), static_cast<uint32_t>(leaf)});
+      }
+    }
+    SortEntries();
+  }
+
+  /// Leaves of the dummies whose release point is <= `progress` and that
+  /// have not been released yet. Call with non-decreasing progress;
+  /// progress >= 1 drains everything.
+  std::vector<uint32_t> Due(double progress);
+
+  size_t total() const { return entries_.size(); }
+  size_t released() const { return next_; }
+  size_t pending() const { return entries_.size() - next_; }
+
+ private:
+  struct Entry {
+    double at;      // release fraction in [0, 1)
+    uint32_t leaf;  // target leaf offset
+  };
+
+  void SortEntries();
+
+  std::vector<Entry> entries_;  // sorted by `at`
+  size_t next_ = 0;
+};
+
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_DUMMY_SCHEDULE_H_

@@ -1,0 +1,110 @@
+#ifndef FRESQUE_ENGINE_FRESQUE_COLLECTOR_H_
+#define FRESQUE_ENGINE_FRESQUE_COLLECTOR_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/key_manager.h"
+#include "engine/config.h"
+#include "engine/metrics.h"
+#include "net/message.h"
+
+namespace fresque {
+namespace engine {
+
+namespace internal {
+class ComputingNodeImpl;
+class CheckingNodeImpl;
+class MergerImpl;
+class DispatcherState;
+class ReportSink;
+}  // namespace internal
+
+/// The FRESQUE collector (paper §5, Figure 6): dispatcher, k computing
+/// nodes, checking node (randomer + checker + updater) and merger, wired
+/// by bounded mailboxes, streaming `<leaf offset, e-record>` pairs to a
+/// cloud inbox.
+///
+/// The caller's thread *is* the dispatcher: Ingest() round-robins raw
+/// lines (and due dummy directives) to the computing nodes; Publish()
+/// ends the interval asynchronously — publication work shifts to the
+/// merger while the dispatcher immediately opens the next publication.
+///
+/// Typical driving loop:
+///   collector.Start();
+///   for (...) collector.Ingest(line);
+///   collector.Publish();         // as many intervals as desired
+///   collector.Shutdown();        // publishes nothing; flushes pipeline
+class FresqueCollector {
+ public:
+  /// `cloud_inbox` is the mailbox of a CloudNode (or test double).
+  FresqueCollector(CollectorConfig config, crypto::KeyManager key_manager,
+                   net::MailboxPtr cloud_inbox);
+  ~FresqueCollector();
+
+  FresqueCollector(const FresqueCollector&) = delete;
+  FresqueCollector& operator=(const FresqueCollector&) = delete;
+
+  /// Spawns all nodes and opens publication 0 (samples its template,
+  /// schedules its dummies). Call once.
+  Status Start();
+
+  /// Dispatcher ingest path: forwards one raw line, releasing any dummy
+  /// records whose scheduled point has passed.
+  Status Ingest(std::string_view line);
+
+  /// Informs the dummy schedule how far the current interval has
+  /// progressed, in [0, 1]. Optional; anything unreleased flushes at
+  /// Publish().
+  void SetIntervalProgress(double fraction);
+
+  /// Ends the current publishing interval: flushes remaining dummies,
+  /// fans kPublish out to the computing nodes, and immediately opens the
+  /// next publication (asynchronous publication, §5.1(c)).
+  Status Publish();
+
+  /// Flushes the pipeline and joins all nodes. The current (unpublished)
+  /// interval is NOT published — call Publish() first if you want it.
+  Status Shutdown();
+
+  /// Per-publication reports. Complete only after Shutdown() (the merger
+  /// fills its part asynchronously).
+  std::vector<PublishReport> Reports() const;
+
+  /// Lines dropped because they failed to parse or fell outside the
+  /// indexed domain.
+  uint64_t parse_errors() const;
+
+  /// Removed records that no longer fit their overflow array (realized
+  /// negative noise beyond the delta-probability bound). Expected ~0;
+  /// nonzero values mean delta/alpha are configured too aggressively.
+  uint64_t overflow_drops() const;
+
+  uint64_t current_publication() const { return pn_; }
+  const CollectorConfig& config() const { return config_; }
+
+ private:
+  Status OpenInterval();
+
+  CollectorConfig config_;
+  crypto::KeyManager key_manager_;
+  net::MailboxPtr cloud_inbox_;
+
+  std::unique_ptr<internal::ReportSink> reports_;
+  std::unique_ptr<internal::DispatcherState> dispatcher_;
+  std::vector<std::unique_ptr<internal::ComputingNodeImpl>> computing_;
+  std::unique_ptr<internal::CheckingNodeImpl> checking_;
+  std::unique_ptr<internal::MergerImpl> merger_;
+
+  uint64_t pn_ = 0;
+  size_t rr_ = 0;  // round-robin cursor over computing nodes
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_FRESQUE_COLLECTOR_H_

@@ -1,0 +1,49 @@
+#ifndef FRESQUE_ENGINE_METRICS_H_
+#define FRESQUE_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fresque {
+namespace engine {
+
+/// Per-publication timing breakdown, mirroring the components the paper
+/// reports in Figures 13-17.
+struct PublishReport {
+  uint64_t pn = 0;
+
+  /// Real records admitted during the interval.
+  uint64_t real_records = 0;
+  /// Dummy records generated for the interval's positive noise.
+  uint64_t dummy_records = 0;
+  /// Records diverted to overflow arrays (negative noise).
+  uint64_t removed_records = 0;
+
+  /// Time the dispatcher spent on publication work (template sampling,
+  /// dummy generation, publish fan-out).
+  double dispatcher_millis = 0;
+  /// Time the checking node spent flushing (randomer buffer + AL send).
+  double checking_millis = 0;
+  /// Time the merger spent building the secure index + overflow arrays.
+  double merger_millis = 0;
+  /// Cloud-side matching time.
+  double cloud_matching_millis = 0;
+};
+
+/// Rolling ingestion counters for throughput accounting.
+struct IngestStats {
+  uint64_t lines_offered = 0;
+  uint64_t records_ingested = 0;
+  double elapsed_seconds = 0;
+
+  double Throughput() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(records_ingested) / elapsed_seconds
+               : 0;
+  }
+};
+
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_METRICS_H_

@@ -1,0 +1,62 @@
+#ifndef FRESQUE_ENGINE_PINED_RQ_H_
+#define FRESQUE_ENGINE_PINED_RQ_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/chacha20.h"
+#include "crypto/key_manager.h"
+#include "engine/config.h"
+#include "engine/metrics.h"
+#include "index/binning.h"
+#include "net/message.h"
+
+namespace fresque {
+namespace engine {
+
+/// PINED-RQ baseline collector (paper §4.1): buffers an interval's raw
+/// lines, then — synchronously, stalling ingestion — parses, builds the
+/// clear index, perturbs it, materializes dummy/removed records and
+/// publishes the whole batch. Its publish stall is the congestion the
+/// streaming designs remove.
+class PinedRqCollector {
+ public:
+  PinedRqCollector(CollectorConfig config, crypto::KeyManager key_manager,
+                   net::MailboxPtr cloud_inbox);
+
+  Status Start();
+
+  /// Buffers one raw line (cheap; all work is deferred to Publish).
+  Status Ingest(std::string_view line);
+
+  /// Builds and ships the publication for everything buffered since the
+  /// previous Publish. Blocks until done — this is the point.
+  Status Publish();
+
+  /// Sends the shutdown frame to the cloud. Publishes nothing.
+  Status Shutdown();
+
+  std::vector<PublishReport> Reports() const { return reports_; }
+  uint64_t parse_errors() const { return parse_errors_; }
+  uint64_t current_publication() const { return pn_; }
+
+ private:
+  CollectorConfig config_;
+  crypto::KeyManager key_manager_;
+  net::MailboxPtr cloud_inbox_;
+  std::optional<index::DomainBinning> binning_;
+  crypto::SecureRandom rng_;
+
+  std::vector<std::string> buffered_lines_;
+  std::vector<PublishReport> reports_;
+  uint64_t parse_errors_ = 0;
+  uint64_t pn_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_PINED_RQ_H_

@@ -1,0 +1,93 @@
+#ifndef FRESQUE_ENGINE_PINED_RQPP_H_
+#define FRESQUE_ENGINE_PINED_RQPP_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/chacha20.h"
+#include "crypto/key_manager.h"
+#include "engine/config.h"
+#include "engine/dummy_schedule.h"
+#include "engine/metrics.h"
+#include "index/binning.h"
+#include "index/index.h"
+#include "index/matching.h"
+#include "net/message.h"
+#include "record/record.h"
+#include "record/secure_codec.h"
+
+namespace fresque {
+namespace engine {
+
+/// Non-parallel PINED-RQ++ baseline (paper §4.1, Figure 4): a single
+/// sequential workflow per record —
+///   parser -> checker -> enricher -> updater -> encrypter
+/// over an index *template* and a matching table. Records stream to the
+/// cloud as `<random tag, e-record>`; the template (noise + true counts)
+/// and the matching table publish synchronously at interval end.
+///
+/// The checker/updater walk the template tree (O(log_k n)) on purpose:
+/// that cost, plus the sequential workflow, is exactly what FRESQUE's
+/// Fig. 10 improvement is measured against.
+class PinedRqPpCollector {
+ public:
+  PinedRqPpCollector(CollectorConfig config, crypto::KeyManager key_manager,
+                     net::MailboxPtr cloud_inbox);
+
+  /// Opens publication 0 (samples its template).
+  Status Start();
+
+  /// Runs the full sequential workflow on one raw line.
+  Status Ingest(std::string_view line);
+
+  /// Dummy-release progress in [0, 1]; PINED-RQ++ releases dummies over
+  /// the interval like FRESQUE's dispatcher (the original matches the
+  /// known arrival distribution; uniform release is that distribution for
+  /// our constant-rate sources).
+  void SetIntervalProgress(double fraction) { progress_ = fraction; }
+
+  /// Synchronous publication: encrypts removed records, builds overflow
+  /// arrays, ships template + matching table. Blocks ingestion meanwhile.
+  Status Publish();
+
+  Status Shutdown();
+
+  std::vector<PublishReport> Reports() const { return reports_; }
+  uint64_t parse_errors() const { return parse_errors_; }
+  uint64_t current_publication() const { return pn_; }
+
+ private:
+  Status OpenInterval();
+  Status ReleaseDueDummies(double progress);
+  Status EmitDummy(uint32_t leaf);
+
+  CollectorConfig config_;
+  crypto::KeyManager key_manager_;
+  net::MailboxPtr cloud_inbox_;
+  std::optional<index::DomainBinning> binning_;
+  crypto::SecureRandom rng_;
+
+  // Per-interval state.
+  std::optional<index::HistogramIndex> template_;  // noise + true counts
+  std::optional<index::MatchingTable> table_;
+  std::optional<DummySchedule> schedule_;
+  std::optional<record::SecureRecordCodec> codec_;
+  /// Records the checker diverted (still plaintext; encrypted at publish).
+  std::vector<std::pair<size_t, record::Record>> removed_;
+  double progress_ = 0;
+  uint64_t real_count_ = 0;
+  uint64_t dummy_count_ = 0;
+  double init_millis_ = 0;
+
+  std::vector<PublishReport> reports_;
+  uint64_t parse_errors_ = 0;
+  uint64_t pn_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_PINED_RQPP_H_

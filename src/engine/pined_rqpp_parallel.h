@@ -1,0 +1,112 @@
+#ifndef FRESQUE_ENGINE_PINED_RQPP_PARALLEL_H_
+#define FRESQUE_ENGINE_PINED_RQPP_PARALLEL_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/result.h"
+#include "crypto/chacha20.h"
+#include "crypto/key_manager.h"
+#include "engine/config.h"
+#include "engine/dummy_schedule.h"
+#include "engine/metrics.h"
+#include "index/binning.h"
+#include "index/index.h"
+#include "index/matching.h"
+#include "net/message.h"
+#include "net/node.h"
+#include "record/record.h"
+#include "record/secure_codec.h"
+
+namespace fresque {
+namespace engine {
+
+/// Parallel PINED-RQ++ baseline (paper §4.1, Figure 5): the parser and
+/// checker stay sequential on the dispatcher (they depend on the shared
+/// index template), while updater + encrypter fan out to worker nodes.
+///
+/// The two limitations FRESQUE fixes are deliberately preserved:
+///  - *partial parallelism*: every record is parsed and checked on the
+///    caller thread before any worker touches it, and workers serialize
+///    on the shared template/matching-table mutex;
+///  - *synchronous publication*: Publish() blocks until the workers have
+///    drained and the overflow arrays are built.
+class ParallelPinedRqPpCollector {
+ public:
+  ParallelPinedRqPpCollector(CollectorConfig config,
+                             crypto::KeyManager key_manager,
+                             net::MailboxPtr cloud_inbox);
+  ~ParallelPinedRqPpCollector();
+
+  Status Start();
+
+  /// Parses + checks on this thread, then hands the record to a worker.
+  Status Ingest(std::string_view line);
+
+  void SetIntervalProgress(double fraction) { progress_ = fraction; }
+
+  /// Synchronous publication: barriers the workers, encrypts removed
+  /// records, builds overflow arrays, ships index + matching table.
+  Status Publish();
+
+  Status Shutdown();
+
+  std::vector<PublishReport> Reports() const { return reports_; }
+  uint64_t parse_errors() const { return parse_errors_; }
+  uint64_t current_publication() const { return pn_; }
+
+ private:
+  /// State shared between dispatcher and workers. The checker-facing
+  /// template (noise + counts) lives here; each worker additionally keeps
+  /// a *partition* of the update work — its own count tree and matching
+  /// table — merged at publish, so per-record updates scale with workers
+  /// (the distributed updater of Figure 5).
+  struct SharedState {
+    std::mutex mu;
+    std::optional<index::HistogramIndex> tmpl;
+    /// Per-worker partial results, written once per interval on kPublish.
+    std::vector<index::MatchingTable> worker_tables;
+    std::vector<index::HistogramIndex> worker_counts;
+  };
+
+  class Worker;
+
+  Status OpenInterval();
+  Status ReleaseDueDummies(double progress);
+
+  CollectorConfig config_;
+  crypto::KeyManager key_manager_;
+  net::MailboxPtr cloud_inbox_;
+  std::optional<index::DomainBinning> binning_;
+  crypto::SecureRandom rng_;
+
+  SharedState shared_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  /// Workers push one token per kPublish they process; Publish() pops
+  /// one per worker as its drain barrier.
+  BoundedQueue<int> publish_acks_{64};
+
+  std::optional<DummySchedule> schedule_;
+  std::optional<record::SecureRecordCodec> codec_;  // dispatcher-side
+  std::vector<std::pair<size_t, record::Record>> removed_;
+  double progress_ = 0;
+  uint64_t real_count_ = 0;
+  uint64_t dummy_count_ = 0;
+  double init_millis_ = 0;
+  size_t rr_ = 0;
+
+  std::vector<PublishReport> reports_;
+  uint64_t parse_errors_ = 0;
+  uint64_t pn_ = 0;
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_PINED_RQPP_PARALLEL_H_

@@ -1,0 +1,65 @@
+#ifndef FRESQUE_INDEX_AL_H_
+#define FRESQUE_INDEX_AL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fresque {
+namespace index {
+
+/// Array representation of leaves (paper §5.1(b)).
+///
+/// FRESQUE's replacement for walking the index template on every record:
+/// two plain integer arrays sized at the leaf count.
+///  - ALN starts as the per-leaf Laplace noise and is the checker's state:
+///    a record whose leaf has ALN < 0 is diverted to the overflow array
+///    (satisfying one unit of negative noise).
+///  - AL counts every real record that passed the collector, including the
+///    diverted ones; merged with the index template it yields the secure
+///    index.
+/// Both operations are O(1), versus O(log_k n) for a tree walk.
+class LeafArrays {
+ public:
+  /// `leaf_noise[i]` is the template's leaf-i noise (initializes ALN).
+  explicit LeafArrays(const std::vector<int64_t>& leaf_noise)
+      : al_(leaf_noise.size(), 0), aln_(leaf_noise) {}
+
+  size_t num_leaves() const { return al_.size(); }
+
+  /// Outcome of admitting one real record.
+  enum class Decision {
+    kForward,  ///< record continues to the cloud
+    kRemove,   ///< record is diverted to the merger (negative noise)
+  };
+
+  /// Checker + updater step for a real record with leaf offset `i`.
+  Decision Admit(size_t i) {
+    if (aln_[i] < 0) {
+      ++aln_[i];
+      ++al_[i];
+      return Decision::kRemove;
+    }
+    ++al_[i];
+    return Decision::kForward;
+  }
+
+  int64_t al(size_t i) const { return al_[i]; }
+  int64_t aln(size_t i) const { return aln_[i]; }
+  const std::vector<int64_t>& al_snapshot() const { return al_; }
+
+  /// Total real records admitted this interval.
+  int64_t TotalReal() const {
+    int64_t t = 0;
+    for (int64_t c : al_) t += c;
+    return t;
+  }
+
+ private:
+  std::vector<int64_t> al_;
+  std::vector<int64_t> aln_;
+};
+
+}  // namespace index
+}  // namespace fresque
+
+#endif  // FRESQUE_INDEX_AL_H_

@@ -1,0 +1,33 @@
+#include "index/binning.h"
+
+#include <cmath>
+
+namespace fresque {
+namespace index {
+
+Result<DomainBinning> DomainBinning::Create(double domain_min,
+                                            double domain_max,
+                                            double bin_width) {
+  if (!(bin_width > 0)) {
+    return Status::InvalidArgument("bin width must be positive");
+  }
+  if (!(domain_max > domain_min)) {
+    return Status::InvalidArgument("domain must be non-empty");
+  }
+  size_t bins = static_cast<size_t>(
+      std::ceil((domain_max - domain_min) / bin_width));
+  if (bins == 0) bins = 1;
+  return DomainBinning(domain_min, domain_max, bin_width, bins);
+}
+
+Result<size_t> DomainBinning::LeafOffsetChecked(double v) const {
+  if (v < min_ || v >= max_) {
+    return Status::OutOfRange("value " + std::to_string(v) +
+                              " outside domain [" + std::to_string(min_) +
+                              ", " + std::to_string(max_) + ")");
+  }
+  return LeafOffset(v);
+}
+
+}  // namespace index
+}  // namespace fresque

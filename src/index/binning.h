@@ -1,0 +1,58 @@
+#ifndef FRESQUE_INDEX_BINNING_H_
+#define FRESQUE_INDEX_BINNING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace fresque {
+namespace index {
+
+/// Maps indexed-attribute values to histogram leaves.
+///
+/// This is the strongly-constrained shape FRESQUE exploits (paper §5.1(b)):
+/// given (dmin, dmax, Ib), the leaf offset of a value v is
+///   Ov = min( floor((v - dmin)/Ib), floor((dmax - dmin)/Ib) - 1 )
+/// so any computing node can compute it in O(1) with no shared state.
+class DomainBinning {
+ public:
+  /// `bin_width` must be positive and the domain non-empty.
+  static Result<DomainBinning> Create(double domain_min, double domain_max,
+                                      double bin_width);
+
+  /// O(1) leaf offset of `v`, clamped into [0, num_bins).
+  size_t LeafOffset(double v) const {
+    if (v <= min_) return 0;
+    size_t off = static_cast<size_t>((v - min_) / width_);
+    return off >= num_bins_ ? num_bins_ - 1 : off;
+  }
+
+  /// Leaf offset of `v`, or OutOfRange if v lies outside [dmin, dmax).
+  Result<size_t> LeafOffsetChecked(double v) const;
+
+  /// Value interval [lo, hi) covered by leaf `i`.
+  double LeafLow(size_t i) const { return min_ + static_cast<double>(i) * width_; }
+  double LeafHigh(size_t i) const {
+    return min_ + static_cast<double>(i + 1) * width_;
+  }
+
+  double domain_min() const { return min_; }
+  double domain_max() const { return max_; }
+  double bin_width() const { return width_; }
+  size_t num_bins() const { return num_bins_; }
+
+ private:
+  DomainBinning(double min, double max, double width, size_t bins)
+      : min_(min), max_(max), width_(width), num_bins_(bins) {}
+
+  double min_;
+  double max_;
+  double width_;
+  size_t num_bins_;
+};
+
+}  // namespace index
+}  // namespace fresque
+
+#endif  // FRESQUE_INDEX_BINNING_H_

@@ -1,0 +1,42 @@
+#include "index/layout.h"
+
+namespace fresque {
+namespace index {
+
+Result<IndexLayout> IndexLayout::Create(size_t num_leaves, size_t fanout) {
+  if (fanout < 2) {
+    return Status::InvalidArgument("index fanout must be >= 2");
+  }
+  if (num_leaves == 0) {
+    return Status::InvalidArgument("index needs at least one leaf");
+  }
+  std::vector<size_t> sizes;
+  sizes.push_back(num_leaves);
+  while (sizes.back() > 1) {
+    size_t n = sizes.back();
+    sizes.push_back((n + fanout - 1) / fanout);
+  }
+  return IndexLayout(std::move(sizes), fanout);
+}
+
+size_t IndexLayout::total_nodes() const {
+  size_t total = 0;
+  for (size_t s : level_sizes_) total += s;
+  return total;
+}
+
+void IndexLayout::LeafSpan(size_t level, size_t i, size_t* begin,
+                           size_t* end) const {
+  size_t b = i;
+  size_t e = i + 1;
+  for (size_t l = level; l > 0; --l) {
+    b *= fanout_;
+    e *= fanout_;
+  }
+  size_t leaves = level_sizes_.front();
+  *begin = b < leaves ? b : leaves;
+  *end = e < leaves ? e : leaves;
+}
+
+}  // namespace index
+}  // namespace fresque

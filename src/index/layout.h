@@ -1,0 +1,57 @@
+#ifndef FRESQUE_INDEX_LAYOUT_H_
+#define FRESQUE_INDEX_LAYOUT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fresque {
+namespace index {
+
+/// Static B+-tree-shaped layout of a PINED-RQ index: `num_leaves` histogram
+/// bins grouped bottom-up by `fanout` until a single root remains.
+///
+/// The shape depends only on (num_leaves, fanout) — never on data — which
+/// is what lets PINED-RQ++/FRESQUE pre-sample all node noise into an index
+/// template before any record arrives.
+class IndexLayout {
+ public:
+  /// `fanout` >= 2, `num_leaves` >= 1.
+  static Result<IndexLayout> Create(size_t num_leaves, size_t fanout);
+
+  size_t num_leaves() const { return level_sizes_.front(); }
+  size_t fanout() const { return fanout_; }
+
+  /// Number of levels including the leaf level; level 0 is the leaves and
+  /// level num_levels()-1 is the root.
+  size_t num_levels() const { return level_sizes_.size(); }
+  size_t level_size(size_t level) const { return level_sizes_[level]; }
+
+  /// Total node count across all levels.
+  size_t total_nodes() const;
+
+  /// Children of node `i` at `level` live at `level - 1` in
+  /// [ChildBegin, ChildEnd).
+  size_t ChildBegin(size_t /*level*/, size_t i) const { return i * fanout_; }
+  size_t ChildEnd(size_t level, size_t i) const {
+    size_t end = (i + 1) * fanout_;
+    size_t below = level_sizes_[level - 1];
+    return end < below ? end : below;
+  }
+
+  /// Range of leaves [begin, end) covered by node `i` at `level`.
+  void LeafSpan(size_t level, size_t i, size_t* begin, size_t* end) const;
+
+ private:
+  IndexLayout(std::vector<size_t> level_sizes, size_t fanout)
+      : level_sizes_(std::move(level_sizes)), fanout_(fanout) {}
+
+  std::vector<size_t> level_sizes_;  // [0] = leaves, back() = 1 (root)
+  size_t fanout_;
+};
+
+}  // namespace index
+}  // namespace fresque
+
+#endif  // FRESQUE_INDEX_LAYOUT_H_

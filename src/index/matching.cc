@@ -1,0 +1,61 @@
+#include "index/matching.h"
+
+namespace fresque {
+namespace index {
+
+Status MatchingTable::Add(uint64_t tag, uint32_t leaf) {
+  auto [it, inserted] = map_.emplace(tag, leaf);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate matching tag " +
+                                 std::to_string(tag));
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> MatchingTable::Lookup(uint64_t tag) const {
+  auto it = map_.find(tag);
+  if (it == map_.end()) {
+    return Status::NotFound("matching tag " + std::to_string(tag));
+  }
+  return it->second;
+}
+
+Bytes MatchingTable::Serialize() const {
+  BinaryWriter w;
+  w.PutU64(map_.size());
+  for (const auto& [tag, leaf] : map_) {
+    w.PutU64(tag);
+    w.PutU32(leaf);
+  }
+  return w.Release();
+}
+
+Result<MatchingTable> MatchingTable::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  auto n = r.GetU64();
+  if (!n.ok()) return Status::Corruption("truncated matching table");
+  // 12 bytes per entry (u64 tag + u32 leaf); corrupt headers must not
+  // drive allocation.
+  if (*n > r.remaining() / 12) {
+    return Status::Corruption("matching table count exceeds payload");
+  }
+  MatchingTable out;
+  out.map_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto tag = r.GetU64();
+    auto leaf = r.GetU32();
+    if (!tag.ok() || !leaf.ok()) {
+      return Status::Corruption("truncated matching entry");
+    }
+    Status st = out.Add(*tag, *leaf);
+    if (!st.ok()) return st;
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("trailing bytes after matching table");
+  }
+  return out;
+}
+
+}  // namespace index
+}  // namespace fresque

@@ -1,0 +1,46 @@
+#ifndef FRESQUE_INDEX_MATCHING_H_
+#define FRESQUE_INDEX_MATCHING_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace fresque {
+namespace index {
+
+/// PINED-RQ++ matching table (paper §4.1, Figure 3).
+///
+/// During an interval each streamed record is tagged with a random id
+/// instead of its leaf; this table, published at the end of the interval,
+/// lets the cloud rebuild the leaf→record pointers. FRESQUE removes it —
+/// computing nodes attach the leaf offset directly — which is where the
+/// two-orders-of-magnitude matching speedup of Fig. 15 comes from.
+class MatchingTable {
+ public:
+  MatchingTable() = default;
+
+  /// Registers tag → leaf. Tags are drawn uniformly at random by the
+  /// enricher; collisions are a caller bug.
+  Status Add(uint64_t tag, uint32_t leaf);
+
+  Result<uint32_t> Lookup(uint64_t tag) const;
+
+  size_t size() const { return map_.size(); }
+
+  const std::unordered_map<uint64_t, uint32_t>& entries() const {
+    return map_;
+  }
+
+  Bytes Serialize() const;
+  static Result<MatchingTable> Deserialize(const Bytes& data);
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> map_;
+};
+
+}  // namespace index
+}  // namespace fresque
+
+#endif  // FRESQUE_INDEX_MATCHING_H_

@@ -1,0 +1,78 @@
+#include "net/message.h"
+
+namespace fresque {
+namespace net {
+
+const char* MessageTypeToString(MessageType t) {
+  switch (t) {
+    case MessageType::kRawLine:
+      return "RawLine";
+    case MessageType::kTaggedRecord:
+      return "TaggedRecord";
+    case MessageType::kCloudRecord:
+      return "CloudRecord";
+    case MessageType::kRemovedRecord:
+      return "RemovedRecord";
+    case MessageType::kPublish:
+      return "Publish";
+    case MessageType::kDone:
+      return "Done";
+    case MessageType::kTemplateInit:
+      return "TemplateInit";
+    case MessageType::kTemplateForward:
+      return "TemplateForward";
+    case MessageType::kAlSnapshot:
+      return "AlSnapshot";
+    case MessageType::kPublicationStart:
+      return "PublicationStart";
+    case MessageType::kIndexPublication:
+      return "IndexPublication";
+    case MessageType::kMatchingTable:
+      return "MatchingTable";
+    case MessageType::kCloudTaggedRecord:
+      return "CloudTaggedRecord";
+    case MessageType::kShutdown:
+      return "Shutdown";
+  }
+  return "?";
+}
+
+Bytes Message::Serialize() const {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(pn);
+  w.PutU64(leaf);
+  w.PutU8(dummy ? 1 : 0);
+  w.PutBytes(payload);
+  return w.Release();
+}
+
+Result<Message> Message::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  auto type = r.GetU8();
+  auto pn = r.GetU64();
+  auto leaf = r.GetU64();
+  auto dummy = r.GetU8();
+  auto payload = r.GetBytes();
+  if (!type.ok() || !pn.ok() || !leaf.ok() || !dummy.ok() || !payload.ok()) {
+    return Status::Corruption("truncated message frame");
+  }
+  if (*type > static_cast<uint8_t>(MessageType::kShutdown)) {
+    return Status::Corruption("unknown message type " +
+                              std::to_string(*type));
+  }
+  Message m;
+  m.type = static_cast<MessageType>(*type);
+  m.pn = *pn;
+  m.leaf = *leaf;
+  m.dummy = *dummy != 0;
+  m.payload = std::move(*payload);
+  return m;
+}
+
+MailboxPtr MakeMailbox(size_t capacity) {
+  return std::make_shared<Mailbox>(capacity);
+}
+
+}  // namespace net
+}  // namespace fresque

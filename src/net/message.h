@@ -1,0 +1,81 @@
+#ifndef FRESQUE_NET_MESSAGE_H_
+#define FRESQUE_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/queue.h"
+#include "common/result.h"
+
+namespace fresque {
+namespace net {
+
+/// Frame types exchanged between collector components and the cloud.
+enum class MessageType : uint8_t {
+  /// Data source / dispatcher -> computing node: one raw text line.
+  kRawLine = 0,
+  /// Computing node -> checking node: <leaf offset, e-record> pair, plus
+  /// the collector-private dummy flag (stripped before the cloud).
+  kTaggedRecord = 1,
+  /// Checking node -> cloud: <leaf offset, e-record> of one publication.
+  kCloudRecord = 2,
+  /// Checker -> merger: a record removed to satisfy negative noise.
+  kRemovedRecord = 3,
+  /// Dispatcher -> computing nodes and checking node: interval over.
+  kPublish = 4,
+  /// Checking node -> computing nodes: previous publication flushed.
+  kDone = 5,
+  /// Dispatcher -> checking node: index template + PN for a new interval.
+  kTemplateInit = 6,
+  /// Checking node -> merger: the same template, forwarded.
+  kTemplateForward = 7,
+  /// Checking node -> merger: AL snapshot at end of interval.
+  kAlSnapshot = 8,
+  /// Checking node -> cloud: publication number opened.
+  kPublicationStart = 9,
+  /// Merger -> cloud: secure index + overflow arrays for a publication.
+  kIndexPublication = 10,
+  /// PINED-RQ++ collector -> cloud: matching table of a publication.
+  kMatchingTable = 11,
+  /// PINED-RQ++ collector -> cloud: `<random tag, e-record>` pair whose
+  /// leaf stays hidden until the matching table is published.
+  kCloudTaggedRecord = 12,
+  /// Producer -> consumer: no more input, drain and stop.
+  kShutdown = 13,
+};
+
+const char* MessageTypeToString(MessageType t);
+
+/// One frame. The envelope fields cover the hot-path cases; larger control
+/// payloads (templates, indexes, AL snapshots) travel serialized in
+/// `payload`.
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  /// Publication number the frame belongs to.
+  uint64_t pn = 0;
+  /// Leaf offset for record frames; random tag for PINED-RQ++ records.
+  uint64_t leaf = 0;
+  /// Collector-private dummy marker (paper's "special flag"); never set on
+  /// frames addressed to the cloud.
+  bool dummy = false;
+  Bytes payload;
+
+  /// Wire encoding; used by tests and by the frame-counting transports.
+  Bytes Serialize() const;
+  static Result<Message> Deserialize(const Bytes& data);
+};
+
+/// Bounded mailbox carrying frames between two components. Capacity gives
+/// back-pressure like a bounded socket buffer.
+using Mailbox = BoundedQueue<Message>;
+using MailboxPtr = std::shared_ptr<Mailbox>;
+
+/// Convenience: a mailbox with the default per-link capacity.
+MailboxPtr MakeMailbox(size_t capacity = 4096);
+
+}  // namespace net
+}  // namespace fresque
+
+#endif  // FRESQUE_NET_MESSAGE_H_

@@ -1,0 +1,39 @@
+#include "net/node.h"
+
+namespace fresque {
+namespace net {
+
+Node::Node(std::string name, MailboxPtr inbox,
+           std::function<bool(Message&&)> handler)
+    : name_(std::move(name)),
+      inbox_(std::move(inbox)),
+      handler_(std::move(handler)) {}
+
+Node::~Node() {
+  Stop();
+  Join();
+}
+
+void Node::Start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Node::Loop() {
+  for (;;) {
+    auto msg = inbox_->Pop();
+    if (!msg.has_value()) return;  // closed and drained
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    if (!handler_(std::move(*msg))) return;
+  }
+}
+
+void Node::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Node::Stop() { inbox_->Close(); }
+
+}  // namespace net
+}  // namespace fresque

@@ -1,0 +1,64 @@
+#ifndef FRESQUE_NET_NODE_H_
+#define FRESQUE_NET_NODE_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/message.h"
+
+namespace fresque {
+namespace net {
+
+/// One shared-nothing logical machine: a thread draining an inbox into a
+/// handler. Components (dispatcher, computing node, checking node, merger,
+/// cloud front-end) are handlers; wiring their mailboxes together forms
+/// the cluster of Figure 6.
+///
+/// The loop stops when the handler returns false or the inbox is closed
+/// and drained; components decide themselves how to react to kShutdown
+/// (e.g. the checking node waits for one per computing node).
+class Node {
+ public:
+  /// `handler` is invoked on the node's own thread for every frame and
+  /// returns false to stop. It must be callable until Join() returns.
+  Node(std::string name, MailboxPtr inbox,
+       std::function<bool(Message&&)> handler);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  ~Node();
+
+  /// Spawns the node thread. Call once.
+  void Start();
+
+  /// Blocks until the node loop exits. Idempotent.
+  void Join();
+
+  /// Closes the inbox, letting the loop drain and exit.
+  void Stop();
+
+  const std::string& name() const { return name_; }
+  const MailboxPtr& inbox() const { return inbox_; }
+  uint64_t frames_processed() const {
+    return frames_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  std::string name_;
+  MailboxPtr inbox_;
+  std::function<bool(Message&&)> handler_;
+  std::thread thread_;
+  std::atomic<uint64_t> frames_{0};
+  bool started_ = false;
+};
+
+}  // namespace net
+}  // namespace fresque
+
+#endif  // FRESQUE_NET_NODE_H_

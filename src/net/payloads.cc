@@ -1,0 +1,119 @@
+#include "net/payloads.h"
+
+#include "crypto/hmac.h"
+
+namespace fresque {
+namespace net {
+
+Bytes EncodeTemplate(const index::HistogramIndex& noise_index) {
+  return noise_index.Serialize();
+}
+
+Result<index::HistogramIndex> DecodeTemplate(const Bytes& payload) {
+  return index::HistogramIndex::Deserialize(payload);
+}
+
+Bytes EncodeAlSnapshot(const std::vector<int64_t>& al) {
+  BinaryWriter w;
+  w.PutU64(al.size());
+  for (int64_t v : al) w.PutI64(v);
+  return w.Release();
+}
+
+Result<std::vector<int64_t>> DecodeAlSnapshot(const Bytes& payload) {
+  BinaryReader r(payload);
+  auto n = r.GetU64();
+  if (!n.ok()) return Status::Corruption("truncated AL snapshot");
+  // Bound the claimed count by the bytes actually present (8 per entry),
+  // so a corrupt header cannot trigger a huge allocation.
+  if (*n > r.remaining() / sizeof(int64_t)) {
+    return Status::Corruption("AL snapshot count exceeds payload");
+  }
+  std::vector<int64_t> al;
+  al.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto v = r.GetI64();
+    if (!v.ok()) return Status::Corruption("truncated AL entry");
+    al.push_back(*v);
+  }
+  return al;
+}
+
+namespace {
+
+/// HMAC over the two length-prefixed content segments.
+Bytes TagOver(const Bytes& index_bytes, const Bytes& overflow_bytes,
+              const Bytes& mac_key) {
+  crypto::HmacSha256 mac(mac_key);
+  BinaryWriter framed;
+  framed.PutBytes(index_bytes);
+  framed.PutBytes(overflow_bytes);
+  mac.Update(framed.buffer());
+  auto digest = mac.Finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace
+
+Bytes EncodeIndexPublication(const IndexPublication& pub) {
+  BinaryWriter w;
+  w.PutBytes(pub.index.Serialize());
+  w.PutBytes(pub.overflow.Serialize());
+  w.PutBytes(pub.integrity_tag);
+  return w.Release();
+}
+
+Result<IndexPublication> DecodeIndexPublication(const Bytes& payload) {
+  BinaryReader r(payload);
+  auto index_bytes = r.GetBytes();
+  auto overflow_bytes = r.GetBytes();
+  auto tag = r.GetBytes();
+  if (!index_bytes.ok() || !overflow_bytes.ok() || !tag.ok()) {
+    return Status::Corruption("truncated index publication");
+  }
+  auto idx = index::HistogramIndex::Deserialize(*index_bytes);
+  if (!idx.ok()) return idx.status();
+  auto ovf = index::OverflowArrays::Deserialize(*overflow_bytes);
+  if (!ovf.ok()) return ovf.status();
+  IndexPublication pub(std::move(idx).ValueOrDie(),
+                       std::move(ovf).ValueOrDie());
+  pub.integrity_tag = std::move(*tag);
+  return pub;
+}
+
+Bytes ComputeIndexPublicationTag(const IndexPublication& pub,
+                                 const Bytes& mac_key) {
+  return TagOver(pub.index.Serialize(), pub.overflow.Serialize(), mac_key);
+}
+
+Status VerifyIndexPublicationPayload(const Bytes& payload,
+                                     const Bytes& mac_key) {
+  BinaryReader r(payload);
+  auto index_bytes = r.GetBytes();
+  auto overflow_bytes = r.GetBytes();
+  auto tag = r.GetBytes();
+  if (!index_bytes.ok() || !overflow_bytes.ok() || !tag.ok()) {
+    return Status::Corruption("truncated index publication");
+  }
+  if (tag->empty()) {
+    return Status::FailedPrecondition("publication carries no tag");
+  }
+  Bytes expected = TagOver(*index_bytes, *overflow_bytes, mac_key);
+  if (tag->size() != expected.size() ||
+      !crypto::ConstantTimeEquals(tag->data(), expected.data(),
+                                  expected.size())) {
+    return Status::Corruption("publication integrity tag mismatch");
+  }
+  return Status::OK();
+}
+
+Bytes EncodeMatchingTable(const index::MatchingTable& table) {
+  return table.Serialize();
+}
+
+Result<index::MatchingTable> DecodeMatchingTable(const Bytes& payload) {
+  return index::MatchingTable::Deserialize(payload);
+}
+
+}  // namespace net
+}  // namespace fresque

@@ -1,0 +1,227 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace fresque {
+namespace net {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpConnection::SetNoDelay(bool on) {
+  int flag = on ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Status TcpConnection::WriteAll(const uint8_t* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd_, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpConnection::ReadAll(uint8_t* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::recv(fd_, data, len, 0);
+    if (n == 0) return Status::Cancelled("peer closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpConnection::Send(const Message& m) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  Bytes frame = m.Serialize();
+  uint8_t header[4];
+  uint32_t len = static_cast<uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  FRESQUE_RETURN_NOT_OK(WriteAll(header, 4));
+  return WriteAll(frame.data(), frame.size());
+}
+
+Result<Message> TcpConnection::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  uint8_t header[4];
+  FRESQUE_RETURN_NOT_OK(ReadAll(header, 4));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  if (len > (64u << 20)) {
+    return Status::Corruption("oversized TCP frame");
+  }
+  Bytes frame(len);
+  FRESQUE_RETURN_NOT_OK(ReadAll(frame.data(), frame.size()));
+  return Message::Deserialize(frame);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Bind() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  if (::listen(fd, 8) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+Result<TcpConnection> TcpListener::Accept() {
+  int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return Errno("accept");
+  return TcpConnection(cfd);
+}
+
+Result<TcpConnection> TcpConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  return TcpConnection(fd);
+}
+
+Result<double> MeasureTcpHopNanos(size_t messages, size_t payload_bytes,
+                                  bool nodelay) {
+  if (messages == 0) return Status::InvalidArgument("need messages > 0");
+  auto listener = TcpListener::Bind();
+  if (!listener.ok()) return listener.status();
+
+  Status sink_status = Status::OK();
+  std::thread sink([&] {
+    auto conn = listener->Accept();
+    if (!conn.ok()) {
+      sink_status = conn.status();
+      return;
+    }
+    // Drain everything, then echo one final ack so the sender can time
+    // until full consumption (not just until the send buffer absorbed it).
+    for (size_t i = 0; i < messages; ++i) {
+      auto m = conn->Receive();
+      if (!m.ok()) {
+        sink_status = m.status();
+        return;
+      }
+    }
+    Message ack;
+    ack.type = MessageType::kDone;
+    sink_status = conn->Send(ack);
+  });
+
+  auto conn = TcpConnect(listener->port());
+  if (!conn.ok()) {
+    sink.join();
+    return conn.status();
+  }
+  if (nodelay) {
+    FRESQUE_RETURN_NOT_OK(conn->SetNoDelay(true));
+  }
+
+  Message m;
+  m.type = MessageType::kCloudRecord;
+  m.payload.assign(payload_bytes, 0x5A);
+
+  Stopwatch watch;
+  for (size_t i = 0; i < messages; ++i) {
+    m.pn = i;
+    Status st = conn->Send(m);
+    if (!st.ok()) {
+      sink.join();
+      return st;
+    }
+  }
+  auto ack = conn->Receive();
+  double elapsed = static_cast<double>(watch.ElapsedNanos());
+  sink.join();
+  if (!ack.ok()) return ack.status();
+  if (!sink_status.ok()) return sink_status;
+  return elapsed / static_cast<double>(messages);
+}
+
+}  // namespace net
+}  // namespace fresque

@@ -1,0 +1,86 @@
+#ifndef FRESQUE_NET_TCP_H_
+#define FRESQUE_NET_TCP_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "net/message.h"
+
+namespace fresque {
+namespace net {
+
+/// A connected TCP stream carrying length-framed Message frames — the
+/// paper's collector components talk over exactly such sockets. Used for
+/// network-cost calibration (MeasureTcpHopNanos) and available as a real
+/// transport for single-machine multi-process deployments.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes one frame: u32 length || Message bytes.
+  Status Send(const Message& m);
+
+  /// Reads one frame; blocks. Returns kCancelled on orderly peer close.
+  Result<Message> Receive();
+
+  /// Disables Nagle's algorithm (TCP_NODELAY) — per-message latency mode.
+  Status SetNoDelay(bool on);
+
+  void Close();
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t len);
+  Status ReadAll(uint8_t* data, size_t len);
+
+  int fd_ = -1;
+};
+
+/// Listening socket on 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds an ephemeral localhost port.
+  static Result<TcpListener> Bind();
+
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects.
+  Result<TcpConnection> Accept();
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to a local listener.
+Result<TcpConnection> TcpConnect(uint16_t port);
+
+/// Measures the real per-message cost of one collector-style TCP hop on
+/// this host: a sink thread drains a loopback socket while the caller
+/// sends `messages` frames of `payload_bytes` each; returns mean ns per
+/// message. `nodelay` disables coalescing (per-message latency mode);
+/// with it enabled, kernel batching amortizes syscalls like the paper's
+/// high-rate streams did.
+Result<double> MeasureTcpHopNanos(size_t messages, size_t payload_bytes,
+                                  bool nodelay);
+
+}  // namespace net
+}  // namespace fresque
+
+#endif  // FRESQUE_NET_TCP_H_

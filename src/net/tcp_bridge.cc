@@ -1,0 +1,99 @@
+#include "net/tcp_bridge.h"
+
+#include "common/logging.h"
+
+namespace fresque {
+namespace net {
+
+TcpEgress::TcpEgress(TcpConnection conn, size_t mailbox_capacity)
+    : conn_(std::move(conn)), mailbox_(MakeMailbox(mailbox_capacity)) {}
+
+Result<std::unique_ptr<TcpEgress>> TcpEgress::Connect(
+    uint16_t port, size_t mailbox_capacity) {
+  auto conn = TcpConnect(port);
+  if (!conn.ok()) return conn.status();
+  auto egress = std::unique_ptr<TcpEgress>(
+      new TcpEgress(std::move(*conn), mailbox_capacity));
+  egress->thread_ = std::thread([raw = egress.get()] { raw->Pump(); });
+  return egress;
+}
+
+TcpEgress::~TcpEgress() { Shutdown(); }
+
+void TcpEgress::Pump() {
+  for (;;) {
+    auto m = mailbox_->Pop();
+    if (!m.has_value()) return;  // mailbox closed and drained
+    bool is_shutdown = m->type == MessageType::kShutdown;
+    Status st = conn_.Send(*m);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) {
+        first_error_ = st;
+        FRESQUE_LOG(Warn) << "tcp egress: " << st.ToString();
+      }
+    }
+    if (is_shutdown) return;
+  }
+}
+
+Status TcpEgress::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void TcpEgress::Shutdown() {
+  mailbox_->Close();
+  if (thread_.joinable()) thread_.join();
+  conn_.Close();
+}
+
+TcpIngress::TcpIngress(TcpListener listener, MailboxPtr sink)
+    : listener_(std::move(listener)), sink_(std::move(sink)) {}
+
+Result<std::unique_ptr<TcpIngress>> TcpIngress::Listen(MailboxPtr sink) {
+  auto listener = TcpListener::Bind();
+  if (!listener.ok()) return listener.status();
+  return std::unique_ptr<TcpIngress>(
+      new TcpIngress(std::move(*listener), std::move(sink)));
+}
+
+TcpIngress::~TcpIngress() { Join(); }
+
+void TcpIngress::Start() {
+  thread_ = std::thread([this] { Pump(); });
+}
+
+void TcpIngress::Pump() {
+  auto conn = listener_.Accept();
+  if (!conn.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    first_error_ = conn.status();
+    return;
+  }
+  for (;;) {
+    auto m = conn->Receive();
+    if (!m.ok()) {
+      if (m.status().code() != StatusCode::kCancelled) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_.ok()) first_error_ = m.status();
+      }
+      return;  // peer closed (or errored)
+    }
+    bool is_shutdown = m->type == MessageType::kShutdown;
+    sink_->Push(std::move(*m));
+    if (is_shutdown) return;
+  }
+}
+
+Status TcpIngress::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void TcpIngress::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace net
+}  // namespace fresque

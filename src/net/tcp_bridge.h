@@ -1,0 +1,85 @@
+#ifndef FRESQUE_NET_TCP_BRIDGE_H_
+#define FRESQUE_NET_TCP_BRIDGE_H_
+
+#include <memory>
+#include <thread>
+
+#include "common/result.h"
+#include "net/message.h"
+#include "net/tcp.h"
+
+namespace fresque {
+namespace net {
+
+/// Pumps frames from a local Mailbox out over a TCP connection. Lets any
+/// component that speaks MailboxPtr (every collector prototype) talk to a
+/// peer in another process: hand the collector `egress.mailbox()` instead
+/// of a local CloudNode inbox.
+///
+/// A kShutdown frame is forwarded and then stops the pump; closing the
+/// mailbox stops it too (without forwarding anything).
+class TcpEgress {
+ public:
+  /// Connects to a local listener and starts pumping.
+  static Result<std::unique_ptr<TcpEgress>> Connect(
+      uint16_t port, size_t mailbox_capacity = 8192);
+
+  ~TcpEgress();
+
+  const MailboxPtr& mailbox() const { return mailbox_; }
+
+  /// First send error, if any (the pump keeps draining afterwards so
+  /// producers do not block forever).
+  Status first_error() const;
+
+  /// Closes the mailbox and joins the pump thread.
+  void Shutdown();
+
+ private:
+  TcpEgress(TcpConnection conn, size_t mailbox_capacity);
+  void Pump();
+
+  TcpConnection conn_;
+  MailboxPtr mailbox_;
+  mutable std::mutex mu_;
+  Status first_error_;
+  std::thread thread_;
+};
+
+/// Accepts one TCP peer and pushes every received frame into a local
+/// mailbox (e.g. a CloudNode inbox). Stops at kShutdown (after forwarding
+/// it) or when the peer closes.
+class TcpIngress {
+ public:
+  /// Binds an ephemeral port; connect a TcpEgress to `port()`, then call
+  /// Start() to accept and pump.
+  static Result<std::unique_ptr<TcpIngress>> Listen(MailboxPtr sink);
+
+  ~TcpIngress();
+
+  uint16_t port() const { return listener_.port(); }
+
+  /// Accepts the peer and starts pumping (blocking accept happens on the
+  /// pump thread).
+  void Start();
+
+  Status first_error() const;
+
+  /// Joins the pump thread (returns once the peer shut down).
+  void Join();
+
+ private:
+  TcpIngress(TcpListener listener, MailboxPtr sink);
+  void Pump();
+
+  TcpListener listener_;
+  MailboxPtr sink_;
+  mutable std::mutex mu_;
+  Status first_error_;
+  std::thread thread_;
+};
+
+}  // namespace net
+}  // namespace fresque
+
+#endif  // FRESQUE_NET_TCP_BRIDGE_H_

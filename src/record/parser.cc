@@ -1,0 +1,164 @@
+#include "record/parser.h"
+
+#include <charconv>
+#include <cstring>
+
+namespace fresque {
+namespace record {
+
+namespace {
+
+Status ParseError(const char* what, std::string_view line) {
+  std::string msg = "parse error (";
+  msg += what;
+  msg += "): ";
+  msg += std::string(line.substr(0, 80));
+  return Status::InvalidArgument(std::move(msg));
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("not an integer: " + std::string(s));
+  }
+  return v;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  double v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("not a double: " + std::string(s));
+  }
+  return v;
+}
+
+// Month abbreviation -> 0-based month, or -1.
+int MonthIndex(std::string_view mon) {
+  static constexpr const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr",
+                                            "May", "Jun", "Jul", "Aug",
+                                            "Sep", "Oct", "Nov", "Dec"};
+  for (int i = 0; i < 12; ++i) {
+    if (mon == kMonths[i]) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ApacheLogParser>> ApacheLogParser::Create() {
+  auto schema = Schema::Create(
+      {
+          {"host", ValueType::kString},
+          {"timestamp", ValueType::kInt64},
+          {"request", ValueType::kString},
+          {"status", ValueType::kInt64},
+          {"bytes", ValueType::kInt64},
+      },
+      "bytes");
+  if (!schema.ok()) return schema.status();
+  return std::unique_ptr<ApacheLogParser>(
+      new ApacheLogParser(std::move(schema).ValueOrDie()));
+}
+
+Result<Record> ApacheLogParser::Parse(std::string_view line) const {
+  // host - - [dd/Mon/yyyy:HH:MM:SS -0400] "request" status bytes
+  size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) return ParseError("host", line);
+  std::string host(line.substr(0, sp));
+
+  size_t lb = line.find('[', sp);
+  size_t rb = (lb == std::string_view::npos) ? std::string_view::npos
+                                             : line.find(']', lb);
+  if (rb == std::string_view::npos) return ParseError("timestamp", line);
+  std::string_view ts = line.substr(lb + 1, rb - lb - 1);
+
+  // dd/Mon/yyyy:HH:MM:SS <tz>
+  if (ts.size() < 20) return ParseError("timestamp shape", line);
+  auto day = ParseInt(ts.substr(0, 2));
+  int mon = MonthIndex(ts.substr(3, 3));
+  auto year = ParseInt(ts.substr(7, 4));
+  auto hh = ParseInt(ts.substr(12, 2));
+  auto mm = ParseInt(ts.substr(15, 2));
+  auto ss = ParseInt(ts.substr(18, 2));
+  if (!day.ok() || mon < 0 || !year.ok() || !hh.ok() || !mm.ok() ||
+      !ss.ok()) {
+    return ParseError("timestamp fields", line);
+  }
+  // Days-since-epoch approximation (months as 31-day; adequate for an
+  // ingestion timestamp attribute that is never the indexed one).
+  int64_t days = (*year - 1970) * 372 + mon * 31 + (*day - 1);
+  int64_t epoch = ((days * 24 + *hh) * 60 + *mm) * 60 + *ss;
+
+  size_t q1 = line.find('"', rb);
+  size_t q2 = (q1 == std::string_view::npos) ? std::string_view::npos
+                                             : line.find('"', q1 + 1);
+  if (q2 == std::string_view::npos) return ParseError("request", line);
+  std::string request(line.substr(q1 + 1, q2 - q1 - 1));
+
+  std::string_view tail = line.substr(q2 + 1);
+  while (!tail.empty() && tail.front() == ' ') tail.remove_prefix(1);
+  size_t sp2 = tail.find(' ');
+  if (sp2 == std::string_view::npos) return ParseError("status", line);
+  auto status = ParseInt(tail.substr(0, sp2));
+  std::string_view bytes_sv = tail.substr(sp2 + 1);
+  while (!bytes_sv.empty() && bytes_sv.back() == ' ') bytes_sv.remove_suffix(1);
+  // "-" means no reply body in CLF.
+  int64_t bytes_val = 0;
+  if (bytes_sv != "-") {
+    auto b = ParseInt(bytes_sv);
+    if (!b.ok()) return ParseError("bytes", line);
+    bytes_val = *b;
+  }
+  if (!status.ok()) return ParseError("status value", line);
+
+  std::vector<Value> values;
+  values.reserve(5);
+  values.emplace_back(std::move(host));
+  values.emplace_back(epoch);
+  values.emplace_back(std::move(request));
+  values.emplace_back(*status);
+  values.emplace_back(bytes_val);
+  return Record(std::move(values));
+}
+
+Result<Record> CsvParser::Parse(std::string_view line) const {
+  std::vector<Value> values;
+  values.reserve(schema_.num_fields());
+  size_t start = 0;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    size_t comma = line.find(',', start);
+    bool last = (i + 1 == schema_.num_fields());
+    if (last && comma != std::string_view::npos) {
+      return ParseError("too many cells", line);
+    }
+    if (!last && comma == std::string_view::npos) {
+      return ParseError("too few cells", line);
+    }
+    std::string_view cell = last ? line.substr(start)
+                                 : line.substr(start, comma - start);
+    switch (schema_.field(i).type) {
+      case ValueType::kInt64: {
+        auto v = ParseInt(cell);
+        if (!v.ok()) return v.status();
+        values.emplace_back(*v);
+        break;
+      }
+      case ValueType::kDouble: {
+        auto v = ParseDouble(cell);
+        if (!v.ok()) return v.status();
+        values.emplace_back(*v);
+        break;
+      }
+      case ValueType::kString:
+        values.emplace_back(std::string(cell));
+        break;
+    }
+    start = comma + 1;
+  }
+  return Record(std::move(values));
+}
+
+}  // namespace record
+}  // namespace fresque

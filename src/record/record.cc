@@ -1,0 +1,89 @@
+#include "record/record.h"
+
+#include <sstream>
+
+namespace fresque {
+namespace record {
+
+Result<double> Record::IndexedValue(const Schema& schema) const {
+  size_t idx = schema.indexed_field_index();
+  if (idx >= values_.size()) {
+    return Status::InvalidArgument("record shorter than schema");
+  }
+  return values_[idx].AsNumeric();
+}
+
+std::string Record::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) os << ", ";
+    os << values_[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+Result<Bytes> RecordCodec::Serialize(const Record& rec) const {
+  if (rec.num_values() != schema_->num_fields()) {
+    return Status::InvalidArgument(
+        "record arity does not match schema: " +
+        std::to_string(rec.num_values()) + " vs " +
+        std::to_string(schema_->num_fields()));
+  }
+  BinaryWriter w;
+  for (size_t i = 0; i < rec.num_values(); ++i) {
+    const Value& v = rec.value(i);
+    if (v.type() != schema_->field(i).type) {
+      return Status::InvalidArgument("value type mismatch at field " +
+                                     schema_->field(i).name);
+    }
+    switch (v.type()) {
+      case ValueType::kInt64:
+        w.PutI64(v.AsInt64());
+        break;
+      case ValueType::kDouble:
+        w.PutF64(v.AsDouble());
+        break;
+      case ValueType::kString:
+        w.PutString(v.AsString());
+        break;
+    }
+  }
+  return w.Release();
+}
+
+Result<Record> RecordCodec::Deserialize(const Bytes& data) const {
+  BinaryReader r(data);
+  std::vector<Value> values;
+  values.reserve(schema_->num_fields());
+  for (size_t i = 0; i < schema_->num_fields(); ++i) {
+    switch (schema_->field(i).type) {
+      case ValueType::kInt64: {
+        auto v = r.GetI64();
+        if (!v.ok()) return v.status();
+        values.emplace_back(*v);
+        break;
+      }
+      case ValueType::kDouble: {
+        auto v = r.GetF64();
+        if (!v.ok()) return v.status();
+        values.emplace_back(*v);
+        break;
+      }
+      case ValueType::kString: {
+        auto v = r.GetString();
+        if (!v.ok()) return v.status();
+        values.emplace_back(std::move(*v));
+        break;
+      }
+    }
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("trailing bytes after record payload");
+  }
+  return Record(std::move(values));
+}
+
+}  // namespace record
+}  // namespace fresque

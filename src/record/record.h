@@ -1,0 +1,60 @@
+#ifndef FRESQUE_RECORD_RECORD_H_
+#define FRESQUE_RECORD_RECORD_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "record/schema.h"
+#include "record/value.h"
+
+namespace fresque {
+namespace record {
+
+/// One parsed tuple of a relation. Values are positional and must match
+/// the schema the record was parsed against.
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t num_values() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  std::vector<Value>& values() { return values_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Numeric value of the schema's indexed attribute.
+  Result<double> IndexedValue(const Schema& schema) const;
+
+  bool operator==(const Record& other) const {
+    return values_ == other.values_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Serializes a record to bytes and back, validating against a schema.
+/// This is the plaintext layout that AES-CBC encrypts before records leave
+/// the collector.
+class RecordCodec {
+ public:
+  explicit RecordCodec(const Schema* schema) : schema_(schema) {}
+
+  /// Fails if the record shape does not match the schema.
+  Result<Bytes> Serialize(const Record& rec) const;
+
+  Result<Record> Deserialize(const Bytes& data) const;
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const Schema* schema_;
+};
+
+}  // namespace record
+}  // namespace fresque
+
+#endif  // FRESQUE_RECORD_RECORD_H_

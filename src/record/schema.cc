@@ -1,0 +1,45 @@
+#include "record/schema.h"
+
+#include <sstream>
+
+namespace fresque {
+namespace record {
+
+Result<Schema> Schema::Create(std::vector<Field> fields,
+                              const std::string& indexed_field) {
+  if (fields.empty()) {
+    return Status::InvalidArgument("schema needs at least one field");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == indexed_field) {
+      if (fields[i].type == ValueType::kString) {
+        return Status::InvalidArgument(
+            "indexed attribute must be numeric: " + indexed_field);
+      }
+      return Schema(std::move(fields), i);
+    }
+  }
+  return Status::NotFound("indexed field not in schema: " + indexed_field);
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named " + name);
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "schema(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].name << ":" << ValueTypeToString(fields_[i].type);
+    if (i == indexed_index_) os << "*";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace record
+}  // namespace fresque

@@ -1,0 +1,52 @@
+#ifndef FRESQUE_RECORD_SCHEMA_H_
+#define FRESQUE_RECORD_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "record/value.h"
+
+namespace fresque {
+namespace record {
+
+/// One attribute of a relation D(A1, ..., An).
+struct Field {
+  std::string name;
+  ValueType type;
+};
+
+/// Relation schema: ordered attributes plus the designation of the one
+/// numeric attribute Aq that range queries index.
+class Schema {
+ public:
+  /// `indexed_field` must name a numeric (int64/double) field in `fields`.
+  static Result<Schema> Create(std::vector<Field> fields,
+                               const std::string& indexed_field);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the attribute range queries evaluate over.
+  size_t indexed_field_index() const { return indexed_index_; }
+  const Field& indexed_field() const { return fields_[indexed_index_]; }
+
+  /// Index of the named field, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  Schema(std::vector<Field> fields, size_t indexed_index)
+      : fields_(std::move(fields)), indexed_index_(indexed_index) {}
+
+  std::vector<Field> fields_;
+  size_t indexed_index_;
+};
+
+}  // namespace record
+}  // namespace fresque
+
+#endif  // FRESQUE_RECORD_SCHEMA_H_

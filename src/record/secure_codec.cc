@@ -1,0 +1,60 @@
+#include "record/secure_codec.h"
+
+namespace fresque {
+namespace record {
+
+Result<SecureRecordCodec> SecureRecordCodec::Create(
+    const Bytes& key, const Schema* schema, crypto::SecureRandom* rng) {
+  auto cbc = crypto::AesCbc::Create(key);
+  if (!cbc.ok()) return cbc.status();
+  return SecureRecordCodec(std::move(cbc).ValueOrDie(), schema, rng);
+}
+
+Result<Bytes> SecureRecordCodec::EncryptRecord(const Record& rec) {
+  auto body = codec_.Serialize(rec);
+  if (!body.ok()) return body.status();
+  return EncryptSerializedRecord(*body);
+}
+
+Result<Bytes> SecureRecordCodec::EncryptSerializedRecord(const Bytes& body) {
+  Bytes plain;
+  plain.reserve(body.size() + 1);
+  plain.push_back(kKindReal);
+  plain.insert(plain.end(), body.begin(), body.end());
+  return cbc_.Encrypt(plain,
+                      [this](uint8_t* out, size_t n) { rng_->Fill(out, n); });
+}
+
+Result<Bytes> SecureRecordCodec::EncryptDummy(size_t padding_len) {
+  Bytes plain(padding_len + 1);
+  plain[0] = kKindDummy;
+  rng_->Fill(plain.data() + 1, padding_len);
+  return cbc_.Encrypt(plain,
+                      [this](uint8_t* out, size_t n) { rng_->Fill(out, n); });
+}
+
+Result<SecureRecordCodec::Opened> SecureRecordCodec::Decrypt(
+    const Bytes& e_record) const {
+  auto plain = cbc_.Decrypt(e_record);
+  if (!plain.ok()) return plain.status();
+  if (plain->empty()) {
+    return Status::Corruption("empty e-record plaintext");
+  }
+  Opened out;
+  uint8_t kind = (*plain)[0];
+  if (kind == kKindDummy) {
+    out.is_dummy = true;
+    return out;
+  }
+  if (kind != kKindReal) {
+    return Status::Corruption("unknown e-record kind byte");
+  }
+  Bytes body(plain->begin() + 1, plain->end());
+  auto rec = codec_.Deserialize(body);
+  if (!rec.ok()) return rec.status();
+  out.rec = std::move(*rec);
+  return out;
+}
+
+}  // namespace record
+}  // namespace fresque

@@ -1,0 +1,69 @@
+#ifndef FRESQUE_RECORD_SECURE_CODEC_H_
+#define FRESQUE_RECORD_SECURE_CODEC_H_
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/cbc.h"
+#include "crypto/chacha20.h"
+#include "record/record.h"
+
+namespace fresque {
+namespace record {
+
+/// Produces and opens e-records: AES-CBC ciphertexts of
+///   u8 kind || body
+/// where kind 0 marks a real record (body = RecordCodec bytes) and kind 1
+/// marks a dummy (body = random padding). The kind byte is *inside* the
+/// ciphertext: the cloud cannot tell dummies from real records
+/// (semantic security), while the trusted client discards them after
+/// decryption.
+class SecureRecordCodec {
+ public:
+  static constexpr uint8_t kKindReal = 0;
+  static constexpr uint8_t kKindDummy = 1;
+
+  /// `key` is an AES key (16/24/32 bytes); `schema` must outlive the
+  /// codec; `rng` supplies IVs and dummy padding.
+  static Result<SecureRecordCodec> Create(const Bytes& key,
+                                          const Schema* schema,
+                                          crypto::SecureRandom* rng);
+
+  /// Encrypts a real record.
+  Result<Bytes> EncryptRecord(const Record& rec);
+
+  /// Encrypts a record already serialized with RecordCodec (the form a
+  /// parsed record travels in between collector components).
+  Result<Bytes> EncryptSerializedRecord(const Bytes& body);
+
+  /// Encrypts a dummy of `padding_len` random bytes. Choosing padding_len
+  /// near the typical record size keeps dummy ciphertext lengths in the
+  /// same distribution as real ones.
+  Result<Bytes> EncryptDummy(size_t padding_len);
+
+  /// Decryption outcome: a real record or a recognized dummy.
+  struct Opened {
+    bool is_dummy = false;
+    Record rec;
+  };
+
+  /// Decrypts and classifies an e-record.
+  Result<Opened> Decrypt(const Bytes& e_record) const;
+
+  const Schema& schema() const { return codec_.schema(); }
+
+ private:
+  SecureRecordCodec(crypto::AesCbc cbc, const Schema* schema,
+                    crypto::SecureRandom* rng)
+      : cbc_(std::move(cbc)), codec_(schema), rng_(rng) {}
+
+  crypto::AesCbc cbc_;
+  RecordCodec codec_;
+  crypto::SecureRandom* rng_;
+};
+
+}  // namespace record
+}  // namespace fresque
+
+#endif  // FRESQUE_RECORD_SECURE_CODEC_H_

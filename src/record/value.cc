@@ -1,0 +1,43 @@
+#include "record/value.h"
+
+namespace fresque {
+namespace record {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<double> Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kString:
+      return Status::InvalidArgument("string value is not numeric");
+  }
+  return Status::Internal("unknown value type");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+}  // namespace record
+}  // namespace fresque

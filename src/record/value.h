@@ -1,0 +1,58 @@
+#ifndef FRESQUE_RECORD_VALUE_H_
+#define FRESQUE_RECORD_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace fresque {
+namespace record {
+
+/// Attribute types supported by dataset schemas.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+const char* ValueTypeToString(ValueType t);
+
+/// One attribute value. Range queries index int64/double attributes;
+/// string attributes travel as payload only.
+class Value {
+ public:
+  Value() : repr_(int64_t{0}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view used for range-query evaluation: int64 and double both
+  /// convert; strings fail.
+  Result<double> AsNumeric() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> repr_;
+};
+
+}  // namespace record
+}  // namespace fresque
+
+#endif  // FRESQUE_RECORD_VALUE_H_

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/bucketization.h"
+#include "baseline/ope.h"
+#include "common/rng.h"
+
+namespace fresque {
+namespace baseline {
+namespace {
+
+// --------------------------------------------------------------------- OPE
+
+TEST(OpeTest, PreservesOrderProperty) {
+  auto ope = OpeScheme::Create(Bytes(16, 0x42), 10000);
+  ASSERT_TRUE(ope.ok());
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint64_t a = rng.NextBounded(10000);
+    uint64_t b = rng.NextBounded(10000);
+    auto ca = ope->Encrypt(a);
+    auto cb = ope->Encrypt(b);
+    ASSERT_TRUE(ca.ok() && cb.ok());
+    if (a < b) {
+      EXPECT_LT(*ca, *cb);
+    } else if (a > b) {
+      EXPECT_GT(*ca, *cb);
+    } else {
+      EXPECT_EQ(*ca, *cb);
+    }
+  }
+}
+
+TEST(OpeTest, DecryptInvertsEncrypt) {
+  auto ope = OpeScheme::Create(Bytes(16, 0x42), 5000);
+  ASSERT_TRUE(ope.ok());
+  for (uint64_t v = 0; v < 5000; v += 37) {
+    auto c = ope->Encrypt(v);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*ope->Decrypt(*c), v);
+  }
+  // Non-ciphertext values fail to decrypt.
+  auto c0 = ope->Encrypt(0);
+  EXPECT_FALSE(ope->Decrypt(*c0 + 1000000).ok());
+}
+
+TEST(OpeTest, KeyedDeterminism) {
+  auto a1 = OpeScheme::Create(Bytes(16, 0x01), 1000);
+  auto a2 = OpeScheme::Create(Bytes(16, 0x01), 1000);
+  auto b = OpeScheme::Create(Bytes(16, 0x02), 1000);
+  ASSERT_TRUE(a1.ok() && a2.ok() && b.ok());
+  bool any_diff = false;
+  for (uint64_t v = 0; v < 1000; v += 13) {
+    EXPECT_EQ(*a1->Encrypt(v), *a2->Encrypt(v));
+    if (*a1->Encrypt(v) != *b->Encrypt(v)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(OpeTest, RangeMapsToCiphertextInterval) {
+  auto ope = OpeScheme::Create(Bytes(16, 0x42), 1000);
+  ASSERT_TRUE(ope.ok());
+  auto range = ope->EncryptRange(100, 200);
+  ASSERT_TRUE(range.ok());
+  // Every plaintext in [100, 200] encrypts into the interval; everything
+  // outside encrypts outside.
+  for (uint64_t v = 0; v < 1000; v += 7) {
+    uint64_t c = *ope->Encrypt(v);
+    bool inside = c >= range->first && c <= range->second;
+    EXPECT_EQ(inside, v >= 100 && v <= 200) << v;
+  }
+  EXPECT_FALSE(ope->EncryptRange(5, 2).ok());
+}
+
+TEST(OpeTest, RejectsBadParameters) {
+  EXPECT_FALSE(OpeScheme::Create(Bytes(16, 1), 0).ok());
+  EXPECT_FALSE(OpeScheme::Create(Bytes(16, 1), 100, 1).ok());
+  auto ope = OpeScheme::Create(Bytes(16, 1), 100);
+  EXPECT_FALSE(ope->Encrypt(100).ok());  // outside domain
+}
+
+// ------------------------------------------------------------ Bucketization
+
+TEST(BucketizationTest, TagsAreStablePerBucket) {
+  auto b = Bucketization::Create(Bytes(16, 0x11), 0, 100, 10);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b->TagOf(5), *b->TagOf(9.9));    // same bucket [0,10)
+  EXPECT_NE(*b->TagOf(5), *b->TagOf(10.1));   // different bucket
+  EXPECT_FALSE(b->TagOf(-1).ok());
+  EXPECT_FALSE(b->TagOf(100).ok());
+}
+
+TEST(BucketizationTest, RangeCoversExactlyIntersectingBuckets) {
+  auto b = Bucketization::Create(Bytes(16, 0x11), 0, 100, 10);
+  ASSERT_TRUE(b.ok());
+  auto tags = b->TagsForRange(15, 34.9);  // buckets 1, 2, 3
+  ASSERT_TRUE(tags.ok());
+  EXPECT_EQ(tags->size(), 3u);
+  EXPECT_EQ((*tags)[0], *b->TagOf(15));
+  EXPECT_EQ((*tags)[2], *b->TagOf(34));
+  // Point query: one bucket.
+  EXPECT_EQ(b->TagsForRange(55, 55)->size(), 1u);
+  // Whole domain.
+  EXPECT_EQ(b->TagsForRange(0, 99.9)->size(), 10u);
+}
+
+TEST(BucketizationTest, TagsAreUnlinkableToOrder) {
+  // Random tags should not be monotone in the bucket index (unlike OPE).
+  auto b = Bucketization::Create(Bytes(16, 0x33), 0, 1000, 100);
+  ASSERT_TRUE(b.ok());
+  auto tags = b->TagsForRange(0, 999.9);
+  ASSERT_TRUE(tags.ok());
+  int inversions = 0;
+  for (size_t i = 1; i < tags->size(); ++i) {
+    if ((*tags)[i] < (*tags)[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 10);  // far from sorted
+}
+
+TEST(BucketizationTest, OverfetchShrinksWithWiderQueries) {
+  auto b = Bucketization::Create(Bytes(16, 0x11), 0, 100, 10);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->OverfetchFactor(1), b->OverfetchFactor(50));
+  EXPECT_NEAR(b->OverfetchFactor(1e9), 1.0, 1e-6);
+}
+
+TEST(BucketizationTest, RejectsBadParameters) {
+  EXPECT_FALSE(Bucketization::Create(Bytes(16, 1), 10, 10, 5).ok());
+  EXPECT_FALSE(Bucketization::Create(Bytes(16, 1), 0, 10, 0).ok());
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace fresque

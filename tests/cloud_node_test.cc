@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/server.h"
+#include "engine/cloud_node.h"
+#include "index/index.h"
+#include "index/matching.h"
+#include "index/overflow.h"
+#include "net/message.h"
+#include "net/payloads.h"
+
+namespace fresque {
+namespace engine {
+namespace {
+
+index::DomainBinning TinyBinning() {
+  auto b = index::DomainBinning::Create(0, 10, 1);
+  return std::move(b).ValueOrDie();
+}
+
+Bytes PublicationPayload(const index::DomainBinning& binning,
+                         std::vector<int64_t> counts) {
+  auto layout = index::IndexLayout::Create(binning.num_bins(), 4);
+  auto idx = index::HistogramIndex::FromLeafCounts(
+      std::move(layout).ValueOrDie(), binning, counts);
+  index::OverflowArrays ovf(binning.num_bins(), 1);
+  return net::EncodeIndexPublication(net::IndexPublication(
+      std::move(idx).ValueOrDie(), std::move(ovf)));
+}
+
+net::Message Msg(net::MessageType type, uint64_t pn, uint64_t leaf = 0,
+                 Bytes payload = {}) {
+  net::Message m;
+  m.type = type;
+  m.pn = pn;
+  m.leaf = leaf;
+  m.payload = std::move(payload);
+  return m;
+}
+
+class CloudNodeTest : public ::testing::Test {
+ protected:
+  CloudNodeTest() : server_(TinyBinning()), node_(&server_) {
+    node_.Start();
+  }
+
+  void Finish() {
+    node_.inbox()->Push(Msg(net::MessageType::kShutdown, 0));
+    node_.Shutdown();
+  }
+
+  cloud::CloudServer server_;
+  CloudNode node_;
+};
+
+TEST_F(CloudNodeTest, IndexedFlowPublishesImmediately) {
+  node_.inbox()->Push(Msg(net::MessageType::kPublicationStart, 0));
+  node_.inbox()->Push(
+      Msg(net::MessageType::kCloudRecord, 0, 3, Bytes{0xAA}));
+  std::vector<int64_t> counts(10, 0);
+  counts[3] = 1;
+  node_.inbox()->Push(Msg(net::MessageType::kIndexPublication, 0, 0,
+                          PublicationPayload(server_.binning(), counts)));
+  Finish();
+  EXPECT_TRUE(node_.first_error().ok()) << node_.first_error().ToString();
+  ASSERT_EQ(node_.matching_stats().size(), 1u);
+  EXPECT_EQ(node_.matching_stats()[0].records_matched, 1u);
+}
+
+TEST_F(CloudNodeTest, TaggedFlowWaitsForTableThenIndex) {
+  node_.inbox()->Push(Msg(net::MessageType::kPublicationStart, 0));
+  node_.inbox()->Push(
+      Msg(net::MessageType::kCloudTaggedRecord, 0, 777, Bytes{0xBB}));
+  index::MatchingTable table;
+  (void)table.Add(777, 2);
+  // Table first, then index: pairing must still complete.
+  node_.inbox()->Push(Msg(net::MessageType::kMatchingTable, 0, 0,
+                          net::EncodeMatchingTable(table)));
+  std::vector<int64_t> counts(10, 0);
+  counts[2] = 1;
+  node_.inbox()->Push(Msg(net::MessageType::kIndexPublication, 0, 0,
+                          PublicationPayload(server_.binning(), counts)));
+  Finish();
+  EXPECT_TRUE(node_.first_error().ok());
+  ASSERT_EQ(node_.matching_stats().size(), 1u);
+}
+
+TEST_F(CloudNodeTest, TaggedFlowIndexBeforeTableAlsoPairs) {
+  node_.inbox()->Push(Msg(net::MessageType::kPublicationStart, 0));
+  node_.inbox()->Push(
+      Msg(net::MessageType::kCloudTaggedRecord, 0, 42, Bytes{0xCC}));
+  std::vector<int64_t> counts(10, 0);
+  counts[1] = 1;
+  node_.inbox()->Push(Msg(net::MessageType::kIndexPublication, 0, 0,
+                          PublicationPayload(server_.binning(), counts)));
+  index::MatchingTable table;
+  (void)table.Add(42, 1);
+  node_.inbox()->Push(Msg(net::MessageType::kMatchingTable, 0, 0,
+                          net::EncodeMatchingTable(table)));
+  Finish();
+  EXPECT_TRUE(node_.first_error().ok());
+  ASSERT_EQ(node_.matching_stats().size(), 1u);
+}
+
+TEST_F(CloudNodeTest, BadPayloadIsRecordedNotFatal) {
+  node_.inbox()->Push(Msg(net::MessageType::kPublicationStart, 0));
+  node_.inbox()->Push(
+      Msg(net::MessageType::kIndexPublication, 0, 0, Bytes{1, 2, 3}));
+  // Node keeps running after the decode error.
+  node_.inbox()->Push(
+      Msg(net::MessageType::kCloudRecord, 0, 1, Bytes{0xDD}));
+  Finish();
+  EXPECT_FALSE(node_.first_error().ok());
+  EXPECT_EQ(server_.total_records(), 1u);  // later frame still applied
+}
+
+TEST_F(CloudNodeTest, UnexpectedFrameTypeIsError) {
+  node_.inbox()->Push(Msg(net::MessageType::kRawLine, 0));
+  Finish();
+  EXPECT_FALSE(node_.first_error().ok());
+}
+
+TEST_F(CloudNodeTest, InterleavedPublicationsStayIndependent) {
+  node_.inbox()->Push(Msg(net::MessageType::kPublicationStart, 0));
+  node_.inbox()->Push(Msg(net::MessageType::kPublicationStart, 1));
+  node_.inbox()->Push(
+      Msg(net::MessageType::kCloudRecord, 0, 1, Bytes{0x00}));
+  node_.inbox()->Push(
+      Msg(net::MessageType::kCloudRecord, 1, 1, Bytes{0x01}));
+  std::vector<int64_t> counts(10, 0);
+  counts[1] = 1;
+  node_.inbox()->Push(Msg(net::MessageType::kIndexPublication, 1, 0,
+                          PublicationPayload(server_.binning(), counts)));
+  node_.inbox()->Push(Msg(net::MessageType::kIndexPublication, 0, 0,
+                          PublicationPayload(server_.binning(), counts)));
+  Finish();
+  EXPECT_TRUE(node_.first_error().ok());
+  EXPECT_EQ(node_.matching_stats().size(), 2u);
+  EXPECT_EQ(server_.num_publications(), 2u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace fresque

@@ -1,0 +1,128 @@
+// Concurrency-facing behaviour: querying the cloud while ingestion and
+// publication are in full flight, and the multi-range client API.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "crypto/key_manager.h"
+#include "engine/cloud_node.h"
+#include "engine/fresque_collector.h"
+#include "record/dataset.h"
+
+namespace fresque {
+namespace {
+
+TEST(ConcurrencyTest, QueriesDuringIngestNeverFailOrCorrupt) {
+  auto spec = record::GowallaDataset();
+  ASSERT_TRUE(spec.ok());
+  auto binning = index::DomainBinning::Create(
+      spec->domain_min, spec->domain_max, spec->bin_width);
+  cloud::CloudServer server(std::move(binning).ValueOrDie());
+  engine::CloudNode cloud_node(&server);
+  cloud_node.Start();
+
+  crypto::KeyManager keys(Bytes(32, 0x81));
+  engine::CollectorConfig cfg;
+  cfg.dataset = *spec;
+  cfg.num_computing_nodes = 2;
+  cfg.delta = 0.51;  // small randomer buffer so records reach the cloud
+  cfg.seed = 33;
+  engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
+  ASSERT_TRUE(collector.Start().ok());
+
+  // A reader hammering the cloud while the collector streams.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> failures{0};
+  std::thread reader([&] {
+    client::Client client(keys, &spec->parser->schema());
+    index::RangeQuery q{spec->domain_min, spec->domain_max};
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto r = client.Query(server, q);
+      ++queries;
+      if (!r.ok()) ++failures;
+    }
+  });
+
+  auto gen = record::MakeGenerator(*spec, 11);
+  for (int interval = 0; interval < 3; ++interval) {
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_TRUE(collector.Ingest((*gen)->NextLine()).ok());
+    }
+    ASSERT_TRUE(collector.Publish().ok());
+  }
+  ASSERT_TRUE(collector.Shutdown().ok());
+  stop = true;
+  reader.join();
+  cloud_node.Shutdown();
+
+  EXPECT_TRUE(cloud_node.first_error().ok());
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(ConcurrencyTest, QueryMultiDeduplicatesOverlappingRanges) {
+  auto spec = record::GowallaDataset();
+  ASSERT_TRUE(spec.ok());
+  auto binning = index::DomainBinning::Create(
+      spec->domain_min, spec->domain_max, spec->bin_width);
+  cloud::CloudServer server(std::move(binning).ValueOrDie());
+  engine::CloudNode cloud_node(&server);
+  cloud_node.Start();
+
+  crypto::KeyManager keys(Bytes(32, 0x82));
+  engine::CollectorConfig cfg;
+  cfg.dataset = *spec;
+  cfg.num_computing_nodes = 2;
+  cfg.seed = 44;
+  engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
+  ASSERT_TRUE(collector.Start().ok());
+  auto gen = record::MakeGenerator(*spec, 22);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(collector.Ingest((*gen)->NextLine()).ok());
+  }
+  ASSERT_TRUE(collector.Publish().ok());
+  ASSERT_TRUE(collector.Shutdown().ok());
+  cloud_node.Shutdown();
+
+  client::Client client(keys, &spec->parser->schema());
+  double mid = spec->domain_min + 313 * 3600.0;
+  index::RangeQuery whole{spec->domain_min, spec->domain_max};
+  index::RangeQuery left{spec->domain_min, mid};
+  index::RangeQuery right{mid - 50 * 3600.0, spec->domain_max};  // overlap
+
+  auto single = client.Query(server, whole);
+  auto multi = client.QueryMulti(server, {left, right});
+  ASSERT_TRUE(single.ok() && multi.ok());
+  // left ∪ right covers the whole domain with a 50-hour overlap: the
+  // union must equal the single full query, duplicates removed.
+  EXPECT_EQ(multi->size(), single->size());
+
+  // Disjoint slivers: union is additive.
+  index::RangeQuery a{spec->domain_min, spec->domain_min + 10 * 3600.0};
+  index::RangeQuery b{spec->domain_min + 400 * 3600.0,
+                      spec->domain_min + 420 * 3600.0};
+  auto qa = client.Query(server, a);
+  auto qb = client.Query(server, b);
+  auto qab = client.QueryMulti(server, {a, b});
+  ASSERT_TRUE(qa.ok() && qb.ok() && qab.ok());
+  EXPECT_EQ(qab->size(), qa->size() + qb->size());
+}
+
+TEST(ConcurrencyTest, QueryMultiEmptyRangesReturnsEmpty) {
+  auto binning = index::DomainBinning::Create(0, 10, 1);
+  cloud::CloudServer server(std::move(binning).ValueOrDie());
+  auto schema = record::Schema::Create(
+      {{"v", record::ValueType::kInt64}}, "v");
+  client::Client client(crypto::KeyManager(Bytes(32, 1)), &*schema);
+  auto r = client.QueryMulti(server, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace fresque

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "engine/dummy_schedule.h"
+#include "engine/randomer.h"
+#include "net/message.h"
+
+namespace fresque {
+namespace engine {
+namespace {
+
+net::Message Tagged(uint64_t id) {
+  net::Message m;
+  m.type = net::MessageType::kTaggedRecord;
+  m.pn = id;
+  return m;
+}
+
+// ---------------------------------------------------------------- Randomer
+
+TEST(RandomerTest, HoldsUpToCapacityWithoutReleasing) {
+  crypto::SecureRandom rng(1);
+  Randomer r(5, &rng);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(r.Push(Tagged(i)).has_value()) << i;
+  }
+  EXPECT_EQ(r.size(), 5u);
+}
+
+TEST(RandomerTest, TriggerReleasesExactlyOnePerOverflowingPush) {
+  crypto::SecureRandom rng(2);
+  Randomer r(3, &rng);
+  for (uint64_t i = 0; i < 3; ++i) r.Push(Tagged(i));
+  for (uint64_t i = 3; i < 100; ++i) {
+    auto out = r.Push(Tagged(i));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(r.size(), 3u);
+  }
+}
+
+TEST(RandomerTest, FlushReturnsEverythingExactlyOnce) {
+  crypto::SecureRandom rng(3);
+  Randomer r(100, &rng);
+  std::vector<uint64_t> released;
+  for (uint64_t i = 0; i < 250; ++i) {
+    auto out = r.Push(Tagged(i));
+    if (out) released.push_back(out->pn);
+  }
+  for (auto& m : r.Flush()) released.push_back(m.pn);
+  EXPECT_EQ(r.size(), 0u);
+  std::sort(released.begin(), released.end());
+  ASSERT_EQ(released.size(), 250u);
+  for (uint64_t i = 0; i < 250; ++i) EXPECT_EQ(released[i], i);
+}
+
+TEST(RandomerTest, EvictionIsUniformAcrossResidents) {
+  // With capacity c, each resident (including the newcomer) should be the
+  // eviction victim with probability ~1/(c+1).
+  constexpr size_t kCap = 9;
+  constexpr int kTrials = 20000;
+  std::map<uint64_t, int> victim_counts;
+  crypto::SecureRandom rng(4);
+  for (int t = 0; t < kTrials; ++t) {
+    Randomer r(kCap, &rng);
+    for (uint64_t i = 0; i < kCap; ++i) r.Push(Tagged(i));
+    auto out = r.Push(Tagged(kCap));  // 10 residents, one leaves
+    ASSERT_TRUE(out.has_value());
+    ++victim_counts[out->pn];
+  }
+  for (uint64_t id = 0; id <= kCap; ++id) {
+    EXPECT_NEAR(victim_counts[id], kTrials / (kCap + 1),
+                kTrials / (kCap + 1) * 0.2)
+        << "id " << id;
+  }
+}
+
+TEST(RandomerTest, FlushOrderIsShuffled) {
+  crypto::SecureRandom rng(5);
+  Randomer r(64, &rng);
+  for (uint64_t i = 0; i < 64; ++i) r.Push(Tagged(i));
+  auto out = r.Flush();
+  ASSERT_EQ(out.size(), 64u);
+  int in_place = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    if (out[i].pn == i) ++in_place;
+  }
+  // A uniform shuffle leaves ~1 fixed point on average.
+  EXPECT_LT(in_place, 10);
+}
+
+TEST(RandomerTest, ZeroCapacityClampsToOne) {
+  crypto::SecureRandom rng(6);
+  Randomer r(0, &rng);
+  EXPECT_EQ(r.capacity(), 1u);
+  EXPECT_FALSE(r.Push(Tagged(1)).has_value());
+  EXPECT_TRUE(r.Push(Tagged(2)).has_value());
+}
+
+// ----------------------------------------------------------- DummySchedule
+
+TEST(DummyScheduleTest, OneDummyPerPositiveNoiseUnit) {
+  crypto::SecureRandom rng(7);
+  DummySchedule sched({3, -2, 0, 1}, &rng);
+  EXPECT_EQ(sched.total(), 4u);  // 3 + 0 + 0 + 1
+}
+
+TEST(DummyScheduleTest, DueIsMonotoneAndComplete) {
+  crypto::SecureRandom rng(8);
+  std::vector<int64_t> noise(100);
+  for (auto& n : noise) n = 2;
+  DummySchedule sched(noise, &rng);
+  ASSERT_EQ(sched.total(), 200u);
+
+  size_t released = 0;
+  for (double p = 0.1; p <= 1.01; p += 0.1) {
+    auto due = sched.Due(p);
+    released += due.size();
+    EXPECT_EQ(sched.released(), released);
+  }
+  EXPECT_EQ(released, 200u);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_TRUE(sched.Due(1.0).empty());  // nothing left
+}
+
+TEST(DummyScheduleTest, ReleaseTimesAreRoughlyUniform) {
+  crypto::SecureRandom rng(9);
+  std::vector<int64_t> noise(1000, 10);  // 10k dummies
+  DummySchedule sched(noise, &rng);
+  // Count how many release in each decile.
+  size_t prev = 0;
+  for (double p = 0.1; p <= 1.001; p += 0.1) {
+    (void)sched.Due(p);
+    size_t in_decile = sched.released() - prev;
+    prev = sched.released();
+    EXPECT_NEAR(in_decile, 1000, 150);
+  }
+}
+
+TEST(DummyScheduleTest, LeavesMatchNoiseMultiplicity) {
+  crypto::SecureRandom rng(10);
+  DummySchedule sched({2, 0, 3}, &rng);
+  auto all = sched.Due(1.0);
+  std::map<uint32_t, int> per_leaf;
+  for (uint32_t leaf : all) ++per_leaf[leaf];
+  EXPECT_EQ(per_leaf[0], 2);
+  EXPECT_EQ(per_leaf.count(1), 0u);
+  EXPECT_EQ(per_leaf[2], 3);
+}
+
+TEST(DummyScheduleTest, EmptyNoiseNoDummies) {
+  crypto::SecureRandom rng(11);
+  DummySchedule sched({-5, 0, -1}, &rng);
+  EXPECT_EQ(sched.total(), 0u);
+  EXPECT_TRUE(sched.Due(1.0).empty());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace fresque

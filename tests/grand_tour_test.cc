@@ -1,0 +1,96 @@
+// The whole story in one test: many publications, snapshot persistence,
+// restart, integrity audit, multi-range analytics — everything a
+// deployment would do across a retention horizon.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "crypto/key_manager.h"
+#include "engine/cloud_node.h"
+#include "engine/fresque_collector.h"
+#include "record/dataset.h"
+
+namespace fresque {
+namespace {
+
+TEST(GrandTourTest, TenPublicationsSurviveRestartAndAudit) {
+  auto spec = record::GowallaDataset();
+  ASSERT_TRUE(spec.ok());
+  auto binning = index::DomainBinning::Create(
+      spec->domain_min, spec->domain_max, spec->bin_width);
+  std::string snap =
+      std::string(::testing::TempDir()) + "/grand_tour.snap";
+
+  crypto::KeyManager keys(Bytes(32, 0xA5));
+  std::vector<record::Record> truth;
+
+  // --- Day 1..10 of operation.
+  {
+    cloud::CloudServer server(std::move(binning).ValueOrDie());
+    engine::CloudNode cloud_node(&server);
+    cloud_node.Start();
+    engine::CollectorConfig cfg;
+    cfg.dataset = *spec;
+    cfg.num_computing_nodes = 3;
+    cfg.epsilon = 1.0;
+    cfg.seed = 1010;
+    engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
+    ASSERT_TRUE(collector.Start().ok());
+    auto gen = record::MakeGenerator(*spec, 55);
+    for (int day = 0; day < 10; ++day) {
+      for (int i = 0; i < 800; ++i) {
+        std::string line = (*gen)->NextLine();
+        auto rec = spec->parser->Parse(line);
+        ASSERT_TRUE(rec.ok());
+        truth.push_back(std::move(*rec));
+        collector.SetIntervalProgress(i / 800.0);
+        ASSERT_TRUE(collector.Ingest(line).ok());
+      }
+      ASSERT_TRUE(collector.Publish().ok());
+    }
+    ASSERT_TRUE(collector.Shutdown().ok());
+    cloud_node.Shutdown();
+    ASSERT_TRUE(cloud_node.first_error().ok());
+    ASSERT_EQ(cloud_node.matching_stats().size(), 10u);
+    ASSERT_TRUE(server.SaveSnapshot(snap).ok());
+  }
+
+  // --- "The cloud restarts."
+  auto restored = cloud::CloudServer::LoadSnapshot(snap);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  cloud::CloudServer& server = **restored;
+  EXPECT_EQ(server.num_publications(), 11u);  // 10 published + 1 open
+
+  client::Client client(keys, &spec->parser->schema());
+
+  // Integrity audit of every published publication.
+  for (uint64_t pn = 0; pn < 10; ++pn) {
+    EXPECT_TRUE(client.VerifyPublication(server, pn).ok()) << pn;
+  }
+
+  // Full-domain recall across all ten publications.
+  index::RangeQuery all{spec->domain_min, spec->domain_max};
+  auto acc = client.QueryWithGroundTruth(server, all, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_EQ(acc->expected, truth.size());
+  EXPECT_GE(acc->Recall(), 0.70);
+
+  // Multi-range analytics: morning vs evening check-ins (diurnal data).
+  std::vector<index::RangeQuery> evenings;
+  for (int day = 0; day < 26; ++day) {
+    double base = spec->domain_min + day * 24 * 3600.0;
+    evenings.push_back({base + 17 * 3600.0, base + 21 * 3600.0});
+  }
+  auto evening_records = client.QueryMulti(server, evenings);
+  ASSERT_TRUE(evening_records.ok());
+  // Diurnal generator: evening hours hold far more than 4/24 of mass.
+  EXPECT_GT(evening_records->size(), truth.size() / 5);
+
+  std::remove(snap.c_str());
+}
+
+}  // namespace
+}  // namespace fresque

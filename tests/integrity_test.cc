@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "crypto/key_manager.h"
+#include "engine/cloud_node.h"
+#include "engine/fresque_collector.h"
+#include "index/overflow.h"
+#include "net/payloads.h"
+#include "record/dataset.h"
+
+namespace fresque {
+namespace {
+
+TEST(PublicationIntegrityTest, TagVerifiesAndDetectsTampering) {
+  auto binning = index::DomainBinning::Create(0, 50, 1);
+  crypto::SecureRandom rng(1);
+  auto tmpl = index::IndexTemplate::Create(*binning, 4, 1.0, &rng);
+  index::OverflowArrays ovf(50, 1);
+  net::IndexPublication pub(tmpl->noise_index(), std::move(ovf));
+
+  Bytes key(32, 0x10);
+  pub.integrity_tag = net::ComputeIndexPublicationTag(pub, key);
+  Bytes payload = net::EncodeIndexPublication(pub);
+
+  EXPECT_TRUE(net::VerifyIndexPublicationPayload(payload, key).ok());
+  // Wrong key.
+  EXPECT_TRUE(net::VerifyIndexPublicationPayload(payload, Bytes(32, 0x11))
+                  .IsCorruption());
+  // Flipped content byte (inside the index segment).
+  Bytes tampered = payload;
+  tampered[16] ^= 0x01;
+  Status st = net::VerifyIndexPublicationPayload(tampered, key);
+  EXPECT_FALSE(st.ok());
+  // Untagged publication is reported as unverifiable, not valid.
+  net::IndexPublication untagged(tmpl->noise_index(),
+                                 index::OverflowArrays(50, 1));
+  Bytes untagged_payload = net::EncodeIndexPublication(untagged);
+  EXPECT_TRUE(net::VerifyIndexPublicationPayload(untagged_payload, key)
+                  .IsFailedPrecondition());
+}
+
+TEST(PublicationIntegrityTest, TagRoundTripsThroughEncodeDecode) {
+  auto binning = index::DomainBinning::Create(0, 10, 1);
+  crypto::SecureRandom rng(2);
+  auto tmpl = index::IndexTemplate::Create(*binning, 4, 1.0, &rng);
+  net::IndexPublication pub(tmpl->noise_index(),
+                            index::OverflowArrays(10, 1));
+  pub.integrity_tag = Bytes(32, 0xAB);
+  auto back = net::DecodeIndexPublication(net::EncodeIndexPublication(pub));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->integrity_tag, pub.integrity_tag);
+}
+
+TEST(PublicationIntegrityTest, EndToEndFresquePublicationVerifies) {
+  auto spec = record::GowallaDataset();
+  ASSERT_TRUE(spec.ok());
+  auto binning = index::DomainBinning::Create(
+      spec->domain_min, spec->domain_max, spec->bin_width);
+  cloud::CloudServer server(std::move(binning).ValueOrDie());
+  engine::CloudNode cloud_node(&server);
+  cloud_node.Start();
+
+  crypto::KeyManager keys(Bytes(32, 0x30));
+  engine::CollectorConfig cfg;
+  cfg.dataset = *spec;
+  cfg.num_computing_nodes = 2;
+  cfg.seed = 7;
+  engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
+  ASSERT_TRUE(collector.Start().ok());
+  auto gen = record::MakeGenerator(*spec, 5);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(collector.Ingest((*gen)->NextLine()).ok());
+  }
+  ASSERT_TRUE(collector.Publish().ok());
+  ASSERT_TRUE(collector.Shutdown().ok());
+  cloud_node.Shutdown();
+
+  client::Client good(keys, &spec->parser->schema());
+  EXPECT_TRUE(good.VerifyPublication(server, 0).ok());
+  // Publication 1 was opened but never published: no evidence.
+  EXPECT_TRUE(good.VerifyPublication(server, 1).IsNotFound());
+  // A client keyed differently rejects the publication.
+  client::Client other(crypto::KeyManager(Bytes(32, 0x31)),
+                       &spec->parser->schema());
+  EXPECT_TRUE(other.VerifyPublication(server, 0).IsCorruption());
+}
+
+}  // namespace
+}  // namespace fresque

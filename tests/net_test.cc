@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "index/index.h"
+#include "index/matching.h"
+#include "index/overflow.h"
+#include "net/message.h"
+#include "net/node.h"
+#include "net/payloads.h"
+
+namespace fresque {
+namespace net {
+namespace {
+
+TEST(MessageTest, SerializeRoundTripAllTypes) {
+  for (int t = 0; t <= static_cast<int>(MessageType::kShutdown); ++t) {
+    Message m;
+    m.type = static_cast<MessageType>(t);
+    m.pn = 42;
+    m.leaf = 0xDEADBEEFCAFEULL;
+    m.dummy = (t % 2) == 0;
+    m.payload = {1, 2, 3, 4, 5};
+    auto back = Message::Deserialize(m.Serialize());
+    ASSERT_TRUE(back.ok()) << "type " << t;
+    EXPECT_EQ(back->type, m.type);
+    EXPECT_EQ(back->pn, m.pn);
+    EXPECT_EQ(back->leaf, m.leaf);
+    EXPECT_EQ(back->dummy, m.dummy);
+    EXPECT_EQ(back->payload, m.payload);
+  }
+}
+
+TEST(MessageTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Message::Deserialize({}).ok());
+  EXPECT_FALSE(Message::Deserialize({0xFF, 0xFF}).ok());
+  Message m;
+  m.type = MessageType::kRawLine;
+  Bytes good = m.Serialize();
+  good[0] = 200;  // unknown type id
+  EXPECT_FALSE(Message::Deserialize(good).ok());
+}
+
+TEST(MessageTest, EveryTypeHasName) {
+  for (int t = 0; t <= static_cast<int>(MessageType::kShutdown); ++t) {
+    EXPECT_STRNE(MessageTypeToString(static_cast<MessageType>(t)), "?");
+  }
+}
+
+TEST(NodeTest, ProcessesFramesInOrder) {
+  auto inbox = MakeMailbox(16);
+  std::vector<uint64_t> seen;
+  Node node("t", inbox, [&](Message&& m) {
+    if (m.type == MessageType::kShutdown) return false;
+    seen.push_back(m.pn);
+    return true;
+  });
+  node.Start();
+  for (uint64_t i = 0; i < 10; ++i) {
+    Message m;
+    m.type = MessageType::kRawLine;
+    m.pn = i;
+    inbox->Push(std::move(m));
+  }
+  Message stop;
+  stop.type = MessageType::kShutdown;
+  inbox->Push(std::move(stop));
+  node.Join();
+  ASSERT_EQ(seen.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(node.frames_processed(), 11u);
+}
+
+TEST(NodeTest, StopClosesInboxAndDrains) {
+  auto inbox = MakeMailbox(16);
+  std::atomic<int> handled{0};
+  Node node("t", inbox, [&](Message&&) {
+    ++handled;
+    return true;
+  });
+  node.Start();
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.type = MessageType::kRawLine;
+    inbox->Push(std::move(m));
+  }
+  node.Stop();
+  node.Join();
+  EXPECT_EQ(handled.load(), 5);  // drained before exiting
+}
+
+TEST(NodeTest, DestructorJoinsCleanly) {
+  auto inbox = MakeMailbox(4);
+  { Node node("t", inbox, [](Message&&) { return true; }); }
+  // Never started: destructor must not hang or crash.
+  auto inbox2 = MakeMailbox(4);
+  {
+    Node node("t2", inbox2, [](Message&&) { return true; });
+    node.Start();
+  }  // destructor stops + joins
+  SUCCEED();
+}
+
+TEST(PayloadsTest, TemplateRoundTrip) {
+  auto binning = index::DomainBinning::Create(0, 100, 1);
+  crypto::SecureRandom rng(1);
+  auto tmpl = index::IndexTemplate::Create(std::move(binning).ValueOrDie(),
+                                           8, 1.0, &rng);
+  ASSERT_TRUE(tmpl.ok());
+  auto back = DecodeTemplate(EncodeTemplate(tmpl->noise_index()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->leaf_counts(), tmpl->noise_index().leaf_counts());
+}
+
+TEST(PayloadsTest, AlSnapshotRoundTrip) {
+  std::vector<int64_t> al = {0, -3, 17, 1LL << 40, -9};
+  auto back = DecodeAlSnapshot(EncodeAlSnapshot(al));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, al);
+  EXPECT_FALSE(DecodeAlSnapshot({1, 2}).ok());
+}
+
+TEST(PayloadsTest, IndexPublicationRoundTrip) {
+  auto binning = index::DomainBinning::Create(0, 50, 1);
+  crypto::SecureRandom rng(2);
+  auto tmpl = index::IndexTemplate::Create(std::move(binning).ValueOrDie(),
+                                           4, 1.0, &rng);
+  index::OverflowArrays ovf(50, 2);
+  (void)ovf.Insert(3, Bytes{1, 2, 3}, &rng);
+  ovf.PadWithDummies([&] { return rng.RandomBytes(4); });
+  IndexPublication pub(tmpl->noise_index(), std::move(ovf));
+  auto bytes = EncodeIndexPublication(pub);
+  auto back = DecodeIndexPublication(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->index.leaf_counts(), pub.index.leaf_counts());
+  EXPECT_EQ(back->overflow.num_leaves(), 50u);
+  EXPECT_FALSE(DecodeIndexPublication({0}).ok());
+}
+
+TEST(PayloadsTest, MatchingTableRoundTrip) {
+  index::MatchingTable t;
+  (void)t.Add(5, 1);
+  (void)t.Add(6, 2);
+  auto back = DecodeMatchingTable(EncodeMatchingTable(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(*back->Lookup(6), 2u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace fresque

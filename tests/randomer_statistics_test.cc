@@ -1,0 +1,113 @@
+// Statistical properties of the randomer beyond functional correctness:
+// the mixing quality claims behind Theorem 2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+#include "crypto/chacha20.h"
+#include "engine/randomer.h"
+#include "net/message.h"
+
+namespace fresque {
+namespace engine {
+namespace {
+
+net::Message Tagged(uint64_t id, bool dummy = false) {
+  net::Message m;
+  m.type = net::MessageType::kTaggedRecord;
+  m.pn = id;
+  m.dummy = dummy;
+  return m;
+}
+
+TEST(RandomerStatisticsTest, ResidenceTimeIsGeometric) {
+  // Once the buffer is full, each resident survives an eviction with
+  // probability c/(c+1); residence (in pushes) is geometric with mean
+  // ~(c+1). Check the empirical mean.
+  constexpr size_t kCap = 32;
+  crypto::SecureRandom rng(1);
+  Randomer r(kCap, &rng);
+  std::vector<uint64_t> inserted_at;
+  RunningStats residence;
+  uint64_t push_count = 0;
+  for (uint64_t i = 0; i < 200000; ++i) {
+    inserted_at.push_back(push_count);
+    auto out = r.Push(Tagged(i));
+    ++push_count;
+    if (out) {
+      residence.Add(static_cast<double>(push_count - inserted_at[out->pn]));
+    }
+  }
+  EXPECT_NEAR(residence.mean(), kCap + 1, (kCap + 1) * 0.05);
+}
+
+TEST(RandomerStatisticsTest, OutputOrderDecorrelatesFromInput) {
+  // Spearman-style check: the output position of record i should be only
+  // weakly coupled to i beyond the unavoidable coarse drift (a FIFO
+  // would correlate at exactly 1; the randomer must sit well below).
+  constexpr size_t kCap = 512;
+  constexpr size_t kN = 4096;
+  crypto::SecureRandom rng(2);
+  Randomer r(kCap, &rng);
+  std::vector<double> out_pos(kN, 0);
+  size_t pos = 0;
+  for (uint64_t i = 0; i < kN; ++i) {
+    auto out = r.Push(Tagged(i));
+    if (out) out_pos[out->pn] = static_cast<double>(pos++);
+  }
+  for (auto& m : r.Flush()) out_pos[m.pn] = static_cast<double>(pos++);
+
+  // Pearson correlation of (i, out_pos[i]).
+  double n = static_cast<double>(kN);
+  double mean_i = (n - 1) / 2;
+  double mean_o = 0;
+  for (double o : out_pos) mean_o += o;
+  mean_o /= n;
+  double num = 0, di = 0, d_o = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    double a = static_cast<double>(i) - mean_i;
+    double b = out_pos[i] - mean_o;
+    num += a * b;
+    di += a * a;
+    d_o += b * b;
+  }
+  double corr = num / std::sqrt(di * d_o);
+  // A 512-slot buffer over 4096 records leaves coarse drift, but must
+  // destroy fine-grained order; FIFO would be 1.0.
+  EXPECT_LT(corr, 0.95);
+  EXPECT_GT(corr, 0.0);  // it is still a queue at coarse scale
+}
+
+TEST(RandomerStatisticsTest, DummyFractionInOutputMatchesInput) {
+  // Mixing must not bias dummies earlier or later on average.
+  constexpr size_t kCap = 256;
+  crypto::SecureRandom rng(3);
+  Randomer r(kCap, &rng);
+  size_t early_dummies = 0, late_dummies = 0;
+  constexpr uint64_t kN = 20000;
+  size_t emitted = 0;
+  for (uint64_t i = 0; i < kN; ++i) {
+    bool dummy = (i % 10) == 0;  // 10% dummies, uniformly interleaved
+    auto out = r.Push(Tagged(i, dummy));
+    if (out) {
+      if (emitted < (kN - kCap) / 2) {
+        early_dummies += out->dummy;
+      } else {
+        late_dummies += out->dummy;
+      }
+      ++emitted;
+    }
+  }
+  double ratio = static_cast<double>(early_dummies) /
+                 static_cast<double>(late_dummies + 1);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace fresque

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "crypto/key_manager.h"
+#include "engine/cloud_node.h"
+#include "engine/fresque_collector.h"
+#include "record/dataset.h"
+
+namespace fresque {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SnapshotTest, QueriesSurviveSaveAndLoad) {
+  auto spec = record::GowallaDataset();
+  ASSERT_TRUE(spec.ok());
+  auto binning = index::DomainBinning::Create(
+      spec->domain_min, spec->domain_max, spec->bin_width);
+  cloud::CloudServer server(std::move(binning).ValueOrDie());
+  engine::CloudNode cloud_node(&server);
+  cloud_node.Start();
+
+  crypto::KeyManager keys(Bytes(32, 0x70));
+  engine::CollectorConfig cfg;
+  cfg.dataset = *spec;
+  cfg.num_computing_nodes = 2;
+  cfg.seed = 9;
+  engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
+  ASSERT_TRUE(collector.Start().ok());
+  auto gen = record::MakeGenerator(*spec, 12);
+  std::vector<record::Record> truth;
+  for (int i = 0; i < 1200; ++i) {
+    std::string line = (*gen)->NextLine();
+    auto rec = spec->parser->Parse(line);
+    ASSERT_TRUE(rec.ok());
+    truth.push_back(std::move(*rec));
+    ASSERT_TRUE(collector.Ingest(line).ok());
+  }
+  ASSERT_TRUE(collector.Publish().ok());
+  // Leave some records in an open (unpublished) second publication too.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(collector.Ingest((*gen)->NextLine()).ok());
+  }
+  ASSERT_TRUE(collector.Shutdown().ok());
+  cloud_node.Shutdown();
+  ASSERT_TRUE(cloud_node.first_error().ok());
+
+  // The "cloud restarts": persist, reload, compare query answers.
+  std::string path = TempPath("cloud_snapshot.bin");
+  ASSERT_TRUE(server.SaveSnapshot(path).ok());
+  auto restored = cloud::CloudServer::LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  client::Client client(keys, &spec->parser->schema());
+  index::RangeQuery q{spec->domain_min, spec->domain_max};
+  auto before = client.Query(server, q);
+  auto after = client.Query(**restored, q);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(before->size(), after->size());
+  EXPECT_GT(after->size(), 0u);
+
+  // Integrity evidence survives too.
+  EXPECT_TRUE(client.VerifyPublication(**restored, 0).ok());
+  EXPECT_EQ((*restored)->num_publications(), server.num_publications());
+  EXPECT_EQ((*restored)->total_records(), server.total_records());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsCorruptSnapshots) {
+  std::string path = TempPath("bad_snapshot.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("definitely not a snapshot", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(cloud::CloudServer::LoadSnapshot(path).ok());
+  EXPECT_FALSE(cloud::CloudServer::LoadSnapshot("/nonexistent/nope").ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmptyServerRoundTrips) {
+  auto binning = index::DomainBinning::Create(0, 10, 1);
+  cloud::CloudServer server(std::move(binning).ValueOrDie());
+  std::string path = TempPath("empty_snapshot.bin");
+  ASSERT_TRUE(server.SaveSnapshot(path).ok());
+  auto restored = cloud::CloudServer::LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->num_publications(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fresque

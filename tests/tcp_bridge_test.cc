@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "crypto/key_manager.h"
+#include "engine/cloud_node.h"
+#include "engine/fresque_collector.h"
+#include "net/tcp_bridge.h"
+#include "record/dataset.h"
+
+namespace fresque {
+namespace {
+
+TEST(TcpBridgeTest, FramesCrossTheSocket) {
+  auto sink = net::MakeMailbox(64);
+  auto ingress = net::TcpIngress::Listen(sink);
+  ASSERT_TRUE(ingress.ok());
+  (*ingress)->Start();
+  auto egress = net::TcpEgress::Connect((*ingress)->port());
+  ASSERT_TRUE(egress.ok());
+
+  for (uint64_t i = 0; i < 10; ++i) {
+    net::Message m;
+    m.type = net::MessageType::kCloudRecord;
+    m.pn = i;
+    m.payload = Bytes(8, static_cast<uint8_t>(i));
+    ASSERT_TRUE((*egress)->mailbox()->Push(std::move(m)));
+  }
+  net::Message stop;
+  stop.type = net::MessageType::kShutdown;
+  (*egress)->mailbox()->Push(std::move(stop));
+  (*ingress)->Join();
+
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto m = sink->Pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->pn, i);
+  }
+  auto last = sink->Pop();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->type, net::MessageType::kShutdown);
+  EXPECT_TRUE((*egress)->first_error().ok());
+  EXPECT_TRUE((*ingress)->first_error().ok());
+}
+
+// The headline use: a FRESQUE collector whose "cloud link" is a real TCP
+// socket, as it would be in a two-process deployment.
+TEST(TcpBridgeTest, FresquePipelineOverRealSocket) {
+  auto spec = record::GowallaDataset();
+  ASSERT_TRUE(spec.ok());
+  auto binning = index::DomainBinning::Create(
+      spec->domain_min, spec->domain_max, spec->bin_width);
+  cloud::CloudServer server(std::move(binning).ValueOrDie());
+  engine::CloudNode cloud_node(&server);
+  cloud_node.Start();
+
+  // cloud side: socket -> CloudNode inbox.
+  auto ingress = net::TcpIngress::Listen(cloud_node.inbox());
+  ASSERT_TRUE(ingress.ok());
+  (*ingress)->Start();
+  // collector side: mailbox -> socket.
+  auto egress = net::TcpEgress::Connect((*ingress)->port());
+  ASSERT_TRUE(egress.ok());
+
+  crypto::KeyManager keys(Bytes(32, 0x21));
+  engine::CollectorConfig cfg;
+  cfg.dataset = *spec;
+  cfg.num_computing_nodes = 2;
+  cfg.seed = 77;
+  engine::FresqueCollector collector(cfg, keys, (*egress)->mailbox());
+  ASSERT_TRUE(collector.Start().ok());
+  auto gen = record::MakeGenerator(*spec, 4);
+  std::vector<record::Record> truth;
+  for (int i = 0; i < 800; ++i) {
+    std::string line = (*gen)->NextLine();
+    auto rec = spec->parser->Parse(line);
+    ASSERT_TRUE(rec.ok());
+    truth.push_back(std::move(*rec));
+    ASSERT_TRUE(collector.Ingest(line).ok());
+  }
+  ASSERT_TRUE(collector.Publish().ok());
+  ASSERT_TRUE(collector.Shutdown().ok());  // merger sends kShutdown last
+  (*ingress)->Join();                      // socket drained
+  cloud_node.Shutdown();
+
+  EXPECT_TRUE((*egress)->first_error().ok());
+  EXPECT_TRUE((*ingress)->first_error().ok());
+  EXPECT_TRUE(cloud_node.first_error().ok())
+      << cloud_node.first_error().ToString();
+  ASSERT_EQ(cloud_node.matching_stats().size(), 1u);
+
+  client::Client client(keys, &spec->parser->schema());
+  index::RangeQuery q{spec->domain_min, spec->domain_max};
+  auto acc = client.QueryWithGroundTruth(server, q, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GE(acc->Recall(), 0.6);
+}
+
+}  // namespace
+}  // namespace fresque

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/tcp.h"
+
+namespace fresque {
+namespace net {
+namespace {
+
+TEST(TcpTest, FramedMessagesSurviveTheWire) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener->port(), 0);
+
+  std::vector<Message> received;
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    for (int i = 0; i < 5; ++i) {
+      auto m = conn->Receive();
+      ASSERT_TRUE(m.ok()) << m.status().ToString();
+      received.push_back(std::move(*m));
+    }
+  });
+
+  auto conn = TcpConnect(listener->port());
+  ASSERT_TRUE(conn.ok());
+  for (uint64_t i = 0; i < 5; ++i) {
+    Message m;
+    m.type = MessageType::kCloudRecord;
+    m.pn = i;
+    m.leaf = i * 10;
+    m.payload = Bytes(i + 1, static_cast<uint8_t>(i));
+    ASSERT_TRUE(conn->Send(m).ok());
+  }
+  server.join();
+
+  ASSERT_EQ(received.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(received[i].pn, i);
+    EXPECT_EQ(received[i].leaf, i * 10);
+    EXPECT_EQ(received[i].payload.size(), i + 1);
+  }
+}
+
+TEST(TcpTest, PeerCloseSurfacesAsCancelled) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    conn->Close();
+  });
+  auto conn = TcpConnect(listener->port());
+  ASSERT_TRUE(conn.ok());
+  server.join();
+  auto m = conn->Receive();
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(TcpTest, SendAfterCloseFails) {
+  TcpConnection conn;  // never connected
+  Message m;
+  EXPECT_FALSE(conn.Send(m).ok());
+  EXPECT_FALSE(conn.Receive().ok());
+}
+
+TEST(TcpTest, HopMeasurementReturnsPlausibleCost) {
+  auto batched = MeasureTcpHopNanos(20000, 64, /*nodelay=*/false);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  // Localhost framed message: somewhere between 100ns (impossible to go
+  // much lower with two syscalls amortized) and 1ms.
+  EXPECT_GT(*batched, 100.0);
+  EXPECT_LT(*batched, 1e6);
+  EXPECT_FALSE(MeasureTcpHopNanos(0, 64, false).ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace fresque

@@ -1,0 +1,230 @@
+// fresque_cli — command-line front door to the library:
+//
+//   fresque_cli generate <nasa|gowalla> <count> <lines.txt>
+//   fresque_cli ingest   <nasa|gowalla> <lines.txt> <snapshot.bin>
+//                        [epsilon] [nodes] [interval_records] [key_hex]
+//   fresque_cli query    <nasa|gowalla> <snapshot.bin> <lo> <hi> [key_hex]
+//   fresque_cli verify   <nasa|gowalla> <snapshot.bin> [key_hex]
+//   fresque_cli inspect  <snapshot.bin>
+//
+// `ingest` runs the full FRESQUE collector over the file, publishing every
+// `interval_records` lines, then persists the cloud state; `query` and
+// `verify` operate on the persisted snapshot. The key (hex master secret,
+// default a fixed demo key) must match between ingest and query/verify.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "common/bytes.h"
+#include "crypto/key_manager.h"
+#include "engine/cloud_node.h"
+#include "engine/fresque_collector.h"
+#include "record/dataset.h"
+
+namespace {
+
+using namespace fresque;
+
+constexpr const char* kDefaultKeyHex =
+    "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f";
+
+int Fail(const std::string& msg) {
+  std::cerr << "error: " << msg << "\n";
+  return 1;
+}
+
+Result<record::DatasetSpec> SpecByName(const std::string& name) {
+  if (name == "nasa") return record::NasaDataset();
+  if (name == "gowalla") return record::GowallaDataset();
+  return Status::InvalidArgument("unknown dataset " + name +
+                                 " (want nasa|gowalla)");
+}
+
+crypto::KeyManager KeysFromHex(const std::string& hex) {
+  auto bytes = FromHex(hex);
+  if (!bytes.ok() || bytes->empty()) {
+    std::cerr << "warning: bad key hex, using demo key\n";
+    bytes = FromHex(kDefaultKeyHex);
+  }
+  return crypto::KeyManager(std::move(*bytes));
+}
+
+int CmdGenerate(const std::string& dataset, size_t count,
+                const std::string& path) {
+  auto spec = SpecByName(dataset);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  auto gen = record::MakeGenerator(*spec, 20210323);
+  if (!gen.ok()) return Fail(gen.status().ToString());
+  std::ofstream out(path);
+  if (!out) return Fail("cannot open " + path);
+  for (size_t i = 0; i < count; ++i) out << (*gen)->NextLine() << "\n";
+  std::cout << "wrote " << count << " " << dataset << " lines to " << path
+            << "\n";
+  return 0;
+}
+
+int CmdIngest(const std::string& dataset, const std::string& in_path,
+              const std::string& snap_path, double epsilon, size_t nodes,
+              size_t interval, const std::string& key_hex) {
+  auto spec = SpecByName(dataset);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  std::ifstream in(in_path);
+  if (!in) return Fail("cannot open " + in_path);
+
+  auto binning = index::DomainBinning::Create(
+      spec->domain_min, spec->domain_max, spec->bin_width);
+  cloud::CloudServer server(std::move(binning).ValueOrDie());
+  engine::CloudNode cloud_node(&server);
+  cloud_node.Start();
+
+  engine::CollectorConfig cfg;
+  cfg.dataset = *spec;
+  cfg.epsilon = epsilon;
+  cfg.num_computing_nodes = nodes;
+  engine::FresqueCollector collector(cfg, KeysFromHex(key_hex),
+                                     cloud_node.inbox());
+  if (auto st = collector.Start(); !st.ok()) return Fail(st.ToString());
+
+  std::string line;
+  size_t total = 0, in_interval = 0, publications = 0;
+  while (std::getline(in, line)) {
+    collector.SetIntervalProgress(static_cast<double>(in_interval) /
+                                  static_cast<double>(interval));
+    if (auto st = collector.Ingest(line); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    ++total;
+    if (++in_interval >= interval) {
+      if (auto st = collector.Publish(); !st.ok()) {
+        return Fail(st.ToString());
+      }
+      in_interval = 0;
+      ++publications;
+    }
+  }
+  if (in_interval > 0) {
+    if (auto st = collector.Publish(); !st.ok()) return Fail(st.ToString());
+    ++publications;
+  }
+  (void)collector.Shutdown();
+  cloud_node.Shutdown();
+  if (!cloud_node.first_error().ok()) {
+    return Fail(cloud_node.first_error().ToString());
+  }
+  if (auto st = server.SaveSnapshot(snap_path); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::cout << "ingested " << total << " lines ("
+            << collector.parse_errors() << " parse errors), published "
+            << publications << " publication(s), snapshot " << snap_path
+            << " (" << server.total_bytes() << " payload bytes)\n";
+  return 0;
+}
+
+int CmdQuery(const std::string& dataset, const std::string& snap_path,
+             double lo, double hi, const std::string& key_hex) {
+  auto spec = SpecByName(dataset);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  auto server = cloud::CloudServer::LoadSnapshot(snap_path);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  client::Client client(KeysFromHex(key_hex), &spec->parser->schema());
+  auto records = client.Query(**server, {lo, hi});
+  if (!records.ok()) return Fail(records.status().ToString());
+  std::cout << records->size() << " records match ["
+            << lo << ", " << hi << "]\n";
+  for (size_t i = 0; i < records->size() && i < 5; ++i) {
+    std::cout << "  " << (*records)[i].ToString() << "\n";
+  }
+  if (records->size() > 5) std::cout << "  ...\n";
+  return 0;
+}
+
+int CmdVerify(const std::string& dataset, const std::string& snap_path,
+              const std::string& key_hex) {
+  auto spec = SpecByName(dataset);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  auto server = cloud::CloudServer::LoadSnapshot(snap_path);
+  if (!server.ok()) return Fail(server.status().ToString());
+  client::Client client(KeysFromHex(key_hex), &spec->parser->schema());
+
+  size_t verified = 0, failed = 0;
+  for (uint64_t pn = 0; pn < (*server)->num_publications() + 8; ++pn) {
+    Status st = client.VerifyPublication(**server, pn);
+    if (st.ok()) {
+      ++verified;
+      std::cout << "publication " << pn << ": OK\n";
+    } else if (!st.IsNotFound()) {
+      ++failed;
+      std::cout << "publication " << pn << ": " << st.ToString() << "\n";
+    }
+  }
+  std::cout << verified << " verified, " << failed << " failed\n";
+  return failed == 0 ? 0 : 2;
+}
+
+int CmdInspect(const std::string& snap_path) {
+  auto server = cloud::CloudServer::LoadSnapshot(snap_path);
+  if (!server.ok()) return Fail(server.status().ToString());
+  const auto& binning = (*server)->binning();
+  std::cout << "snapshot " << snap_path << "\n"
+            << "  domain [" << binning.domain_min() << ", "
+            << binning.domain_max() << "), " << binning.num_bins()
+            << " bins of " << binning.bin_width() << "\n"
+            << "  publications: " << (*server)->num_publications() << "\n"
+            << "  stored records: " << (*server)->total_records() << "\n"
+            << "  payload bytes: " << (*server)->total_bytes() << "\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  fresque_cli generate <nasa|gowalla> <count> <lines.txt>\n"
+      << "  fresque_cli ingest <nasa|gowalla> <lines.txt> <snapshot.bin>"
+         " [epsilon] [nodes] [interval] [key_hex]\n"
+      << "  fresque_cli query <nasa|gowalla> <snapshot.bin> <lo> <hi>"
+         " [key_hex]\n"
+      << "  fresque_cli verify <nasa|gowalla> <snapshot.bin> [key_hex]\n"
+      << "  fresque_cli inspect <snapshot.bin>\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& cmd = args[0];
+  try {
+    if (cmd == "generate" && args.size() == 4) {
+      return CmdGenerate(args[1], std::stoul(args[2]), args[3]);
+    }
+    if (cmd == "ingest" && args.size() >= 4) {
+      double epsilon = args.size() > 4 ? std::stod(args[4]) : 1.0;
+      size_t nodes = args.size() > 5 ? std::stoul(args[5]) : 4;
+      size_t interval = args.size() > 6 ? std::stoul(args[6]) : 100000;
+      std::string key = args.size() > 7 ? args[7] : kDefaultKeyHex;
+      return CmdIngest(args[1], args[2], args[3], epsilon, nodes, interval,
+                       key);
+    }
+    if (cmd == "query" && args.size() >= 5) {
+      std::string key = args.size() > 5 ? args[5] : kDefaultKeyHex;
+      return CmdQuery(args[1], args[2], std::stod(args[3]),
+                      std::stod(args[4]), key);
+    }
+    if (cmd == "verify" && args.size() >= 3) {
+      std::string key = args.size() > 3 ? args[3] : kDefaultKeyHex;
+      return CmdVerify(args[1], args[2], key);
+    }
+    if (cmd == "inspect" && args.size() == 2) {
+      return CmdInspect(args[1]);
+    }
+  } catch (const std::exception& e) {
+    return Fail(std::string("bad argument: ") + e.what());
+  }
+  return Usage();
+}
