@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_async_publish.dir/bench_ablation_async_publish.cc.o"
+  "CMakeFiles/bench_ablation_async_publish.dir/bench_ablation_async_publish.cc.o.d"
+  "bench_ablation_async_publish"
+  "bench_ablation_async_publish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_async_publish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

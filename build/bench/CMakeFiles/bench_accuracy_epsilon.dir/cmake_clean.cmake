@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_epsilon.dir/bench_accuracy_epsilon.cc.o"
+  "CMakeFiles/bench_accuracy_epsilon.dir/bench_accuracy_epsilon.cc.o.d"
+  "bench_accuracy_epsilon"
+  "bench_accuracy_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

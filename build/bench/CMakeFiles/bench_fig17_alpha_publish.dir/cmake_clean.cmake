@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_alpha_publish.dir/bench_fig17_alpha_publish.cc.o"
+  "CMakeFiles/bench_fig17_alpha_publish.dir/bench_fig17_alpha_publish.cc.o.d"
+  "bench_fig17_alpha_publish"
+  "bench_fig17_alpha_publish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_alpha_publish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

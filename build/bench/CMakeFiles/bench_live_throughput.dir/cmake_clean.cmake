@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_live_throughput.dir/bench_live_throughput.cc.o"
+  "CMakeFiles/bench_live_throughput.dir/bench_live_throughput.cc.o.d"
+  "bench_live_throughput"
+  "bench_live_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_live_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

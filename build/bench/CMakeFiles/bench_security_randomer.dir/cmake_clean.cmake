@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_randomer.dir/bench_security_randomer.cc.o"
+  "CMakeFiles/bench_security_randomer.dir/bench_security_randomer.cc.o.d"
+  "bench_security_randomer"
+  "bench_security_randomer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_randomer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

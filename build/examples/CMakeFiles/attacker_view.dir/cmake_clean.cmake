@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacker_view.dir/attacker_view.cpp.o"
+  "CMakeFiles/attacker_view.dir/attacker_view.cpp.o.d"
+  "attacker_view"
+  "attacker_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacker_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_deployment.dir/distributed_deployment.cpp.o"
+  "CMakeFiles/distributed_deployment.dir/distributed_deployment.cpp.o.d"
+  "distributed_deployment"
+  "distributed_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flu_surveillance.dir/flu_surveillance.cpp.o"
+  "CMakeFiles/flu_surveillance.dir/flu_surveillance.cpp.o.d"
+  "flu_surveillance"
+  "flu_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flu_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_log_analytics.dir/web_log_analytics.cpp.o"
+  "CMakeFiles/web_log_analytics.dir/web_log_analytics.cpp.o.d"
+  "web_log_analytics"
+  "web_log_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_log_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

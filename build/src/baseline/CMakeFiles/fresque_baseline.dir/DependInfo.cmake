@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bucketization.cc" "src/baseline/CMakeFiles/fresque_baseline.dir/bucketization.cc.o" "gcc" "src/baseline/CMakeFiles/fresque_baseline.dir/bucketization.cc.o.d"
+  "/root/repo/src/baseline/ope.cc" "src/baseline/CMakeFiles/fresque_baseline.dir/ope.cc.o" "gcc" "src/baseline/CMakeFiles/fresque_baseline.dir/ope.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fresque_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fresque_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_baseline.dir/bucketization.cc.o"
+  "CMakeFiles/fresque_baseline.dir/bucketization.cc.o.d"
+  "CMakeFiles/fresque_baseline.dir/ope.cc.o"
+  "CMakeFiles/fresque_baseline.dir/ope.cc.o.d"
+  "libfresque_baseline.a"
+  "libfresque_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

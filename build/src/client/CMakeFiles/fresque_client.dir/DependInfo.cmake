@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/client.cc" "src/client/CMakeFiles/fresque_client.dir/client.cc.o" "gcc" "src/client/CMakeFiles/fresque_client.dir/client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/fresque_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/fresque_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fresque_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fresque_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fresque_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fresque_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fresque_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_client.dir/client.cc.o"
+  "CMakeFiles/fresque_client.dir/client.cc.o.d"
+  "libfresque_client.a"
+  "libfresque_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_cloud.dir/server.cc.o"
+  "CMakeFiles/fresque_cloud.dir/server.cc.o.d"
+  "CMakeFiles/fresque_cloud.dir/snapshot.cc.o"
+  "CMakeFiles/fresque_cloud.dir/snapshot.cc.o.d"
+  "CMakeFiles/fresque_cloud.dir/storage.cc.o"
+  "CMakeFiles/fresque_cloud.dir/storage.cc.o.d"
+  "libfresque_cloud.a"
+  "libfresque_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_common.dir/bytes.cc.o"
+  "CMakeFiles/fresque_common.dir/bytes.cc.o.d"
+  "CMakeFiles/fresque_common.dir/clock.cc.o"
+  "CMakeFiles/fresque_common.dir/clock.cc.o.d"
+  "CMakeFiles/fresque_common.dir/logging.cc.o"
+  "CMakeFiles/fresque_common.dir/logging.cc.o.d"
+  "CMakeFiles/fresque_common.dir/stats.cc.o"
+  "CMakeFiles/fresque_common.dir/stats.cc.o.d"
+  "CMakeFiles/fresque_common.dir/status.cc.o"
+  "CMakeFiles/fresque_common.dir/status.cc.o.d"
+  "libfresque_common.a"
+  "libfresque_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_crypto.dir/aes.cc.o"
+  "CMakeFiles/fresque_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/fresque_crypto.dir/cbc.cc.o"
+  "CMakeFiles/fresque_crypto.dir/cbc.cc.o.d"
+  "CMakeFiles/fresque_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/fresque_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/fresque_crypto.dir/hmac.cc.o"
+  "CMakeFiles/fresque_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/fresque_crypto.dir/key_manager.cc.o"
+  "CMakeFiles/fresque_crypto.dir/key_manager.cc.o.d"
+  "CMakeFiles/fresque_crypto.dir/sha256.cc.o"
+  "CMakeFiles/fresque_crypto.dir/sha256.cc.o.d"
+  "libfresque_crypto.a"
+  "libfresque_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfresque_crypto.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_dp.dir/budget.cc.o"
+  "CMakeFiles/fresque_dp.dir/budget.cc.o.d"
+  "CMakeFiles/fresque_dp.dir/individual_ledger.cc.o"
+  "CMakeFiles/fresque_dp.dir/individual_ledger.cc.o.d"
+  "CMakeFiles/fresque_dp.dir/laplace.cc.o"
+  "CMakeFiles/fresque_dp.dir/laplace.cc.o.d"
+  "libfresque_dp.a"
+  "libfresque_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

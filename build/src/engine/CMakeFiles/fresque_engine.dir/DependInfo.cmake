@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cloud_node.cc" "src/engine/CMakeFiles/fresque_engine.dir/cloud_node.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/cloud_node.cc.o.d"
+  "/root/repo/src/engine/dummy_schedule.cc" "src/engine/CMakeFiles/fresque_engine.dir/dummy_schedule.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/dummy_schedule.cc.o.d"
+  "/root/repo/src/engine/fresque_collector.cc" "src/engine/CMakeFiles/fresque_engine.dir/fresque_collector.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/fresque_collector.cc.o.d"
+  "/root/repo/src/engine/pined_rq.cc" "src/engine/CMakeFiles/fresque_engine.dir/pined_rq.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/pined_rq.cc.o.d"
+  "/root/repo/src/engine/pined_rqpp.cc" "src/engine/CMakeFiles/fresque_engine.dir/pined_rqpp.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/pined_rqpp.cc.o.d"
+  "/root/repo/src/engine/pined_rqpp_parallel.cc" "src/engine/CMakeFiles/fresque_engine.dir/pined_rqpp_parallel.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/pined_rqpp_parallel.cc.o.d"
+  "/root/repo/src/engine/randomer.cc" "src/engine/CMakeFiles/fresque_engine.dir/randomer.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/randomer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fresque_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fresque_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fresque_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/fresque_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fresque_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fresque_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/fresque_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_engine.dir/cloud_node.cc.o"
+  "CMakeFiles/fresque_engine.dir/cloud_node.cc.o.d"
+  "CMakeFiles/fresque_engine.dir/dummy_schedule.cc.o"
+  "CMakeFiles/fresque_engine.dir/dummy_schedule.cc.o.d"
+  "CMakeFiles/fresque_engine.dir/fresque_collector.cc.o"
+  "CMakeFiles/fresque_engine.dir/fresque_collector.cc.o.d"
+  "CMakeFiles/fresque_engine.dir/pined_rq.cc.o"
+  "CMakeFiles/fresque_engine.dir/pined_rq.cc.o.d"
+  "CMakeFiles/fresque_engine.dir/pined_rqpp.cc.o"
+  "CMakeFiles/fresque_engine.dir/pined_rqpp.cc.o.d"
+  "CMakeFiles/fresque_engine.dir/pined_rqpp_parallel.cc.o"
+  "CMakeFiles/fresque_engine.dir/pined_rqpp_parallel.cc.o.d"
+  "CMakeFiles/fresque_engine.dir/randomer.cc.o"
+  "CMakeFiles/fresque_engine.dir/randomer.cc.o.d"
+  "libfresque_engine.a"
+  "libfresque_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/binning.cc" "src/index/CMakeFiles/fresque_index.dir/binning.cc.o" "gcc" "src/index/CMakeFiles/fresque_index.dir/binning.cc.o.d"
+  "/root/repo/src/index/index.cc" "src/index/CMakeFiles/fresque_index.dir/index.cc.o" "gcc" "src/index/CMakeFiles/fresque_index.dir/index.cc.o.d"
+  "/root/repo/src/index/layout.cc" "src/index/CMakeFiles/fresque_index.dir/layout.cc.o" "gcc" "src/index/CMakeFiles/fresque_index.dir/layout.cc.o.d"
+  "/root/repo/src/index/matching.cc" "src/index/CMakeFiles/fresque_index.dir/matching.cc.o" "gcc" "src/index/CMakeFiles/fresque_index.dir/matching.cc.o.d"
+  "/root/repo/src/index/overflow.cc" "src/index/CMakeFiles/fresque_index.dir/overflow.cc.o" "gcc" "src/index/CMakeFiles/fresque_index.dir/overflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fresque_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fresque_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fresque_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

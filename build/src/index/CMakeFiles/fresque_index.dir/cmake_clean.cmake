@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_index.dir/binning.cc.o"
+  "CMakeFiles/fresque_index.dir/binning.cc.o.d"
+  "CMakeFiles/fresque_index.dir/index.cc.o"
+  "CMakeFiles/fresque_index.dir/index.cc.o.d"
+  "CMakeFiles/fresque_index.dir/layout.cc.o"
+  "CMakeFiles/fresque_index.dir/layout.cc.o.d"
+  "CMakeFiles/fresque_index.dir/matching.cc.o"
+  "CMakeFiles/fresque_index.dir/matching.cc.o.d"
+  "CMakeFiles/fresque_index.dir/overflow.cc.o"
+  "CMakeFiles/fresque_index.dir/overflow.cc.o.d"
+  "libfresque_index.a"
+  "libfresque_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

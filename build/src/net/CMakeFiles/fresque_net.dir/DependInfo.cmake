@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/fresque_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/fresque_net.dir/message.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/fresque_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/fresque_net.dir/node.cc.o.d"
+  "/root/repo/src/net/payloads.cc" "src/net/CMakeFiles/fresque_net.dir/payloads.cc.o" "gcc" "src/net/CMakeFiles/fresque_net.dir/payloads.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/fresque_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/fresque_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/tcp_bridge.cc" "src/net/CMakeFiles/fresque_net.dir/tcp_bridge.cc.o" "gcc" "src/net/CMakeFiles/fresque_net.dir/tcp_bridge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fresque_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fresque_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fresque_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fresque_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

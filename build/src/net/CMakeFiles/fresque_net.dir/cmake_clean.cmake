@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_net.dir/message.cc.o"
+  "CMakeFiles/fresque_net.dir/message.cc.o.d"
+  "CMakeFiles/fresque_net.dir/node.cc.o"
+  "CMakeFiles/fresque_net.dir/node.cc.o.d"
+  "CMakeFiles/fresque_net.dir/payloads.cc.o"
+  "CMakeFiles/fresque_net.dir/payloads.cc.o.d"
+  "CMakeFiles/fresque_net.dir/tcp.cc.o"
+  "CMakeFiles/fresque_net.dir/tcp.cc.o.d"
+  "CMakeFiles/fresque_net.dir/tcp_bridge.cc.o"
+  "CMakeFiles/fresque_net.dir/tcp_bridge.cc.o.d"
+  "libfresque_net.a"
+  "libfresque_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/record/dataset.cc" "src/record/CMakeFiles/fresque_record.dir/dataset.cc.o" "gcc" "src/record/CMakeFiles/fresque_record.dir/dataset.cc.o.d"
+  "/root/repo/src/record/parser.cc" "src/record/CMakeFiles/fresque_record.dir/parser.cc.o" "gcc" "src/record/CMakeFiles/fresque_record.dir/parser.cc.o.d"
+  "/root/repo/src/record/record.cc" "src/record/CMakeFiles/fresque_record.dir/record.cc.o" "gcc" "src/record/CMakeFiles/fresque_record.dir/record.cc.o.d"
+  "/root/repo/src/record/schema.cc" "src/record/CMakeFiles/fresque_record.dir/schema.cc.o" "gcc" "src/record/CMakeFiles/fresque_record.dir/schema.cc.o.d"
+  "/root/repo/src/record/secure_codec.cc" "src/record/CMakeFiles/fresque_record.dir/secure_codec.cc.o" "gcc" "src/record/CMakeFiles/fresque_record.dir/secure_codec.cc.o.d"
+  "/root/repo/src/record/value.cc" "src/record/CMakeFiles/fresque_record.dir/value.cc.o" "gcc" "src/record/CMakeFiles/fresque_record.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fresque_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fresque_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

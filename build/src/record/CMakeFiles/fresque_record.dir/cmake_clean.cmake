@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_record.dir/dataset.cc.o"
+  "CMakeFiles/fresque_record.dir/dataset.cc.o.d"
+  "CMakeFiles/fresque_record.dir/parser.cc.o"
+  "CMakeFiles/fresque_record.dir/parser.cc.o.d"
+  "CMakeFiles/fresque_record.dir/record.cc.o"
+  "CMakeFiles/fresque_record.dir/record.cc.o.d"
+  "CMakeFiles/fresque_record.dir/schema.cc.o"
+  "CMakeFiles/fresque_record.dir/schema.cc.o.d"
+  "CMakeFiles/fresque_record.dir/secure_codec.cc.o"
+  "CMakeFiles/fresque_record.dir/secure_codec.cc.o.d"
+  "CMakeFiles/fresque_record.dir/value.cc.o"
+  "CMakeFiles/fresque_record.dir/value.cc.o.d"
+  "libfresque_record.a"
+  "libfresque_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

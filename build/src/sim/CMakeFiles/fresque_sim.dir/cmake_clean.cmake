@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_sim.dir/cost_model.cc.o"
+  "CMakeFiles/fresque_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/fresque_sim.dir/pipeline.cc.o"
+  "CMakeFiles/fresque_sim.dir/pipeline.cc.o.d"
+  "libfresque_sim.a"
+  "libfresque_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_node_test.dir/cloud_node_test.cc.o"
+  "CMakeFiles/cloud_node_test.dir/cloud_node_test.cc.o.d"
+  "cloud_node_test"
+  "cloud_node_test.pdb"
+  "cloud_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

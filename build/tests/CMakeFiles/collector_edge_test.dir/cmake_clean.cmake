@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_edge_test.dir/collector_edge_test.cc.o"
+  "CMakeFiles/collector_edge_test.dir/collector_edge_test.cc.o.d"
+  "collector_edge_test"
+  "collector_edge_test.pdb"
+  "collector_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

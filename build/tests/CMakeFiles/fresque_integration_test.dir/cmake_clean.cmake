@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_integration_test.dir/fresque_integration_test.cc.o"
+  "CMakeFiles/fresque_integration_test.dir/fresque_integration_test.cc.o.d"
+  "fresque_integration_test"
+  "fresque_integration_test.pdb"
+  "fresque_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

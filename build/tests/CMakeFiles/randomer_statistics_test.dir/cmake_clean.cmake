@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomer_statistics_test.dir/randomer_statistics_test.cc.o"
+  "CMakeFiles/randomer_statistics_test.dir/randomer_statistics_test.cc.o.d"
+  "randomer_statistics_test"
+  "randomer_statistics_test.pdb"
+  "randomer_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomer_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

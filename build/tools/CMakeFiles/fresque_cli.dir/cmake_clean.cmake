@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fresque_cli.dir/fresque_cli.cc.o"
+  "CMakeFiles/fresque_cli.dir/fresque_cli.cc.o.d"
+  "fresque_cli"
+  "fresque_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fresque_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
