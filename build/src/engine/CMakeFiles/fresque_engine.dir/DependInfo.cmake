@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/engine/cloud_node.cc" "src/engine/CMakeFiles/fresque_engine.dir/cloud_node.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/cloud_node.cc.o.d"
+  "/root/repo/src/engine/collector_nodes.cc" "src/engine/CMakeFiles/fresque_engine.dir/collector_nodes.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/collector_nodes.cc.o.d"
   "/root/repo/src/engine/dummy_schedule.cc" "src/engine/CMakeFiles/fresque_engine.dir/dummy_schedule.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/dummy_schedule.cc.o.d"
   "/root/repo/src/engine/fresque_collector.cc" "src/engine/CMakeFiles/fresque_engine.dir/fresque_collector.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/fresque_collector.cc.o.d"
   "/root/repo/src/engine/pined_rq.cc" "src/engine/CMakeFiles/fresque_engine.dir/pined_rq.cc.o" "gcc" "src/engine/CMakeFiles/fresque_engine.dir/pined_rq.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/fresque_engine.dir/cloud_node.cc.o"
   "CMakeFiles/fresque_engine.dir/cloud_node.cc.o.d"
+  "CMakeFiles/fresque_engine.dir/collector_nodes.cc.o"
+  "CMakeFiles/fresque_engine.dir/collector_nodes.cc.o.d"
   "CMakeFiles/fresque_engine.dir/dummy_schedule.cc.o"
   "CMakeFiles/fresque_engine.dir/dummy_schedule.cc.o.d"
   "CMakeFiles/fresque_engine.dir/fresque_collector.cc.o"

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/drain_shutdown_test.cc" "tests/CMakeFiles/drain_shutdown_test.dir/drain_shutdown_test.cc.o" "gcc" "tests/CMakeFiles/drain_shutdown_test.dir/drain_shutdown_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fresque_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fresque_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/fresque_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/fresque_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/fresque_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fresque_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fresque_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/fresque_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fresque_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fresque_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fresque_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drain_shutdown_test.dir/drain_shutdown_test.cc.o"
+  "CMakeFiles/drain_shutdown_test.dir/drain_shutdown_test.cc.o.d"
+  "drain_shutdown_test"
+  "drain_shutdown_test.pdb"
+  "drain_shutdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drain_shutdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -293,13 +293,13 @@ tests/CMakeFiles/fresque_integration_test.dir/fresque_integration_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/client/client.h /root/repo/src/cloud/server.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/cloud/storage.h /root/repo/src/common/bytes.h \
- /usr/include/c++/12/cstring /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/common/clock.h \
- /usr/include/c++/12/chrono /root/repo/src/index/binning.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/client/client.h \
+ /root/repo/src/cloud/server.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/cloud/storage.h \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
+ /root/repo/src/common/result.h /root/repo/src/common/status.h \
+ /root/repo/src/common/clock.h /root/repo/src/index/binning.h \
  /root/repo/src/index/index.h /root/repo/src/dp/laplace.h \
  /root/repo/src/crypto/chacha20.h /root/repo/src/index/layout.h \
  /root/repo/src/index/matching.h /root/repo/src/index/overflow.h \

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the concurrency-sensitive test suites under ThreadSanitizer:
+# the publication drain/shutdown protocol, the cross-thread query path,
+# and the TCP transport. Usage: scripts/tsan_tests.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DFRESQUE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j \
+  --target concurrency_test tcp_test drain_shutdown_test
+
+cd "$BUILD_DIR"
+ctest --output-on-failure \
+  -R '^(ConcurrencyTest|TcpTest|DrainShutdownTest|CheckingNodeTest)'

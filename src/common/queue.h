@@ -2,6 +2,7 @@
 #define FRESQUE_COMMON_QUEUE_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -14,6 +15,10 @@ namespace fresque {
 /// Push blocks while full (back-pressure, like a TCP socket with a bounded
 /// send window); Pop blocks while empty. Close() wakes all waiters: pushes
 /// after Close fail, pops drain the remaining items then return nullopt.
+///
+/// The queue keeps lifetime counters (accepted / rejected pushes, depth
+/// high-watermark) so operators can see where back-pressure builds up
+/// without attaching a profiler.
 template <typename T>
 class BoundedQueue {
  public:
@@ -26,8 +31,13 @@ class BoundedQueue {
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) {
+      ++rejected_;
+      return false;
+    }
     items_.push_back(std::move(item));
+    ++enqueued_;
+    if (items_.size() > high_water_) high_water_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -36,8 +46,13 @@ class BoundedQueue {
   /// Non-blocking push. Returns false if full or closed.
   bool TryPush(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (closed_ || items_.size() >= capacity_) return false;
+    if (closed_ || items_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
     items_.push_back(std::move(item));
+    ++enqueued_;
+    if (items_.size() > high_water_) high_water_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -88,12 +103,34 @@ class BoundedQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Items accepted over the queue's lifetime.
+  uint64_t enqueued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return enqueued_;
+  }
+
+  /// Pushes that failed (queue closed, or TryPush on a full queue).
+  uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+
+  /// Deepest the queue has ever been; `== capacity()` means producers
+  /// have hit back-pressure at least once.
+  size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  uint64_t enqueued_ = 0;
+  uint64_t rejected_ = 0;
+  size_t high_water_ = 0;
   bool closed_ = false;
 };
 

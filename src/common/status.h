@@ -20,6 +20,7 @@ enum class StatusCode {
   kCancelled = 9,
   kUnimplemented = 10,
   kInternal = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +73,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -88,6 +92,9 @@ class Status {
   }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<CodeName>: <message>".

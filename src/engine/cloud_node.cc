@@ -15,6 +15,29 @@ void CloudNode::Shutdown() {
   node_.Join();
 }
 
+void CloudNode::RouteAcksTo(net::MailboxPtr acks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ack_outbox_ = std::move(acks);
+}
+
+void CloudNode::Ack(uint64_t pn, const Status& st) {
+  net::MailboxPtr out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = ack_outbox_;
+  }
+  if (!out) return;
+  net::Message ack;
+  ack.type = net::MessageType::kPublicationAck;
+  ack.pn = pn;
+  ack.leaf = st.ok() ? 0 : 1;
+  if (!st.ok()) {
+    std::string reason = st.ToString();
+    ack.payload.assign(reason.begin(), reason.end());
+  }
+  out->Push(std::move(ack));
+}
+
 Status CloudNode::first_error() const {
   std::lock_guard<std::mutex> lock(mu_);
   return first_error_;
@@ -34,11 +57,11 @@ void CloudNode::NoteError(const Status& st) {
   }
 }
 
-void CloudNode::TryFinishTagged(uint64_t pn) {
+std::optional<Status> CloudNode::TryFinishTagged(uint64_t pn) {
   auto idx_it = pending_index_.find(pn);
   auto tab_it = pending_table_.find(pn);
   if (idx_it == pending_index_.end() || tab_it == pending_table_.end()) {
-    return;
+    return std::nullopt;
   }
   Bytes payload;
   if (auto pit = pending_payload_.find(pn); pit != pending_payload_.end()) {
@@ -52,9 +75,10 @@ void CloudNode::TryFinishTagged(uint64_t pn) {
   tagged_pns_.erase(pn);
   if (!stats.ok()) {
     if (first_error_.ok()) first_error_ = stats.status();
-    return;
+    return stats.status();
   }
   stats_.push_back(*stats);
+  return Status::OK();
 }
 
 bool CloudNode::Handle(net::Message&& m) {
@@ -78,33 +102,46 @@ bool CloudNode::Handle(net::Message&& m) {
       auto pub = net::DecodeIndexPublication(m.payload);
       if (!pub.ok()) {
         NoteError(pub.status());
+        Ack(m.pn, pub.status());
         return true;
       }
-      std::lock_guard<std::mutex> lock(mu_);
-      if (tagged_pns_.count(m.pn)) {
-        pending_index_.emplace(m.pn, std::move(*pub));
-        pending_payload_[m.pn] = std::move(m.payload);
-        TryFinishTagged(m.pn);
-      } else {
-        auto stats = server_->PublishIndexed(m.pn, std::move(*pub),
-                                             std::move(m.payload));
-        if (!stats.ok()) {
-          if (first_error_.ok()) first_error_ = stats.status();
+      std::optional<Status> outcome;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (tagged_pns_.count(m.pn)) {
+          pending_index_.emplace(m.pn, std::move(*pub));
+          pending_payload_[m.pn] = std::move(m.payload);
+          outcome = TryFinishTagged(m.pn);
         } else {
-          stats_.push_back(*stats);
+          auto stats = server_->PublishIndexed(m.pn, std::move(*pub),
+                                               std::move(m.payload));
+          if (!stats.ok()) {
+            if (first_error_.ok()) first_error_ = stats.status();
+            outcome = stats.status();
+          } else {
+            stats_.push_back(*stats);
+            outcome = Status::OK();
+          }
         }
       }
+      // Ack outside mu_: the push may block on a full ack mailbox.
+      if (outcome.has_value()) Ack(m.pn, *outcome);
       return true;
     }
     case net::MessageType::kMatchingTable: {
       auto table = net::DecodeMatchingTable(m.payload);
       if (!table.ok()) {
         NoteError(table.status());
+        Ack(m.pn, table.status());
         return true;
       }
-      std::lock_guard<std::mutex> lock(mu_);
-      pending_table_.emplace(m.pn, std::move(*table));
-      TryFinishTagged(m.pn);
+      std::optional<Status> outcome;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        pending_table_.emplace(m.pn, std::move(*table));
+        outcome = TryFinishTagged(m.pn);
+      }
+      if (outcome.has_value()) Ack(m.pn, *outcome);
       return true;
     }
     case net::MessageType::kShutdown:

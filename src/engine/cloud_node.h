@@ -37,6 +37,13 @@ class CloudNode {
 
   const net::MailboxPtr& inbox() const { return node_.inbox(); }
 
+  /// Routes a kPublicationAck back to `acks` whenever a publication
+  /// finishes installing (or fails to): `leaf == 0` on success, nonzero
+  /// with the reason in `payload` on failure. Pass a collector's
+  /// publication_acks() mailbox to close the publish -> ack loop.
+  /// Thread-safe; may be called before or after Start().
+  void RouteAcksTo(net::MailboxPtr acks);
+
   /// First error the handler hit, if any (frames after an error are still
   /// processed; the first failure is sticky for post-run inspection).
   Status first_error() const;
@@ -47,10 +54,15 @@ class CloudNode {
  private:
   bool Handle(net::Message&& m);
   void NoteError(const Status& st);
-  void TryFinishTagged(uint64_t pn);
+  /// Attempts the deferred PINED-RQ++ publish; returns its outcome once
+  /// both halves (index + table) are present. Call with mu_ held.
+  std::optional<Status> TryFinishTagged(uint64_t pn);
+  /// Pushes a kPublicationAck for `pn` if ack routing is configured.
+  void Ack(uint64_t pn, const Status& st);
 
   cloud::CloudServer* server_;
   mutable std::mutex mu_;
+  net::MailboxPtr ack_outbox_;
   Status first_error_;
   std::vector<cloud::MatchingStats> stats_;
   // PINED-RQ++ pairing state.

@@ -1,0 +1,557 @@
+#include "engine/collector_nodes.h"
+
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "dp/laplace.h"
+#include "index/index.h"
+#include "index/overflow.h"
+#include "net/payloads.h"
+
+namespace fresque {
+namespace engine {
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// ReportSink
+
+void ReportSink::DispatcherInit(uint64_t pn, double millis, uint64_t dummies) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& r = Slot(pn);
+  r.dispatcher_millis += millis;
+  r.dummy_records = dummies;
+}
+
+void ReportSink::DispatcherPublish(uint64_t pn, double millis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot(pn).dispatcher_millis += millis;
+}
+
+void ReportSink::Checking(uint64_t pn, double millis, uint64_t real) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& r = Slot(pn);
+  r.checking_millis = millis;
+  r.real_records = real;
+}
+
+void ReportSink::Merger(uint64_t pn, double millis, uint64_t removed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& r = Slot(pn);
+  r.merger_millis = millis;
+  r.removed_records = removed;
+}
+
+std::vector<PublishReport> ReportSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PublishReport> out;
+  out.reserve(reports_.size());
+  for (const auto& [pn, r] : reports_) {
+    (void)pn;
+    out.push_back(r);
+  }
+  return out;
+}
+
+PublishReport& ReportSink::Slot(uint64_t pn) {
+  auto& r = reports_[pn];
+  r.pn = pn;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// PublicationTracker
+
+void PublicationTracker::Complete(uint64_t pn, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.emplace(pn, std::move(status));  // first terminal state wins
+  }
+  cv_.notify_all();
+}
+
+Status PublicationTracker::Wait(uint64_t pn,
+                                std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [&] { return done_.count(pn) > 0; })) {
+    return Status::DeadlineExceeded("publication " + std::to_string(pn) +
+                                    " not acked within " +
+                                    std::to_string(timeout.count()) + "ms");
+  }
+  return done_.at(pn);
+}
+
+uint64_t PublicationTracker::completed_ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [pn, st] : done_) {
+    (void)pn;
+    if (st.ok()) ++n;
+  }
+  return n;
+}
+
+uint64_t PublicationTracker::completed_failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [pn, st] : done_) {
+    (void)pn;
+    if (!st.ok()) ++n;
+  }
+  return n;
+}
+
+net::Message MakeFailureAck(uint64_t pn, const std::string& reason) {
+  net::Message ack;
+  ack.type = net::MessageType::kPublicationAck;
+  ack.pn = pn;
+  ack.leaf = 1;
+  ack.payload.assign(reason.begin(), reason.end());
+  return ack;
+}
+
+// ---------------------------------------------------------------------------
+// ComputingNodeImpl
+
+ComputingNodeImpl::ComputingNodeImpl(size_t id, const CollectorConfig& config,
+                                     index::DomainBinning binning,
+                                     const crypto::KeyManager* keys,
+                                     net::MailboxPtr checking)
+    : config_(config),
+      binning_(std::move(binning)),
+      keys_(keys),
+      checking_(std::move(checking)),
+      rng_(config.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1))),
+      node_("cn" + std::to_string(id),
+            net::MakeMailbox(config.mailbox_capacity),
+            [this](net::Message&& m) { return Handle(std::move(m)); }) {}
+
+bool ComputingNodeImpl::Handle(net::Message&& m) {
+  switch (m.type) {
+    case net::MessageType::kRawLine:
+      HandleLine(std::move(m));
+      return true;
+    case net::MessageType::kPublish:
+    case net::MessageType::kShutdown: {
+      // Forward the barrier so the checking node can count one per CN.
+      bool keep_going = m.type != net::MessageType::kShutdown;
+      checking_->Push(std::move(m));
+      return keep_going;
+    }
+    default:
+      FRESQUE_LOG(Warn) << "computing node: unexpected "
+                        << net::MessageTypeToString(m.type);
+      return true;
+  }
+}
+
+void ComputingNodeImpl::HandleLine(net::Message&& m) {
+  auto* codec = CodecFor(m.pn);
+  if (codec == nullptr) {
+    codec_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  net::Message out;
+  out.type = net::MessageType::kTaggedRecord;
+  out.pn = m.pn;
+
+  if (m.dummy) {
+    out.dummy = true;
+    out.leaf = m.leaf;
+    auto ct = codec->EncryptDummy(config_.dummy_padding_len);
+    if (!ct.ok()) {
+      FRESQUE_LOG(Warn) << "dummy encrypt failed: " << ct.status().ToString();
+      codec_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    out.payload = std::move(*ct);
+    checking_->Push(std::move(out));
+    return;
+  }
+
+  std::string_view line(reinterpret_cast<const char*>(m.payload.data()),
+                        m.payload.size());
+  auto rec = config_.dataset.parser->Parse(line);
+  if (!rec.ok()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto v = rec->IndexedValue(config_.dataset.parser->schema());
+  if (!v.ok()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto leaf = binning_.LeafOffsetChecked(*v);
+  if (!leaf.ok()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto ct = codec->EncryptRecord(*rec);
+  if (!ct.ok()) {
+    codec_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  out.leaf = *leaf;
+  out.payload = std::move(*ct);
+  checking_->Push(std::move(out));
+}
+
+record::SecureRecordCodec* ComputingNodeImpl::CodecFor(uint64_t pn) {
+  if (!codec_ || codec_pn_ != pn) {
+    auto c = record::SecureRecordCodec::Create(
+        keys_->RecordKey(pn), &config_.dataset.parser->schema(), &rng_);
+    if (!c.ok()) {
+      FRESQUE_LOG(Error) << "codec create failed: " << c.status().ToString();
+      return nullptr;
+    }
+    codec_.emplace(std::move(c).ValueOrDie());
+    codec_pn_ = pn;
+  }
+  return &*codec_;
+}
+
+// ---------------------------------------------------------------------------
+// CheckingNodeImpl
+
+CheckingNodeImpl::CheckingNodeImpl(const CollectorConfig& config,
+                                   net::MailboxPtr merger,
+                                   net::MailboxPtr cloud, ReportSink* reports,
+                                   net::MailboxPtr acks)
+    : config_(config),
+      merger_(std::move(merger)),
+      cloud_(std::move(cloud)),
+      reports_(reports),
+      acks_(std::move(acks)),
+      rng_(config.seed ^ 0xC0FFEE),
+      node_("checking", net::MakeMailbox(config.mailbox_capacity),
+            [this](net::Message&& m) { return Handle(std::move(m)); }) {}
+
+bool CheckingNodeImpl::Handle(net::Message&& m) {
+  switch (m.type) {
+    case net::MessageType::kTemplateInit:
+      HandleTemplate(std::move(m));
+      return true;
+    case net::MessageType::kTaggedRecord:
+      HandleRecord(std::move(m));
+      return true;
+    case net::MessageType::kPublish:
+      HandlePublish(m.pn);
+      return true;
+    case net::MessageType::kShutdown:
+      if (++shutdown_votes_ < config_.num_computing_nodes) return true;
+      merger_->Push(std::move(m));
+      return false;
+    default:
+      FRESQUE_LOG(Warn) << "checking node: unexpected "
+                        << net::MessageTypeToString(m.type);
+      return true;
+  }
+}
+
+void CheckingNodeImpl::HandleTemplate(net::Message&& m) {
+  const uint64_t pn = m.pn;
+  auto tmpl = net::DecodeTemplate(m.payload);
+  if (!tmpl.ok()) {
+    // No interval state will ever exist for `pn`; the barrier completion
+    // in HandlePublish detects that and acks the publication as failed.
+    FRESQUE_LOG(Error) << "bad template: " << tmpl.status().ToString();
+    return;
+  }
+  const auto& noise = tmpl->leaf_counts();
+  double scale = index::IndexPerturber::LevelScale(
+      config_.epsilon, tmpl->layout().num_levels());
+  auto buf = dp::RandomerBufferSize(scale, config_.delta, noise.size(),
+                                    config_.alpha);
+  size_t buffer_size = buf.ok() ? *buf : 16;
+  states_.emplace(std::piecewise_construct, std::forward_as_tuple(pn),
+                  std::forward_as_tuple(noise, buffer_size, &rng_));
+
+  // Tell the cloud a publication opened; hand the template itself on to
+  // the merger for the eventual secure-index build.
+  net::Message start;
+  start.type = net::MessageType::kPublicationStart;
+  start.pn = pn;
+  cloud_->Push(std::move(start));
+
+  net::Message fwd = std::move(m);
+  fwd.type = net::MessageType::kTemplateForward;
+  merger_->Push(std::move(fwd));
+
+  // Records of this publication may have raced ahead of the template.
+  auto it = pending_.find(pn);
+  if (it != pending_.end()) {
+    std::vector<net::Message> buffered = std::move(it->second);
+    pending_.erase(it);
+    for (auto& r : buffered) HandleRecord(std::move(r));
+  }
+}
+
+void CheckingNodeImpl::HandleRecord(net::Message&& m) {
+  auto it = states_.find(m.pn);
+  if (it == states_.end()) {
+    // Template still in flight on the dispatcher->checking link;
+    // equivalent to the paper's computing-node-side buffering. Bounded:
+    // a template that never arrives must not grow an unbounded queue.
+    auto& pending = pending_[m.pn];
+    if (pending.size() >= config_.max_pending_per_publication) {
+      pending_dropped_.fetch_add(1, std::memory_order_relaxed);
+      FRESQUE_LOG(Error) << "dropping record for publication " << m.pn
+                         << ": no template after "
+                         << config_.max_pending_per_publication << " records";
+      return;
+    }
+    pending.push_back(std::move(m));
+    return;
+  }
+  auto evicted = it->second.randomer.Push(std::move(m));
+  if (evicted.has_value()) {
+    Dispatch(it->second, std::move(*evicted));
+  }
+}
+
+/// Checker + updater on one record leaving the randomer.
+void CheckingNodeImpl::Dispatch(IntervalState& state, net::Message&& m) {
+  if (m.dummy) {
+    // Dummies skip AL/ALN entirely; strip the collector-private flag.
+    m.type = net::MessageType::kCloudRecord;
+    m.dummy = false;
+    cloud_->Push(std::move(m));
+    return;
+  }
+  auto decision = state.leaves.Admit(static_cast<size_t>(m.leaf));
+  if (decision == index::LeafArrays::Decision::kRemove) {
+    m.type = net::MessageType::kRemovedRecord;
+    merger_->Push(std::move(m));
+    return;
+  }
+  m.type = net::MessageType::kCloudRecord;
+  cloud_->Push(std::move(m));
+}
+
+void CheckingNodeImpl::HandlePublish(uint64_t pn) {
+  // Votes are counted independently of interval state: a lost or
+  // undecodable template must not wedge the barrier for its publication.
+  size_t votes = ++publish_votes_[pn];
+  if (votes < config_.num_computing_nodes) return;
+  publish_votes_.erase(pn);
+
+  auto it = states_.find(pn);
+  if (it == states_.end()) {
+    FailPublication(pn, "publication " + std::to_string(pn) +
+                            ": barrier completed with no interval state "
+                            "(template lost or undecodable)");
+  } else {
+    // All computing nodes flushed publication `pn`: release the buffer,
+    // snapshot AL, hand both downstream.
+    Stopwatch watch;
+    auto& state = it->second;
+    for (auto& m : state.randomer.Flush()) {
+      Dispatch(state, std::move(m));
+    }
+    net::Message snap;
+    snap.type = net::MessageType::kAlSnapshot;
+    snap.pn = pn;
+    snap.payload = net::EncodeAlSnapshot(state.leaves.al_snapshot());
+    merger_->Push(std::move(snap));
+
+    reports_->Checking(pn, watch.ElapsedMillis(),
+                       static_cast<uint64_t>(state.leaves.TotalReal()));
+    states_.erase(it);
+    publications_flushed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EvictStalePending(pn);
+}
+
+void CheckingNodeImpl::FailPublication(uint64_t pn,
+                                       const std::string& reason) {
+  FRESQUE_LOG(Error) << "checking node: " << reason;
+  publications_failed_.fetch_add(1, std::memory_order_relaxed);
+  if (acks_) acks_->Push(MakeFailureAck(pn, reason));
+}
+
+void CheckingNodeImpl::EvictStalePending(uint64_t closed_pn) {
+  // A completed barrier for `closed_pn` proves every template with
+  // pn <= closed_pn that will ever arrive has arrived (templates enter
+  // this inbox at interval open, strictly before the publish barrier of
+  // the same or any later interval reaches the computing nodes). Records
+  // still buffered for those publications are orphans of a lost
+  // template: drop and count them instead of leaking the map entry.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first <= closed_pn;) {
+    FRESQUE_LOG(Error) << "evicting " << it->second.size()
+                       << " buffered records of publication " << it->first
+                       << ": template never arrived";
+    pending_dropped_.fetch_add(it->second.size(), std::memory_order_relaxed);
+    it = pending_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MergerImpl
+
+MergerImpl::MergerImpl(const CollectorConfig& config,
+                       const crypto::KeyManager* keys, net::MailboxPtr cloud,
+                       ReportSink* reports, net::MailboxPtr acks)
+    : config_(config),
+      keys_(keys),
+      cloud_(std::move(cloud)),
+      reports_(reports),
+      acks_(std::move(acks)),
+      rng_(config.seed ^ 0x4D455247),  // "MERG"
+      node_("merger", net::MakeMailbox(config.mailbox_capacity),
+            [this](net::Message&& m) { return Handle(std::move(m)); }) {}
+
+bool MergerImpl::Handle(net::Message&& m) {
+  switch (m.type) {
+    case net::MessageType::kTemplateForward: {
+      auto tmpl = net::DecodeTemplate(m.payload);
+      if (!tmpl.ok()) {
+        FailPublication(m.pn, "merger: bad template " +
+                                  tmpl.status().ToString());
+        return true;
+      }
+      pending_[m.pn].tmpl.emplace(std::move(*tmpl));
+      return true;
+    }
+    case net::MessageType::kRemovedRecord:
+      pending_[m.pn].removed.push_back(std::move(m));
+      return true;
+    case net::MessageType::kAlSnapshot:
+      FinishPublication(std::move(m));
+      return true;
+    case net::MessageType::kShutdown:
+      cloud_->Push(std::move(m));
+      return false;
+    default:
+      FRESQUE_LOG(Warn) << "merger: unexpected "
+                        << net::MessageTypeToString(m.type);
+      return true;
+  }
+}
+
+void MergerImpl::FinishPublication(net::Message&& snap) {
+  auto it = pending_.find(snap.pn);
+  if (it == pending_.end() || !it->second.tmpl.has_value()) {
+    // The template was lost upstream (or its forward failed to decode
+    // here); the AL snapshot is the publication's last frame, so release
+    // whatever state accumulated and ack the failure.
+    if (it != pending_.end()) pending_.erase(it);
+    FailPublication(snap.pn, "merger: AL snapshot for publication " +
+                                 std::to_string(snap.pn) +
+                                 " without a template");
+    return;
+  }
+  auto al = net::DecodeAlSnapshot(snap.payload);
+  if (!al.ok()) {
+    pending_.erase(it);
+    FailPublication(snap.pn, "merger: bad AL " + al.status().ToString());
+    return;
+  }
+
+  Stopwatch watch;
+  auto& pending = it->second;
+
+  // Secure index = template noise + true counts, aggregated up.
+  auto true_index = index::HistogramIndex::FromLeafCounts(
+      pending.tmpl->layout(), pending.tmpl->binning(), *al);
+  if (!true_index.ok()) {
+    std::string reason =
+        "merger: AL shape mismatch " + true_index.status().ToString();
+    pending_.erase(it);
+    FailPublication(snap.pn, reason);
+    return;
+  }
+  auto merged = pending.tmpl->Plus(*true_index);
+  if (!merged.ok()) {
+    std::string reason = "merger: merge failed " + merged.status().ToString();
+    pending_.erase(it);
+    FailPublication(snap.pn, reason);
+    return;
+  }
+
+  // Overflow arrays: one fixed-size array per leaf, capacity = the
+  // delta-probability bound on |negative noise| (symmetric to the dummy
+  // bound). Removed records go to random slots; the rest pads with
+  // dummy ciphertexts.
+  double scale = index::IndexPerturber::LevelScale(
+      config_.epsilon, merged->layout().num_levels());
+  size_t slots = static_cast<size_t>(
+      dp::DummyUpperBoundPerLeaf(scale, config_.delta));
+  if (slots == 0) slots = 1;
+  index::OverflowArrays overflow(merged->layout().num_leaves(), slots);
+  for (auto& rm : pending.removed) {
+    Status st = overflow.Insert(static_cast<size_t>(rm.leaf),
+                                std::move(rm.payload), &rng_);
+    if (!st.ok()) {
+      overflow_drops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  auto codec = record::SecureRecordCodec::Create(
+      keys_->RecordKey(snap.pn), &config_.dataset.parser->schema(), &rng_);
+  if (!codec.ok()) {
+    std::string reason = "merger: codec " + codec.status().ToString();
+    pending_.erase(it);
+    FailPublication(snap.pn, reason);
+    return;
+  }
+  overflow.PadWithDummies([&] {
+    auto d = codec->EncryptDummy(config_.dummy_padding_len);
+    return d.ok() ? std::move(*d) : Bytes{};
+  });
+
+  net::IndexPublication publication(std::move(*merged), std::move(overflow));
+  publication.integrity_tag = net::ComputeIndexPublicationTag(
+      publication, keys_->IndexMacKey(snap.pn));
+
+  net::Message out;
+  out.type = net::MessageType::kIndexPublication;
+  out.pn = snap.pn;
+  out.payload = net::EncodeIndexPublication(publication);
+  cloud_->Push(std::move(out));
+  publications_shipped_.fetch_add(1, std::memory_order_relaxed);
+
+  reports_->Merger(snap.pn, watch.ElapsedMillis(),
+                   static_cast<uint64_t>(pending.removed.size()));
+  pending_.erase(it);
+}
+
+void MergerImpl::FailPublication(uint64_t pn, const std::string& reason) {
+  FRESQUE_LOG(Error) << reason;
+  if (acks_) acks_->Push(MakeFailureAck(pn, reason));
+}
+
+// ---------------------------------------------------------------------------
+// DispatcherState
+
+DispatcherState::DispatcherState(const CollectorConfig& config,
+                                 index::DomainBinning binning,
+                                 net::MailboxPtr checking, ReportSink* reports)
+    : config_(config),
+      binning_(std::move(binning)),
+      checking_(std::move(checking)),
+      rng_(config.seed ^ 0xD15C0),
+      reports_(reports) {}
+
+Status DispatcherState::OpenInterval(uint64_t pn) {
+  Stopwatch watch;
+  auto tmpl = index::IndexTemplate::Create(binning_, config_.fanout,
+                                           config_.epsilon, &rng_);
+  if (!tmpl.ok()) return tmpl.status();
+
+  schedule_.emplace(tmpl->leaf_noise(), &rng_);
+  progress_ = 0;
+
+  net::Message init;
+  init.type = net::MessageType::kTemplateInit;
+  init.pn = pn;
+  init.payload = net::EncodeTemplate(tmpl->noise_index());
+  checking_->Push(std::move(init));
+
+  reports_->DispatcherInit(pn, watch.ElapsedMillis(), schedule_->total());
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace engine
+}  // namespace fresque

@@ -1,0 +1,266 @@
+#ifndef FRESQUE_ENGINE_COLLECTOR_NODES_H_
+#define FRESQUE_ENGINE_COLLECTOR_NODES_H_
+
+/// Internal pipeline nodes of the FRESQUE collector (paper §5.3), split
+/// out of fresque_collector.cc so the per-node protocol logic — in
+/// particular the checking node's barrier and lost-template handling —
+/// is unit-testable in isolation. Everything here is collector-private;
+/// the supported public surface is FresqueCollector.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/key_manager.h"
+#include "engine/config.h"
+#include "engine/dummy_schedule.h"
+#include "engine/metrics.h"
+#include "engine/randomer.h"
+#include "index/al.h"
+#include "index/binning.h"
+#include "index/index.h"
+#include "net/message.h"
+#include "net/node.h"
+#include "record/secure_codec.h"
+
+namespace fresque {
+namespace engine {
+namespace internal {
+
+/// Thread-safe accumulator of per-publication reports; all collector
+/// components write their slice here.
+class ReportSink {
+ public:
+  void DispatcherInit(uint64_t pn, double millis, uint64_t dummies);
+  void DispatcherPublish(uint64_t pn, double millis);
+  void Checking(uint64_t pn, double millis, uint64_t real);
+  void Merger(uint64_t pn, double millis, uint64_t removed);
+
+  std::vector<PublishReport> Snapshot() const;
+
+ private:
+  PublishReport& Slot(uint64_t pn);
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, PublishReport> reports_;
+};
+
+/// Tracks terminal publication states (installed at the cloud, or failed
+/// somewhere in the pipeline) as kPublicationAck frames arrive, and lets
+/// callers block on a specific publication with a deadline.
+class PublicationTracker {
+ public:
+  /// Records the terminal state of `pn` (first ack wins) and wakes
+  /// waiters.
+  void Complete(uint64_t pn, Status status);
+
+  /// Blocks until `pn` reached a terminal state or `timeout` elapsed.
+  /// Returns the publication's terminal status, or DeadlineExceeded.
+  Status Wait(uint64_t pn, std::chrono::milliseconds timeout) const;
+
+  uint64_t completed_ok() const;
+  uint64_t completed_failed() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<uint64_t, Status> done_;
+};
+
+/// Computing node (paper §5.3): parse raw line -> leaf offset -> encrypt,
+/// emit <leaf offset, e-record> to the checking node. Also encrypts the
+/// dispatcher's dummy directives.
+class ComputingNodeImpl {
+ public:
+  ComputingNodeImpl(size_t id, const CollectorConfig& config,
+                    index::DomainBinning binning,
+                    const crypto::KeyManager* keys, net::MailboxPtr checking);
+
+  void Start() { node_.Start(); }
+  void Join() { node_.Join(); }
+  const net::MailboxPtr& inbox() const { return node_.inbox(); }
+  const net::Node& node() const { return node_; }
+  uint64_t parse_errors() const {
+    return parse_errors_.load(std::memory_order_relaxed);
+  }
+  /// Records lost to codec construction or encryption failures (distinct
+  /// from malformed input, which counts as parse_errors).
+  uint64_t codec_failures() const {
+    return codec_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool Handle(net::Message&& m);
+  void HandleLine(net::Message&& m);
+
+  /// Per-publication record codec, rebuilt when the publication turns
+  /// over (each publication has its own derived AES key).
+  record::SecureRecordCodec* CodecFor(uint64_t pn);
+
+  const CollectorConfig& config_;
+  index::DomainBinning binning_;
+  const crypto::KeyManager* keys_;
+  net::MailboxPtr checking_;
+  crypto::SecureRandom rng_;
+  std::optional<record::SecureRecordCodec> codec_;
+  uint64_t codec_pn_ = ~0ULL;
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> codec_failures_{0};
+  net::Node node_;
+};
+
+/// Checking node (paper §5.3): randomer + checker + updater. O(1) AL/ALN
+/// array operations replace the PINED-RQ++ tree walk.
+///
+/// Barrier hardening: publish votes are tracked independently of interval
+/// state, so a publication whose template was lost or undecodable still
+/// completes its barrier — it is then acked as failed (via `acks`, when
+/// provided) and its buffered records are dropped and counted instead of
+/// leaking in `pending_` forever.
+class CheckingNodeImpl {
+ public:
+  /// `acks`, when non-null, receives kPublicationAck frames for
+  /// publications that fail at this node.
+  CheckingNodeImpl(const CollectorConfig& config, net::MailboxPtr merger,
+                   net::MailboxPtr cloud, ReportSink* reports,
+                   net::MailboxPtr acks = nullptr);
+
+  void Start() { node_.Start(); }
+  void Join() { node_.Join(); }
+  const net::MailboxPtr& inbox() const { return node_.inbox(); }
+  const net::Node& node() const { return node_; }
+
+  /// Records dropped while waiting for a template that never arrived.
+  uint64_t pending_dropped() const {
+    return pending_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Publications flushed through the AL-snapshot path.
+  uint64_t publications_flushed() const {
+    return publications_flushed_.load(std::memory_order_relaxed);
+  }
+  /// Publications whose barrier completed without interval state.
+  uint64_t publications_failed() const {
+    return publications_failed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct IntervalState {
+    index::LeafArrays leaves;
+    Randomer randomer;
+
+    IntervalState(const std::vector<int64_t>& noise, size_t buffer_size,
+                  crypto::SecureRandom* rng)
+        : leaves(noise), randomer(buffer_size, rng) {}
+  };
+
+  bool Handle(net::Message&& m);
+  void HandleTemplate(net::Message&& m);
+  void HandleRecord(net::Message&& m);
+  void Dispatch(IntervalState& state, net::Message&& m);
+  void HandlePublish(uint64_t pn);
+  void FailPublication(uint64_t pn, const std::string& reason);
+  void EvictStalePending(uint64_t closed_pn);
+
+  const CollectorConfig& config_;
+  net::MailboxPtr merger_;
+  net::MailboxPtr cloud_;
+  ReportSink* reports_;
+  net::MailboxPtr acks_;
+  crypto::SecureRandom rng_;
+  std::map<uint64_t, IntervalState> states_;
+  std::map<uint64_t, std::vector<net::Message>> pending_;
+  std::map<uint64_t, size_t> publish_votes_;
+  size_t shutdown_votes_ = 0;
+  std::atomic<uint64_t> pending_dropped_{0};
+  std::atomic<uint64_t> publications_flushed_{0};
+  std::atomic<uint64_t> publications_failed_{0};
+  net::Node node_;
+};
+
+/// Merger (paper §5.3): runs publication work off the ingestion path —
+/// merges IT + AL into the secure index, builds overflow arrays, ships
+/// the publication to the cloud. Publications that fail to build are
+/// acked as failed (via `acks`) and their pending state released.
+class MergerImpl {
+ public:
+  MergerImpl(const CollectorConfig& config, const crypto::KeyManager* keys,
+             net::MailboxPtr cloud, ReportSink* reports,
+             net::MailboxPtr acks = nullptr);
+
+  void Start() { node_.Start(); }
+  void Join() { node_.Join(); }
+  const net::MailboxPtr& inbox() const { return node_.inbox(); }
+  const net::Node& node() const { return node_; }
+
+  /// Removed records that no longer fit their overflow array (realized
+  /// noise beyond the delta-probability bound); should be ~0.
+  uint64_t overflow_drops() const {
+    return overflow_drops_.load(std::memory_order_relaxed);
+  }
+  /// Publications shipped to the cloud as kIndexPublication.
+  uint64_t publications_shipped() const {
+    return publications_shipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingPublication {
+    std::optional<index::HistogramIndex> tmpl;
+    std::vector<net::Message> removed;
+  };
+
+  bool Handle(net::Message&& m);
+  void FinishPublication(net::Message&& snap);
+  void FailPublication(uint64_t pn, const std::string& reason);
+
+  const CollectorConfig& config_;
+  const crypto::KeyManager* keys_;
+  net::MailboxPtr cloud_;
+  ReportSink* reports_;
+  net::MailboxPtr acks_;
+  crypto::SecureRandom rng_;
+  std::map<uint64_t, PendingPublication> pending_;
+  std::atomic<uint64_t> overflow_drops_{0};
+  std::atomic<uint64_t> publications_shipped_{0};
+  net::Node node_;
+};
+
+/// Dispatcher-side per-interval state (runs on the caller's thread).
+class DispatcherState {
+ public:
+  DispatcherState(const CollectorConfig& config, index::DomainBinning binning,
+                  net::MailboxPtr checking, ReportSink* reports);
+
+  /// Samples the template for publication `pn`, schedules its dummies and
+  /// hands the template to the checking node.
+  Status OpenInterval(uint64_t pn);
+
+  DummySchedule* schedule() { return schedule_ ? &*schedule_ : nullptr; }
+  void set_progress(double p) { progress_ = p; }
+  double progress() const { return progress_; }
+
+ private:
+  const CollectorConfig& config_;
+  index::DomainBinning binning_;
+  net::MailboxPtr checking_;
+  crypto::SecureRandom rng_;
+  std::optional<DummySchedule> schedule_;
+  double progress_ = 0;
+  ReportSink* reports_;
+};
+
+/// Builds a failure kPublicationAck frame (leaf != 0, reason in payload).
+net::Message MakeFailureAck(uint64_t pn, const std::string& reason);
+
+}  // namespace internal
+}  // namespace engine
+}  // namespace fresque
+
+#endif  // FRESQUE_ENGINE_COLLECTOR_NODES_H_

@@ -38,6 +38,13 @@ struct CollectorConfig {
   /// typical record size so ciphertext lengths blend in.
   size_t dummy_padding_len = 64;
 
+  /// Cap on records the checking node buffers for a publication whose
+  /// template has not arrived yet (records can overtake the template on
+  /// the computing-node links). The template always ships at interval
+  /// open, so hitting this bound means the template was lost or failed
+  /// to decode; excess records are dropped and counted.
+  size_t max_pending_per_publication = 1 << 20;
+
   /// Seed for all collector-side randomness; same seed => same noise,
   /// dummies and schedules (tests and reproducible experiments).
   uint64_t seed = 42;

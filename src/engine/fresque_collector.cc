@@ -1,561 +1,24 @@
 #include "engine/fresque_collector.h"
 
-#include <atomic>
-#include <map>
-#include <mutex>
-#include <optional>
+#include <string>
 #include <utility>
 
 #include "common/clock.h"
 #include "common/logging.h"
-#include "dp/laplace.h"
-#include "engine/dummy_schedule.h"
-#include "engine/randomer.h"
-#include "index/al.h"
-#include "index/index.h"
-#include "index/overflow.h"
-#include "net/node.h"
-#include "net/payloads.h"
-#include "record/secure_codec.h"
+#include "engine/collector_nodes.h"
+#include "index/binning.h"
 
 namespace fresque {
 namespace engine {
-namespace internal {
-
-/// Thread-safe accumulator of per-publication reports; all collector
-/// components write their slice here.
-class ReportSink {
- public:
-  void DispatcherInit(uint64_t pn, double millis, uint64_t dummies) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& r = Slot(pn);
-    r.dispatcher_millis += millis;
-    r.dummy_records = dummies;
-  }
-  void DispatcherPublish(uint64_t pn, double millis) {
-    std::lock_guard<std::mutex> lock(mu_);
-    Slot(pn).dispatcher_millis += millis;
-  }
-  void Checking(uint64_t pn, double millis, uint64_t real) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& r = Slot(pn);
-    r.checking_millis = millis;
-    r.real_records = real;
-  }
-  void Merger(uint64_t pn, double millis, uint64_t removed) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& r = Slot(pn);
-    r.merger_millis = millis;
-    r.removed_records = removed;
-  }
-
-  std::vector<PublishReport> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<PublishReport> out;
-    out.reserve(reports_.size());
-    for (const auto& [pn, r] : reports_) {
-      (void)pn;
-      out.push_back(r);
-    }
-    return out;
-  }
-
- private:
-  PublishReport& Slot(uint64_t pn) {
-    auto& r = reports_[pn];
-    r.pn = pn;
-    return r;
-  }
-
-  mutable std::mutex mu_;
-  std::map<uint64_t, PublishReport> reports_;
-};
-
-/// Computing node (paper §5.3): parse raw line -> leaf offset -> encrypt,
-/// emit <leaf offset, e-record> to the checking node. Also encrypts the
-/// dispatcher's dummy directives.
-class ComputingNodeImpl {
- public:
-  ComputingNodeImpl(size_t id, const CollectorConfig& config,
-                    index::DomainBinning binning,
-                    const crypto::KeyManager* keys, net::MailboxPtr checking)
-      : config_(config),
-        binning_(std::move(binning)),
-        keys_(keys),
-        checking_(std::move(checking)),
-        rng_(config.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1))),
-        node_("cn" + std::to_string(id),
-              net::MakeMailbox(config.mailbox_capacity),
-              [this](net::Message&& m) { return Handle(std::move(m)); }) {}
-
-  void Start() { node_.Start(); }
-  void Join() { node_.Join(); }
-  const net::MailboxPtr& inbox() const { return node_.inbox(); }
-  uint64_t parse_errors() const {
-    return parse_errors_.load(std::memory_order_relaxed);
-  }
-
- private:
-  bool Handle(net::Message&& m) {
-    switch (m.type) {
-      case net::MessageType::kRawLine:
-        HandleLine(std::move(m));
-        return true;
-      case net::MessageType::kPublish:
-      case net::MessageType::kShutdown: {
-        // Forward the barrier so the checking node can count one per CN.
-        bool keep_going = m.type != net::MessageType::kShutdown;
-        checking_->Push(std::move(m));
-        return keep_going;
-      }
-      default:
-        FRESQUE_LOG(Warn) << "computing node: unexpected "
-                          << net::MessageTypeToString(m.type);
-        return true;
-    }
-  }
-
-  void HandleLine(net::Message&& m) {
-    auto* codec = CodecFor(m.pn);
-    if (codec == nullptr) return;
-
-    net::Message out;
-    out.type = net::MessageType::kTaggedRecord;
-    out.pn = m.pn;
-
-    if (m.dummy) {
-      out.dummy = true;
-      out.leaf = m.leaf;
-      auto ct = codec->EncryptDummy(config_.dummy_padding_len);
-      if (!ct.ok()) {
-        FRESQUE_LOG(Warn) << "dummy encrypt failed: " << ct.status().ToString();
-        return;
-      }
-      out.payload = std::move(*ct);
-      checking_->Push(std::move(out));
-      return;
-    }
-
-    std::string_view line(reinterpret_cast<const char*>(m.payload.data()),
-                          m.payload.size());
-    auto rec = config_.dataset.parser->Parse(line);
-    if (!rec.ok()) {
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    auto v = rec->IndexedValue(config_.dataset.parser->schema());
-    if (!v.ok()) {
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    auto leaf = binning_.LeafOffsetChecked(*v);
-    if (!leaf.ok()) {
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    auto ct = codec->EncryptRecord(*rec);
-    if (!ct.ok()) {
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    out.leaf = *leaf;
-    out.payload = std::move(*ct);
-    checking_->Push(std::move(out));
-  }
-
-  /// Per-publication record codec, rebuilt when the publication turns
-  /// over (each publication has its own derived AES key).
-  record::SecureRecordCodec* CodecFor(uint64_t pn) {
-    if (!codec_ || codec_pn_ != pn) {
-      auto c = record::SecureRecordCodec::Create(
-          keys_->RecordKey(pn), &config_.dataset.parser->schema(), &rng_);
-      if (!c.ok()) {
-        FRESQUE_LOG(Error) << "codec create failed: " << c.status().ToString();
-        return nullptr;
-      }
-      codec_.emplace(std::move(c).ValueOrDie());
-      codec_pn_ = pn;
-    }
-    return &*codec_;
-  }
-
-  const CollectorConfig& config_;
-  index::DomainBinning binning_;
-  const crypto::KeyManager* keys_;
-  net::MailboxPtr checking_;
-  crypto::SecureRandom rng_;
-  std::optional<record::SecureRecordCodec> codec_;
-  uint64_t codec_pn_ = ~0ULL;
-  std::atomic<uint64_t> parse_errors_{0};
-  net::Node node_;
-};
-
-/// Checking node (paper §5.3): randomer + checker + updater. O(1) AL/ALN
-/// array operations replace the PINED-RQ++ tree walk.
-class CheckingNodeImpl {
- public:
-  CheckingNodeImpl(const CollectorConfig& config, net::MailboxPtr merger,
-                   net::MailboxPtr cloud, ReportSink* reports)
-      : config_(config),
-        merger_(std::move(merger)),
-        cloud_(std::move(cloud)),
-        reports_(reports),
-        rng_(config.seed ^ 0xC0FFEE),
-        node_("checking", net::MakeMailbox(config.mailbox_capacity),
-              [this](net::Message&& m) { return Handle(std::move(m)); }) {}
-
-  void Start() { node_.Start(); }
-  void Join() { node_.Join(); }
-  const net::MailboxPtr& inbox() const { return node_.inbox(); }
-
- private:
-  struct IntervalState {
-    index::LeafArrays leaves;
-    Randomer randomer;
-    size_t publish_votes = 0;
-
-    IntervalState(const std::vector<int64_t>& noise, size_t buffer_size,
-                  crypto::SecureRandom* rng)
-        : leaves(noise), randomer(buffer_size, rng) {}
-  };
-
-  bool Handle(net::Message&& m) {
-    switch (m.type) {
-      case net::MessageType::kTemplateInit:
-        HandleTemplate(std::move(m));
-        return true;
-      case net::MessageType::kTaggedRecord:
-        HandleRecord(std::move(m));
-        return true;
-      case net::MessageType::kPublish:
-        HandlePublish(m.pn);
-        return true;
-      case net::MessageType::kShutdown:
-        if (++shutdown_votes_ < config_.num_computing_nodes) return true;
-        merger_->Push(std::move(m));
-        return false;
-      default:
-        FRESQUE_LOG(Warn) << "checking node: unexpected "
-                          << net::MessageTypeToString(m.type);
-        return true;
-    }
-  }
-
-  void HandleTemplate(net::Message&& m) {
-    const uint64_t pn = m.pn;
-    auto tmpl = net::DecodeTemplate(m.payload);
-    if (!tmpl.ok()) {
-      FRESQUE_LOG(Error) << "bad template: " << tmpl.status().ToString();
-      return;
-    }
-    const auto& noise = tmpl->leaf_counts();
-    double scale = index::IndexPerturber::LevelScale(
-        config_.epsilon, tmpl->layout().num_levels());
-    auto buf = dp::RandomerBufferSize(scale, config_.delta, noise.size(),
-                                      config_.alpha);
-    size_t buffer_size = buf.ok() ? *buf : 16;
-    states_.emplace(std::piecewise_construct, std::forward_as_tuple(pn),
-                    std::forward_as_tuple(noise, buffer_size, &rng_));
-
-    // Tell the cloud a publication opened; hand the template itself on to
-    // the merger for the eventual secure-index build.
-    net::Message start;
-    start.type = net::MessageType::kPublicationStart;
-    start.pn = pn;
-    cloud_->Push(std::move(start));
-
-    net::Message fwd = std::move(m);
-    fwd.type = net::MessageType::kTemplateForward;
-    merger_->Push(std::move(fwd));
-
-    // Records of this publication may have raced ahead of the template.
-    auto it = pending_.find(pn);
-    if (it != pending_.end()) {
-      std::vector<net::Message> buffered = std::move(it->second);
-      pending_.erase(it);
-      for (auto& r : buffered) HandleRecord(std::move(r));
-    }
-  }
-
-  void HandleRecord(net::Message&& m) {
-    auto it = states_.find(m.pn);
-    if (it == states_.end()) {
-      // Template still in flight on the dispatcher->checking link;
-      // equivalent to the paper's computing-node-side buffering. Bounded:
-      // a template that never arrives (a bug upstream) must not grow an
-      // unbounded queue.
-      auto& pending = pending_[m.pn];
-      if (pending.size() >= kMaxPendingPerPublication) {
-        FRESQUE_LOG(Error) << "dropping record for publication " << m.pn
-                           << ": no template after "
-                           << kMaxPendingPerPublication << " records";
-        return;
-      }
-      pending.push_back(std::move(m));
-      return;
-    }
-    auto evicted = it->second.randomer.Push(std::move(m));
-    if (evicted.has_value()) {
-      Dispatch(it->second, std::move(*evicted));
-    }
-  }
-
-  /// Checker + updater on one record leaving the randomer.
-  void Dispatch(IntervalState& state, net::Message&& m) {
-    if (m.dummy) {
-      // Dummies skip AL/ALN entirely; strip the collector-private flag.
-      m.type = net::MessageType::kCloudRecord;
-      m.dummy = false;
-      cloud_->Push(std::move(m));
-      return;
-    }
-    auto decision = state.leaves.Admit(static_cast<size_t>(m.leaf));
-    if (decision == index::LeafArrays::Decision::kRemove) {
-      m.type = net::MessageType::kRemovedRecord;
-      merger_->Push(std::move(m));
-      return;
-    }
-    m.type = net::MessageType::kCloudRecord;
-    cloud_->Push(std::move(m));
-  }
-
-  void HandlePublish(uint64_t pn) {
-    auto it = states_.find(pn);
-    if (it == states_.end()) return;
-    if (++it->second.publish_votes < config_.num_computing_nodes) return;
-
-    // All computing nodes flushed publication `pn`: release the buffer,
-    // snapshot AL, hand both downstream.
-    Stopwatch watch;
-    auto& state = it->second;
-    for (auto& m : state.randomer.Flush()) {
-      Dispatch(state, std::move(m));
-    }
-    net::Message snap;
-    snap.type = net::MessageType::kAlSnapshot;
-    snap.pn = pn;
-    snap.payload = net::EncodeAlSnapshot(state.leaves.al_snapshot());
-    merger_->Push(std::move(snap));
-
-    reports_->Checking(pn, watch.ElapsedMillis(),
-                       static_cast<uint64_t>(state.leaves.TotalReal()));
-    states_.erase(it);
-  }
-
-  /// The template always ships before any record of its publication, so
-  /// this bound is only reachable on a protocol violation.
-  static constexpr size_t kMaxPendingPerPublication = 1 << 20;
-
-  const CollectorConfig& config_;
-  net::MailboxPtr merger_;
-  net::MailboxPtr cloud_;
-  ReportSink* reports_;
-  crypto::SecureRandom rng_;
-  std::map<uint64_t, IntervalState> states_;
-  std::map<uint64_t, std::vector<net::Message>> pending_;
-  size_t shutdown_votes_ = 0;
-  net::Node node_;
-};
-
-/// Merger (paper §5.3): runs publication work off the ingestion path —
-/// merges IT + AL into the secure index, builds overflow arrays, ships
-/// the publication to the cloud.
-class MergerImpl {
- public:
-  MergerImpl(const CollectorConfig& config, const crypto::KeyManager* keys,
-             net::MailboxPtr cloud, ReportSink* reports)
-      : config_(config),
-        keys_(keys),
-        cloud_(std::move(cloud)),
-        reports_(reports),
-        rng_(config.seed ^ 0x4D455247),  // "MERG"
-        node_("merger", net::MakeMailbox(config.mailbox_capacity),
-              [this](net::Message&& m) { return Handle(std::move(m)); }) {}
-
-  void Start() { node_.Start(); }
-  void Join() { node_.Join(); }
-  const net::MailboxPtr& inbox() const { return node_.inbox(); }
-
-  /// Removed records that no longer fit their overflow array (realized
-  /// noise beyond the delta-probability bound); should be ~0.
-  uint64_t overflow_drops() const {
-    return overflow_drops_.load(std::memory_order_relaxed);
-  }
-
- private:
-  struct PendingPublication {
-    std::optional<index::HistogramIndex> tmpl;
-    std::vector<net::Message> removed;
-  };
-
-  bool Handle(net::Message&& m) {
-    switch (m.type) {
-      case net::MessageType::kTemplateForward: {
-        auto tmpl = net::DecodeTemplate(m.payload);
-        if (!tmpl.ok()) {
-          FRESQUE_LOG(Error) << "merger: bad template "
-                             << tmpl.status().ToString();
-          return true;
-        }
-        pending_[m.pn].tmpl.emplace(std::move(*tmpl));
-        return true;
-      }
-      case net::MessageType::kRemovedRecord:
-        pending_[m.pn].removed.push_back(std::move(m));
-        return true;
-      case net::MessageType::kAlSnapshot:
-        FinishPublication(std::move(m));
-        return true;
-      case net::MessageType::kShutdown:
-        cloud_->Push(std::move(m));
-        return false;
-      default:
-        FRESQUE_LOG(Warn) << "merger: unexpected "
-                          << net::MessageTypeToString(m.type);
-        return true;
-    }
-  }
-
-  void FinishPublication(net::Message&& snap) {
-    auto it = pending_.find(snap.pn);
-    if (it == pending_.end() || !it->second.tmpl.has_value()) {
-      FRESQUE_LOG(Error) << "merger: AL snapshot for unknown publication "
-                         << snap.pn;
-      return;
-    }
-    auto al = net::DecodeAlSnapshot(snap.payload);
-    if (!al.ok()) {
-      FRESQUE_LOG(Error) << "merger: bad AL " << al.status().ToString();
-      return;
-    }
-
-    Stopwatch watch;
-    auto& pending = it->second;
-
-    // Secure index = template noise + true counts, aggregated up.
-    auto true_index = index::HistogramIndex::FromLeafCounts(
-        pending.tmpl->layout(), pending.tmpl->binning(), *al);
-    if (!true_index.ok()) {
-      FRESQUE_LOG(Error) << "merger: AL shape mismatch "
-                         << true_index.status().ToString();
-      return;
-    }
-    auto merged = pending.tmpl->Plus(*true_index);
-    if (!merged.ok()) {
-      FRESQUE_LOG(Error) << "merger: merge failed "
-                         << merged.status().ToString();
-      return;
-    }
-
-    // Overflow arrays: one fixed-size array per leaf, capacity = the
-    // delta-probability bound on |negative noise| (symmetric to the dummy
-    // bound). Removed records go to random slots; the rest pads with
-    // dummy ciphertexts.
-    double scale = index::IndexPerturber::LevelScale(
-        config_.epsilon, merged->layout().num_levels());
-    size_t slots = static_cast<size_t>(
-        dp::DummyUpperBoundPerLeaf(scale, config_.delta));
-    if (slots == 0) slots = 1;
-    index::OverflowArrays overflow(merged->layout().num_leaves(), slots);
-    for (auto& rm : pending.removed) {
-      Status st = overflow.Insert(static_cast<size_t>(rm.leaf),
-                                  std::move(rm.payload), &rng_);
-      if (!st.ok()) {
-        overflow_drops_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    auto codec = record::SecureRecordCodec::Create(
-        keys_->RecordKey(snap.pn), &config_.dataset.parser->schema(), &rng_);
-    if (!codec.ok()) {
-      FRESQUE_LOG(Error) << "merger: codec " << codec.status().ToString();
-      return;
-    }
-    overflow.PadWithDummies([&] {
-      auto d = codec->EncryptDummy(config_.dummy_padding_len);
-      return d.ok() ? std::move(*d) : Bytes{};
-    });
-
-    net::IndexPublication publication(std::move(*merged),
-                                      std::move(overflow));
-    publication.integrity_tag = net::ComputeIndexPublicationTag(
-        publication, keys_->IndexMacKey(snap.pn));
-
-    net::Message out;
-    out.type = net::MessageType::kIndexPublication;
-    out.pn = snap.pn;
-    out.payload = net::EncodeIndexPublication(publication);
-    cloud_->Push(std::move(out));
-
-    reports_->Merger(snap.pn, watch.ElapsedMillis(),
-                     static_cast<uint64_t>(pending.removed.size()));
-    pending_.erase(it);
-  }
-
-  const CollectorConfig& config_;
-  const crypto::KeyManager* keys_;
-  net::MailboxPtr cloud_;
-  ReportSink* reports_;
-  crypto::SecureRandom rng_;
-  std::map<uint64_t, PendingPublication> pending_;
-  std::atomic<uint64_t> overflow_drops_{0};
-  net::Node node_;
-};
-
-/// Dispatcher-side per-interval state (runs on the caller's thread).
-class DispatcherState {
- public:
-  DispatcherState(const CollectorConfig& config,
-                  index::DomainBinning binning, net::MailboxPtr checking,
-                  ReportSink* reports)
-      : config_(config),
-        binning_(std::move(binning)),
-        checking_(std::move(checking)),
-        rng_(config.seed ^ 0xD15C0),
-        reports_(reports) {}
-
-  /// Samples the template for publication `pn`, schedules its dummies and
-  /// hands the template to the checking node.
-  Status OpenInterval(uint64_t pn) {
-    Stopwatch watch;
-    auto tmpl = index::IndexTemplate::Create(binning_, config_.fanout,
-                                             config_.epsilon, &rng_);
-    if (!tmpl.ok()) return tmpl.status();
-
-    schedule_.emplace(tmpl->leaf_noise(), &rng_);
-    progress_ = 0;
-
-    net::Message init;
-    init.type = net::MessageType::kTemplateInit;
-    init.pn = pn;
-    init.payload = net::EncodeTemplate(tmpl->noise_index());
-    checking_->Push(std::move(init));
-
-    reports_->DispatcherInit(pn, watch.ElapsedMillis(), schedule_->total());
-    return Status::OK();
-  }
-
-  DummySchedule* schedule() { return schedule_ ? &*schedule_ : nullptr; }
-  void set_progress(double p) { progress_ = p; }
-  double progress() const { return progress_; }
-
- private:
-  const CollectorConfig& config_;
-  index::DomainBinning binning_;
-  net::MailboxPtr checking_;
-  crypto::SecureRandom rng_;
-  std::optional<DummySchedule> schedule_;
-  double progress_ = 0;
-  ReportSink* reports_;
-};
-
-}  // namespace internal
 
 FresqueCollector::FresqueCollector(CollectorConfig config,
                                    crypto::KeyManager key_manager,
                                    net::MailboxPtr cloud_inbox)
     : config_(std::move(config)),
       key_manager_(std::move(key_manager)),
-      cloud_inbox_(std::move(cloud_inbox)) {}
+      cloud_inbox_(std::move(cloud_inbox)),
+      ack_inbox_(net::MakeMailbox(1024)),
+      tracker_(std::make_unique<internal::PublicationTracker>()) {}
 
 FresqueCollector::~FresqueCollector() {
   if (started_ && !shut_down_) {
@@ -564,6 +27,8 @@ FresqueCollector::~FresqueCollector() {
       FRESQUE_LOG(Warn) << "shutdown in destructor: " << st.ToString();
     }
   }
+  // ack_node_'s destructor closes ack_inbox_ and joins; after this no one
+  // touches tracker_.
 }
 
 Status FresqueCollector::Start() {
@@ -578,9 +43,9 @@ Status FresqueCollector::Start() {
 
   reports_ = std::make_unique<internal::ReportSink>();
   merger_ = std::make_unique<internal::MergerImpl>(
-      config_, &key_manager_, cloud_inbox_, reports_.get());
+      config_, &key_manager_, cloud_inbox_, reports_.get(), ack_inbox_);
   checking_ = std::make_unique<internal::CheckingNodeImpl>(
-      config_, merger_->inbox(), cloud_inbox_, reports_.get());
+      config_, merger_->inbox(), cloud_inbox_, reports_.get(), ack_inbox_);
   dispatcher_ = std::make_unique<internal::DispatcherState>(
       config_, *binning, checking_->inbox(), reports_.get());
 
@@ -590,9 +55,28 @@ Status FresqueCollector::Start() {
         i, config_, *binning, &key_manager_, checking_->inbox()));
   }
 
+  // The ack consumer outlives the pipeline: cloud installs complete
+  // asynchronously, possibly after Shutdown() returned.
+  ack_node_ = std::make_unique<net::Node>(
+      "acks", ack_inbox_, [this](net::Message&& m) {
+        if (m.type == net::MessageType::kShutdown) return false;
+        if (m.type != net::MessageType::kPublicationAck) {
+          FRESQUE_LOG(Warn) << "ack node: unexpected "
+                            << net::MessageTypeToString(m.type);
+          return true;
+        }
+        Status st = m.leaf == 0
+                        ? Status::OK()
+                        : Status::Internal(std::string(m.payload.begin(),
+                                                       m.payload.end()));
+        tracker_->Complete(m.pn, std::move(st));
+        return true;
+      });
+
   merger_->Start();
   checking_->Start();
   for (auto& cn : computing_) cn->Start();
+  ack_node_->Start();
 
   started_ = true;
   pn_ = 0;
@@ -600,6 +84,7 @@ Status FresqueCollector::Start() {
 }
 
 Status FresqueCollector::OpenInterval() {
+  open_interval_lines_ = 0;
   return dispatcher_->OpenInterval(pn_);
 }
 
@@ -623,6 +108,7 @@ Status FresqueCollector::Ingest(std::string_view line) {
   m.pn = pn_;
   m.payload.assign(line.begin(), line.end());
   computing_[rr_++ % computing_.size()]->inbox()->Push(std::move(m));
+  ++open_interval_lines_;
   return Status::OK();
 }
 
@@ -630,10 +116,7 @@ void FresqueCollector::SetIntervalProgress(double fraction) {
   if (dispatcher_) dispatcher_->set_progress(fraction);
 }
 
-Status FresqueCollector::Publish() {
-  if (!started_ || shut_down_) {
-    return Status::FailedPrecondition("collector not running");
-  }
+void FresqueCollector::PublishCurrentInterval() {
   Stopwatch watch;
   // Flush unreleased dummies, then the publish barrier, one per CN.
   if (auto* sched = dispatcher_->schedule()) {
@@ -653,6 +136,13 @@ Status FresqueCollector::Publish() {
     cn->inbox()->Push(std::move(p));
   }
   reports_->DispatcherPublish(pn_, watch.ElapsedMillis());
+}
+
+Status FresqueCollector::Publish() {
+  if (!started_ || shut_down_) {
+    return Status::FailedPrecondition("collector not running");
+  }
+  PublishCurrentInterval();
 
   // Asynchronous publication: the next interval opens immediately.
   ++pn_;
@@ -663,15 +153,62 @@ Status FresqueCollector::Shutdown() {
   if (!started_) return Status::FailedPrecondition("never started");
   if (shut_down_) return Status::OK();
   shut_down_ = true;
+
+  // Drain: the open interval's records are already inside the pipeline —
+  // tearing threads down without the publish barrier would destroy them
+  // in the randomer buffer. Publish it first, unless nothing was ever
+  // ingested (an untouched interval has nothing to lose and publishing
+  // it would burn privacy budget on a noise-only index nobody asked for).
+  if (open_interval_lines_ > 0) {
+    PublishCurrentInterval();
+  }
+
   for (auto& cn : computing_) {
     net::Message s;
     s.type = net::MessageType::kShutdown;
     cn->inbox()->Push(std::move(s));
   }
+  // FIFO per link guarantees the kPublish barrier outruns kShutdown at
+  // every stage, so joining here means the final interval's flush, AL
+  // snapshot and index publication have all been handed to the cloud.
   for (auto& cn : computing_) cn->Join();
   checking_->Join();
   merger_->Join();
   return Status::OK();
+}
+
+Status FresqueCollector::WaitForPublication(uint64_t pn,
+                                            std::chrono::milliseconds timeout) {
+  if (!started_) return Status::FailedPrecondition("never started");
+  return tracker_->Wait(pn, timeout);
+}
+
+CollectorMetrics FresqueCollector::Metrics() const {
+  CollectorMetrics out;
+  auto add_node = [&out](const net::Node& n) {
+    NodeMetrics nm;
+    nm.name = n.name();
+    nm.running = n.running();
+    nm.frames_processed = n.frames_processed();
+    const auto& q = *n.inbox();
+    nm.inbox.depth = q.size();
+    nm.inbox.capacity = q.capacity();
+    nm.inbox.enqueued = q.enqueued();
+    nm.inbox.rejected = q.rejected();
+    nm.inbox.high_watermark = q.high_watermark();
+    out.nodes.push_back(std::move(nm));
+  };
+  for (const auto& cn : computing_) add_node(cn->node());
+  if (checking_) add_node(checking_->node());
+  if (merger_) add_node(merger_->node());
+
+  out.parse_errors = parse_errors();
+  out.codec_failures = codec_failures();
+  out.pending_dropped = pending_dropped();
+  out.overflow_drops = overflow_drops();
+  out.publications_completed = tracker_->completed_ok();
+  out.publications_failed = tracker_->completed_failed();
+  return out;
 }
 
 std::vector<PublishReport> FresqueCollector::Reports() const {
@@ -683,6 +220,16 @@ uint64_t FresqueCollector::parse_errors() const {
   uint64_t t = 0;
   for (const auto& cn : computing_) t += cn->parse_errors();
   return t;
+}
+
+uint64_t FresqueCollector::codec_failures() const {
+  uint64_t t = 0;
+  for (const auto& cn : computing_) t += cn->codec_failures();
+  return t;
+}
+
+uint64_t FresqueCollector::pending_dropped() const {
+  return checking_ ? checking_->pending_dropped() : 0;
 }
 
 uint64_t FresqueCollector::overflow_drops() const {

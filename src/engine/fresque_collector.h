@@ -1,6 +1,7 @@
 #ifndef FRESQUE_ENGINE_FRESQUE_COLLECTOR_H_
 #define FRESQUE_ENGINE_FRESQUE_COLLECTOR_H_
 
+#include <chrono>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "engine/config.h"
 #include "engine/metrics.h"
 #include "net/message.h"
+#include "net/node.h"
 
 namespace fresque {
 namespace engine {
@@ -20,6 +22,7 @@ class CheckingNodeImpl;
 class MergerImpl;
 class DispatcherState;
 class ReportSink;
+class PublicationTracker;
 }  // namespace internal
 
 /// The FRESQUE collector (paper §5, Figure 6): dispatcher, k computing
@@ -32,11 +35,20 @@ class ReportSink;
 /// ends the interval asynchronously — publication work shifts to the
 /// merger while the dispatcher immediately opens the next publication.
 ///
+/// Publication lifecycle: every publication moves through
+///   open -> ingest -> flush (kPublish barrier) -> publish (merger) ->
+///   ack (kPublicationAck)
+/// Shutdown() *drains*: the open interval is published first (if it
+/// ingested anything), so no buffered record is lost at teardown.
+/// WaitForPublication() blocks until a publication's terminal ack.
+///
 /// Typical driving loop:
 ///   collector.Start();
+///   cloud_node.RouteAcksTo(collector.publication_acks());
 ///   for (...) collector.Ingest(line);
-///   collector.Publish();         // as many intervals as desired
-///   collector.Shutdown();        // publishes nothing; flushes pipeline
+///   collector.Publish();          // as many intervals as desired
+///   collector.Shutdown();         // drains: publishes the open interval
+///   collector.WaitForPublication(pn);  // bound publication latency
 class FresqueCollector {
  public:
   /// `cloud_inbox` is the mailbox of a CloudNode (or test double).
@@ -65,9 +77,32 @@ class FresqueCollector {
   /// next publication (asynchronous publication, §5.1(c)).
   Status Publish();
 
-  /// Flushes the pipeline and joins all nodes. The current (unpublished)
-  /// interval is NOT published — call Publish() first if you want it.
+  /// Graceful drain-and-stop. If the open interval ingested any lines it
+  /// is published first (scheduled dummies flushed, kPublish barrier
+  /// emitted), so the randomer buffer, AL snapshot, and merger
+  /// publication for the final interval all complete; then kShutdown
+  /// cascades and all collector threads join. An open interval that
+  /// never saw an Ingest() is skipped — there is nothing to lose.
   Status Shutdown();
+
+  /// Blocks until publication `pn` reaches a terminal state: installed at
+  /// the cloud (requires CloudNode::RouteAcksTo(publication_acks())), or
+  /// failed anywhere in the pipeline (acked internally, no routing
+  /// needed). Returns the terminal status, or DeadlineExceeded. Callable
+  /// during ingestion and after Shutdown() — acks keep being consumed
+  /// until the collector is destroyed.
+  Status WaitForPublication(
+      uint64_t pn,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// Mailbox on which the collector consumes kPublicationAck frames.
+  /// Hand it to CloudNode::RouteAcksTo() so cloud-side installs complete
+  /// the lifecycle; collector-internal failure acks arrive regardless.
+  const net::MailboxPtr& publication_acks() const { return ack_inbox_; }
+
+  /// Point-in-time health snapshot: per-node frame counts and queue
+  /// depths, every drop counter, and publication ack totals.
+  CollectorMetrics Metrics() const;
 
   /// Per-publication reports. Complete only after Shutdown() (the merger
   /// fills its part asynchronously).
@@ -76,6 +111,13 @@ class FresqueCollector {
   /// Lines dropped because they failed to parse or fell outside the
   /// indexed domain.
   uint64_t parse_errors() const;
+
+  /// Records lost to codec construction or encryption failures.
+  uint64_t codec_failures() const;
+
+  /// Records dropped at the checking node waiting for a template that
+  /// never arrived (lost or undecodable kTemplateInit).
+  uint64_t pending_dropped() const;
 
   /// Removed records that no longer fit their overflow array (realized
   /// negative noise beyond the delta-probability bound). Expected ~0;
@@ -87,6 +129,9 @@ class FresqueCollector {
 
  private:
   Status OpenInterval();
+  /// Flushes unreleased dummies and fans the kPublish barrier out to the
+  /// computing nodes for the current interval, without opening the next.
+  void PublishCurrentInterval();
 
   CollectorConfig config_;
   crypto::KeyManager key_manager_;
@@ -98,7 +143,15 @@ class FresqueCollector {
   std::unique_ptr<internal::CheckingNodeImpl> checking_;
   std::unique_ptr<internal::MergerImpl> merger_;
 
+  // Ack path: lives from construction to destruction so late cloud acks
+  // (after Shutdown) still resolve WaitForPublication calls. Declaration
+  // order matters: ack_node_ references tracker_ and must die first.
+  net::MailboxPtr ack_inbox_;
+  std::unique_ptr<internal::PublicationTracker> tracker_;
+  std::unique_ptr<net::Node> ack_node_;
+
   uint64_t pn_ = 0;
+  uint64_t open_interval_lines_ = 0;  // Ingest() calls since OpenInterval
   size_t rr_ = 0;  // round-robin cursor over computing nodes
   bool started_ = false;
   bool shut_down_ = false;

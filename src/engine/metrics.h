@@ -1,7 +1,9 @@
 #ifndef FRESQUE_ENGINE_METRICS_H_
 #define FRESQUE_ENGINE_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fresque {
@@ -28,6 +30,60 @@ struct PublishReport {
   double merger_millis = 0;
   /// Cloud-side matching time.
   double cloud_matching_millis = 0;
+};
+
+/// Instantaneous view of one pipeline node's mailbox (built on the
+/// BoundedQueue lifetime counters).
+struct QueueMetrics {
+  size_t depth = 0;
+  size_t capacity = 0;
+  /// Frames accepted onto the queue over its lifetime.
+  uint64_t enqueued = 0;
+  /// Pushes that failed (closed queue, or a full queue on TryPush).
+  uint64_t rejected = 0;
+  /// Deepest the queue has ever been; `== capacity` means producers hit
+  /// back-pressure at least once.
+  size_t high_watermark = 0;
+};
+
+/// Per-node health snapshot (one per computing node, plus the checking
+/// node and the merger).
+struct NodeMetrics {
+  std::string name;
+  bool running = false;
+  uint64_t frames_processed = 0;
+  QueueMetrics inbox;
+};
+
+/// Whole-collector health snapshot, cheap enough to poll while ingesting.
+/// Every counter is cumulative since Start().
+struct CollectorMetrics {
+  std::vector<NodeMetrics> nodes;
+
+  /// Lines dropped at the computing nodes: parse failure or value outside
+  /// the indexed domain.
+  uint64_t parse_errors = 0;
+  /// Records lost to cryptographic failures (codec construction or
+  /// encryption), as opposed to malformed input.
+  uint64_t codec_failures = 0;
+  /// Records dropped while buffered for a template that never arrived
+  /// (lost or undecodable kTemplateInit).
+  uint64_t pending_dropped = 0;
+  /// Removed records that no longer fit their overflow array.
+  uint64_t overflow_drops = 0;
+
+  /// Publications acked as installed at the cloud (kPublicationAck with
+  /// success; requires CloudNode ack routing).
+  uint64_t publications_completed = 0;
+  /// Publications acked as failed (lost template, merge failure, cloud
+  /// install failure).
+  uint64_t publications_failed = 0;
+
+  /// Sum of every drop counter — nonzero means ingested data did not all
+  /// reach the cloud.
+  uint64_t TotalDrops() const {
+    return parse_errors + codec_failures + pending_dropped + overflow_drops;
+  }
 };
 
 /// Rolling ingestion counters for throughput accounting.

@@ -33,6 +33,8 @@ const char* MessageTypeToString(MessageType t) {
       return "CloudTaggedRecord";
     case MessageType::kShutdown:
       return "Shutdown";
+    case MessageType::kPublicationAck:
+      return "PublicationAck";
   }
   return "?";
 }
@@ -57,7 +59,7 @@ Result<Message> Message::Deserialize(const Bytes& data) {
   if (!type.ok() || !pn.ok() || !leaf.ok() || !dummy.ok() || !payload.ok()) {
     return Status::Corruption("truncated message frame");
   }
-  if (*type > static_cast<uint8_t>(MessageType::kShutdown)) {
+  if (*type > static_cast<uint8_t>(MessageType::kPublicationAck)) {
     return Status::Corruption("unknown message type " +
                               std::to_string(*type));
   }

@@ -44,6 +44,11 @@ enum class MessageType : uint8_t {
   kCloudTaggedRecord = 12,
   /// Producer -> consumer: no more input, drain and stop.
   kShutdown = 13,
+  /// Cloud node (on install) or checking node / merger (on failure) ->
+  /// collector: publication `pn` reached a terminal state. `leaf == 0`
+  /// means the publication installed at the cloud; any other value means
+  /// it failed, with a human-readable reason in `payload`.
+  kPublicationAck = 14,
 };
 
 const char* MessageTypeToString(MessageType t);

@@ -17,16 +17,18 @@ Node::~Node() {
 void Node::Start() {
   if (started_) return;
   started_ = true;
+  running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Loop(); });
 }
 
 void Node::Loop() {
   for (;;) {
     auto msg = inbox_->Pop();
-    if (!msg.has_value()) return;  // closed and drained
+    if (!msg.has_value()) break;  // closed and drained
     frames_.fetch_add(1, std::memory_order_relaxed);
-    if (!handler_(std::move(*msg))) return;
+    if (!handler_(std::move(*msg))) break;
   }
+  running_.store(false, std::memory_order_release);
 }
 
 void Node::Join() {

@@ -47,6 +47,15 @@ class Node {
     return frames_.load(std::memory_order_relaxed);
   }
 
+  /// True between Start() and the loop's exit — i.e. the node is still
+  /// draining its inbox. False once the handler stopped the loop or the
+  /// closed inbox drained dry.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Current inbox depth; a persistently full inbox means this node is
+  /// the pipeline's bottleneck.
+  size_t queue_depth() const { return inbox_->size(); }
+
  private:
   void Loop();
 
@@ -55,6 +64,7 @@ class Node {
   std::function<bool(Message&&)> handler_;
   std::thread thread_;
   std::atomic<uint64_t> frames_{0};
+  std::atomic<bool> running_{false};
   bool started_ = false;
 };
 

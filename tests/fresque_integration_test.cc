@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -140,12 +141,13 @@ TEST(FresqueCollectorTest, MultiplePublicationsAllArrive) {
   EXPECT_EQ(complete, 3);
 }
 
-TEST(FresqueCollectorTest, QuerySeesUnindexedDataOfOpenPublication) {
+TEST(FresqueCollectorTest, ShutdownDrainsAndPublishesOpenPublication) {
   auto spec = record::GowallaDataset();
   ASSERT_TRUE(spec.ok());
   auto cfg = MakeConfig(*spec, 2);
   // Small delta => small randomer buffer, so records spill to the cloud
-  // mid-interval instead of waiting for the publish-time flush.
+  // mid-interval; the drain-time publication must install the index over
+  // that already-streamed metadata.
   cfg.delta = 0.51;
 
   cloud::CloudServer server(BinningOf(*spec));
@@ -154,6 +156,7 @@ TEST(FresqueCollectorTest, QuerySeesUnindexedDataOfOpenPublication) {
 
   crypto::KeyManager keys(Bytes(32, 0x77));
   engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
+  cloud_node.RouteAcksTo(collector.publication_acks());
   ASSERT_TRUE(collector.Start().ok());
 
   auto gen = record::MakeGenerator(*spec, 999);
@@ -166,20 +169,43 @@ TEST(FresqueCollectorTest, QuerySeesUnindexedDataOfOpenPublication) {
     truth.push_back(std::move(*rec));
     ASSERT_TRUE(collector.Ingest(line).ok());
   }
-  // No Publish(): everything stays in the open publication. Shut down to
-  // flush the pipeline (shutdown does not publish).
+  // No Publish(): Shutdown() drains — the open publication (including the
+  // records still inside the randomer buffer) is published, not lost.
   ASSERT_TRUE(collector.Shutdown().ok());
+  Status acked =
+      collector.WaitForPublication(0, std::chrono::milliseconds(15000));
+  EXPECT_TRUE(acked.ok()) << acked.ToString();
   cloud_node.Shutdown();
+
+  ASSERT_EQ(cloud_node.matching_stats().size(), 1u);
+
+  // The drain itself lost nothing: everything ingested left the
+  // collector, and conservation holds at the cloud.
+  engine::PublishReport report{};
+  for (const auto& r : collector.Reports()) {
+    if (r.pn == 0) report = r;
+  }
+  EXPECT_EQ(report.real_records, 3000u);
+  EXPECT_EQ(server.total_records(),
+            report.real_records - report.removed_records +
+                report.dummy_records);
 
   client::Client client(keys, &spec->parser->schema());
   index::RangeQuery q{spec->domain_min, spec->domain_max};
   auto acc = client.QueryWithGroundTruth(server, q, truth);
   ASSERT_TRUE(acc.ok()) << acc.status().ToString();
-  // Unindexed data bypasses the secure index: every record the randomer
-  // evicted to the cloud is already queryable. Records still buffered at
-  // shutdown are not (they were never published).
-  EXPECT_GT(acc->returned, 0u);
-  EXPECT_LT(acc->returned, 3000u);
+  // δ=0.51 sizes the overflow arrays to fit each leaf's removed records
+  // with only 51% probability, so some removed records drop at the
+  // merger by design — but every drop is counted. Matched results plus
+  // counted drops must cover the interval (the remainder is DP pruning
+  // of negative leaves), which would fail loudly if Shutdown() lost the
+  // randomer buffer instead.
+  auto metrics = collector.Metrics();
+  EXPECT_GE(acc->matched + metrics.overflow_drops,
+            static_cast<uint64_t>(0.90 * acc->expected))
+      << "matched=" << acc->matched
+      << " overflow_drops=" << metrics.overflow_drops;
+  EXPECT_EQ(acc->matched, acc->returned);  // no false positives
 }
 
 TEST(FresqueCollectorTest, IngestBeforeStartFails) {

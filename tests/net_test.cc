@@ -16,7 +16,7 @@ namespace net {
 namespace {
 
 TEST(MessageTest, SerializeRoundTripAllTypes) {
-  for (int t = 0; t <= static_cast<int>(MessageType::kShutdown); ++t) {
+  for (int t = 0; t <= static_cast<int>(MessageType::kPublicationAck); ++t) {
     Message m;
     m.type = static_cast<MessageType>(t);
     m.pn = 42;
@@ -44,7 +44,7 @@ TEST(MessageTest, DeserializeRejectsGarbage) {
 }
 
 TEST(MessageTest, EveryTypeHasName) {
-  for (int t = 0; t <= static_cast<int>(MessageType::kShutdown); ++t) {
+  for (int t = 0; t <= static_cast<int>(MessageType::kPublicationAck); ++t) {
     EXPECT_STRNE(MessageTypeToString(static_cast<MessageType>(t)), "?");
   }
 }

@@ -12,6 +12,7 @@
 // `verify` operate on the persisted snapshot. The key (hex master secret,
 // default a fixed demo key) must match between ingest and query/verify.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -86,6 +87,7 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
   cfg.num_computing_nodes = nodes;
   engine::FresqueCollector collector(cfg, KeysFromHex(key_hex),
                                      cloud_node.inbox());
+  cloud_node.RouteAcksTo(collector.publication_acks());
   if (auto st = collector.Start(); !st.ok()) return Fail(st.ToString());
 
   std::string line;
@@ -105,11 +107,16 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
       ++publications;
     }
   }
+  // The trailing partial interval is drained by Shutdown() itself; wait
+  // for the cloud to acknowledge it so the snapshot is complete.
+  uint64_t last_pn = collector.current_publication();
+  if (auto st = collector.Shutdown(); !st.ok()) return Fail(st.ToString());
   if (in_interval > 0) {
-    if (auto st = collector.Publish(); !st.ok()) return Fail(st.ToString());
+    Status acked =
+        collector.WaitForPublication(last_pn, std::chrono::seconds(30));
+    if (!acked.ok()) return Fail("drained publication: " + acked.ToString());
     ++publications;
   }
-  (void)collector.Shutdown();
   cloud_node.Shutdown();
   if (!cloud_node.first_error().ok()) {
     return Fail(cloud_node.first_error().ToString());
@@ -117,10 +124,16 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
   if (auto st = server.SaveSnapshot(snap_path); !st.ok()) {
     return Fail(st.ToString());
   }
+  auto metrics = collector.Metrics();
   std::cout << "ingested " << total << " lines ("
             << collector.parse_errors() << " parse errors), published "
             << publications << " publication(s), snapshot " << snap_path
-            << " (" << server.total_bytes() << " payload bytes)\n";
+            << " (" << server.total_bytes() << " payload bytes)\n"
+            << "collector drops: " << metrics.TotalDrops()
+            << " (parse " << metrics.parse_errors << ", codec "
+            << metrics.codec_failures << ", pending "
+            << metrics.pending_dropped << ", overflow "
+            << metrics.overflow_drops << ")\n";
   return 0;
 }
 
