@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ using the build tree's compile database.
+#
+# Usage: scripts/lint.sh [build-dir]
+#
+# The build dir must have been configured already (any compiler works —
+# CMAKE_EXPORT_COMPILE_COMMANDS is always on); the checks themselves come
+# from the repo-root .clang-tidy. Exits nonzero on any finding
+# (WarningsAsErrors: '*'), which is what the `clang-tidy` CI job gates on.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "$TIDY" ]]; then
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+              clang-tidy-16 clang-tidy-15; do
+    if command -v "$cand" >/dev/null 2>&1; then TIDY="$cand"; break; fi
+  done
+fi
+if [[ -z "$TIDY" ]]; then
+  echo "lint.sh: clang-tidy not found; skipping (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "lint.sh: $BUILD_DIR/compile_commands.json missing — configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 1
+fi
+
+mapfile -t FILES < <(find src -name '*.cc' | sort)
+echo "lint.sh: $TIDY over ${#FILES[@]} files (db: $BUILD_DIR)"
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+echo "lint.sh: clean"

@@ -1,18 +1,45 @@
 #!/usr/bin/env bash
-# Runs the concurrency-sensitive test suites under ThreadSanitizer:
-# the publication drain/shutdown protocol, the cross-thread query path,
-# and the TCP transport. Usage: scripts/tsan_tests.sh [build-dir]
+# Sanitizer test driver.
+#
+# Usage: scripts/tsan_tests.sh [thread|address|undefined|address,undefined] [build-dir]
+#
+#   thread (default)     — builds with TSan and runs the concurrency-
+#                          sensitive suites: the publication drain/shutdown
+#                          protocol, the queue/node runtime, and the TCP
+#                          transport.
+#   address | undefined  — builds with ASan or UBSan and runs the *full*
+#   address,undefined      ctest suite (these sanitizers are cheap enough
+#                          to afford every test).
+#
+# The build dir defaults to build-<sanitizer> so instrumented trees never
+# mix with the regular build/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
+SAN="${1:-thread}"
+case "$SAN" in
+  thread|address|undefined|address,undefined|undefined,address) ;;
+  *)
+    echo "usage: $0 [thread|address|undefined|address,undefined] [build-dir]" >&2
+    exit 2
+    ;;
+esac
+BUILD_DIR="${2:-build-${SAN//,/-}}"
 
 cmake -B "$BUILD_DIR" -S . \
-  -DFRESQUE_SANITIZE=thread \
+  -DFRESQUE_SANITIZE="$SAN" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j \
-  --target concurrency_test tcp_test drain_shutdown_test
 
-cd "$BUILD_DIR"
-ctest --output-on-failure \
-  -R '^(ConcurrencyTest|TcpTest|DrainShutdownTest|CheckingNodeTest)'
+if [[ "$SAN" == thread ]]; then
+  # TSan slows execution ~10x; build and run only the suites that exercise
+  # cross-thread protocols.
+  cmake --build "$BUILD_DIR" -j \
+    --target concurrency_test tcp_test drain_shutdown_test queue_test
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R '^(ConcurrencyTest|TcpTest|DrainShutdownTest|CheckingNodeTest|QueueTest)'
+else
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

@@ -1,7 +1,8 @@
 #include "client/client.h"
 
 #include <optional>
-#include <set>
+#include <string>
+#include <unordered_set>
 
 #include "record/secure_codec.h"
 
@@ -58,7 +59,7 @@ Result<std::vector<record::Record>> Client::QueryMulti(
   // Gather ciphertexts across ranges, dedup on (pn, e-record) — fresh
   // per-record IVs make the ciphertext a unique handle — then decrypt
   // once per distinct record against the union predicate.
-  std::set<Bytes> seen;
+  std::unordered_set<std::string> seen;
   std::vector<cloud::ResultRecord> unique;
   for (const auto& q : ranges) {
     auto result = server.ExecuteQuery(q);
@@ -66,7 +67,7 @@ Result<std::vector<record::Record>> Client::QueryMulti(
     for (auto* batch : {&result->indexed_records, &result->overflow_records,
                         &result->unindexed_records}) {
       for (auto& rr : *batch) {
-        if (seen.insert(rr.e_record).second) {
+        if (seen.emplace(rr.e_record.begin(), rr.e_record.end()).second) {
           unique.push_back(std::move(rr));
         }
       }

@@ -7,7 +7,7 @@ CloudServer::CloudServer(index::DomainBinning binning, const Clock* clock)
     : binning_(std::move(binning)), clock_(clock) {}
 
 Status CloudServer::StartPublication(uint64_t pn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = publications_.try_emplace(pn);
   (void)it;
   if (!inserted) {
@@ -27,7 +27,7 @@ Result<CloudServer::Publication*> CloudServer::Find(uint64_t pn) {
 
 Status CloudServer::IngestRecord(uint64_t pn, uint32_t leaf,
                                  const Bytes& e_record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto pub = Find(pn);
   if (!pub.ok()) return pub.status();
   if ((*pub)->published) {
@@ -40,7 +40,7 @@ Status CloudServer::IngestRecord(uint64_t pn, uint32_t leaf,
 
 Status CloudServer::IngestTagged(uint64_t pn, uint64_t tag,
                                  const Bytes& e_record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto pub = Find(pn);
   if (!pub.ok()) return pub.status();
   if ((*pub)->published) {
@@ -99,7 +99,7 @@ Result<MatchingStats> CloudServer::InstallPublication(
 
 Result<MatchingStats> CloudServer::PublishIndexed(
     uint64_t pn, net::IndexPublication publication, Bytes raw_payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto pub = Find(pn);
   if (!pub.ok()) return pub.status();
   if ((*pub)->published) {
@@ -112,7 +112,7 @@ Result<MatchingStats> CloudServer::PublishIndexed(
 Result<MatchingStats> CloudServer::PublishWithMatchingTable(
     uint64_t pn, net::IndexPublication publication,
     const index::MatchingTable& table, Bytes raw_payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto pub = Find(pn);
   if (!pub.ok()) return pub.status();
   if ((*pub)->published) {
@@ -126,7 +126,7 @@ Result<MatchingStats> CloudServer::PublishBatch(
     uint64_t pn, net::IndexPublication publication,
     const std::vector<std::pair<uint32_t, Bytes>>& records) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (publications_.count(pn)) {
       return Status::AlreadyExists("publication exists");
     }
@@ -140,7 +140,7 @@ Result<MatchingStats> CloudServer::PublishBatch(
 
 Result<QueryResult> CloudServer::ExecuteQuery(
     const index::RangeQuery& q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   QueryResult result;
   for (const auto& [pn, pub] : publications_) {
     if (pub.published) {
@@ -176,7 +176,7 @@ Result<QueryResult> CloudServer::ExecuteQuery(
 }
 
 int64_t CloudServer::ApproximateCount(const index::RangeQuery& q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t total = 0;
   for (const auto& [pn, pub] : publications_) {
     (void)pn;
@@ -186,7 +186,7 @@ int64_t CloudServer::ApproximateCount(const index::RangeQuery& q) const {
 }
 
 Result<Bytes> CloudServer::PublicationEvidence(uint64_t pn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = publications_.find(pn);
   if (it == publications_.end() || !it->second.published ||
       it->second.evidence.empty()) {
@@ -197,12 +197,12 @@ Result<Bytes> CloudServer::PublicationEvidence(uint64_t pn) const {
 }
 
 size_t CloudServer::num_publications() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return publications_.size();
 }
 
 size_t CloudServer::total_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t t = 0;
   for (const auto& [pn, pub] : publications_) {
     (void)pn;
@@ -212,7 +212,7 @@ size_t CloudServer::total_records() const {
 }
 
 size_t CloudServer::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t t = 0;
   for (const auto& [pn, pub] : publications_) {
     (void)pn;

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +12,8 @@
 #include "cloud/storage.h"
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "index/binning.h"
 #include "index/index.h"
@@ -68,14 +69,16 @@ class CloudServer {
                        const Clock* clock = SystemClock::Global());
 
   /// Opens a new publication (kPublicationStart).
-  Status StartPublication(uint64_t pn);
+  Status StartPublication(uint64_t pn) FRESQUE_EXCLUDES(mu_);
 
   /// Streams one `<leaf offset, e-record>` pair (FRESQUE / PINED-RQ++).
-  Status IngestRecord(uint64_t pn, uint32_t leaf, const Bytes& e_record);
+  Status IngestRecord(uint64_t pn, uint32_t leaf, const Bytes& e_record)
+      FRESQUE_EXCLUDES(mu_);
 
   /// Streams one `<random tag, e-record>` pair (PINED-RQ++ with matching
   /// table; the leaf is unknown until the table arrives).
-  Status IngestTagged(uint64_t pn, uint64_t tag, const Bytes& e_record);
+  Status IngestTagged(uint64_t pn, uint64_t tag, const Bytes& e_record)
+      FRESQUE_EXCLUDES(mu_);
 
   /// FRESQUE publication: associates cached metadata with the index
   /// leaves, installs index + overflow arrays, destroys the metadata.
@@ -83,42 +86,47 @@ class CloudServer {
   /// evidence for client-side verification.
   Result<MatchingStats> PublishIndexed(uint64_t pn,
                                        net::IndexPublication publication,
-                                       Bytes raw_payload = {});
+                                       Bytes raw_payload = {})
+      FRESQUE_EXCLUDES(mu_);
 
   /// PINED-RQ++ publication: re-reads every stored record of the
   /// publication from storage and joins its tag against the matching
   /// table to rebuild leaf pointers.
   Result<MatchingStats> PublishWithMatchingTable(
       uint64_t pn, net::IndexPublication publication,
-      const index::MatchingTable& table, Bytes raw_payload = {});
+      const index::MatchingTable& table, Bytes raw_payload = {})
+      FRESQUE_EXCLUDES(mu_);
 
   /// The verbatim publication payload as received from the collector
   /// (index + overflow + tag); what an auditor would fetch to verify the
   /// publication was not tampered with. NotFound if `pn` was never
   /// published or carried no payload.
-  Result<Bytes> PublicationEvidence(uint64_t pn) const;
+  Result<Bytes> PublicationEvidence(uint64_t pn) const FRESQUE_EXCLUDES(mu_);
 
   /// Batch publication (PINED-RQ): stores `records` as `<leaf, e-record>`
   /// pairs and installs the index in one shot.
   Result<MatchingStats> PublishBatch(
       uint64_t pn, net::IndexPublication publication,
-      const std::vector<std::pair<uint32_t, Bytes>>& records);
+      const std::vector<std::pair<uint32_t, Bytes>>& records)
+      FRESQUE_EXCLUDES(mu_);
 
   /// Evaluates a range query over every publication (published indexes +
   /// open metadata).
-  Result<QueryResult> ExecuteQuery(const index::RangeQuery& q) const;
+  Result<QueryResult> ExecuteQuery(const index::RangeQuery& q) const
+      FRESQUE_EXCLUDES(mu_);
 
   /// Differentially-private approximate COUNT(*) for `q`, answered from
   /// the published indexes alone — no records touched, no keys needed
   /// (the noisy counts are public by design). Open publications are not
   /// included: they have no DP index yet, and counting their cached
   /// pairs would leak un-noised cardinalities.
-  int64_t ApproximateCount(const index::RangeQuery& q) const;
+  int64_t ApproximateCount(const index::RangeQuery& q) const
+      FRESQUE_EXCLUDES(mu_);
 
   /// Persists the whole server state (every publication: ciphertext
   /// segments, postings, indexes, overflow arrays, metadata of open
   /// publications) to one snapshot file, so the cloud survives restarts.
-  Status SaveSnapshot(const std::string& path) const;
+  Status SaveSnapshot(const std::string& path) const FRESQUE_EXCLUDES(mu_);
 
   /// Restores a server from SaveSnapshot output. (Heap-allocated: the
   /// server holds a mutex and is not movable.)
@@ -126,11 +134,11 @@ class CloudServer {
       const std::string& path);
 
   /// Number of publications the server knows about.
-  size_t num_publications() const;
+  size_t num_publications() const FRESQUE_EXCLUDES(mu_);
   /// Stored record count across all publications.
-  size_t total_records() const;
+  size_t total_records() const FRESQUE_EXCLUDES(mu_);
   /// Stored bytes across all publications (ciphertext + index + overflow).
-  size_t total_bytes() const;
+  size_t total_bytes() const FRESQUE_EXCLUDES(mu_);
 
   const index::DomainBinning& binning() const { return binning_; }
 
@@ -149,16 +157,17 @@ class CloudServer {
     bool published = false;
   };
 
-  Result<Publication*> Find(uint64_t pn);
+  Result<Publication*> Find(uint64_t pn) FRESQUE_REQUIRES(mu_);
 
   Result<MatchingStats> InstallPublication(
       uint64_t pn, Publication* pub, net::IndexPublication publication,
-      const index::MatchingTable* table, Bytes raw_payload);
+      const index::MatchingTable* table, Bytes raw_payload)
+      FRESQUE_REQUIRES(mu_);
 
   index::DomainBinning binning_;
   const Clock* clock_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, Publication> publications_;
+  mutable Mutex mu_;
+  std::map<uint64_t, Publication> publications_ FRESQUE_GUARDED_BY(mu_);
 };
 
 }  // namespace cloud

@@ -47,7 +47,7 @@ Result<PhysicalAddress> GetAddress(BinaryReader* r) {
 }  // namespace
 
 Status CloudServer::SaveSnapshot(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BinaryWriter w;
   w.PutRaw(reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic));
   w.PutF64(binning_.domain_min());
@@ -118,6 +118,10 @@ Result<std::unique_ptr<CloudServer>> CloudServer::LoadSnapshot(
   if (!binning.ok()) return binning.status();
   auto server =
       std::make_unique<CloudServer>(std::move(binning).ValueOrDie());
+  // The server is not visible to any other thread yet; the lock is
+  // uncontended and exists so the thread-safety analysis can prove the
+  // publications_ writes below.
+  MutexLock lock(server->mu_);
 
   auto count = r.GetU64();
   if (!count.ok()) return Status::Corruption("truncated snapshot");

@@ -1,12 +1,13 @@
 #ifndef FRESQUE_COMMON_QUEUE_H_
 #define FRESQUE_COMMON_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fresque {
 
@@ -16,9 +17,10 @@ namespace fresque {
 /// send window); Pop blocks while empty. Close() wakes all waiters: pushes
 /// after Close fail, pops drain the remaining items then return nullopt.
 ///
-/// The queue keeps lifetime counters (accepted / rejected pushes, depth
-/// high-watermark) so operators can see where back-pressure builds up
-/// without attaching a profiler.
+/// The queue keeps lifetime counters (accepted pushes, rejects split by
+/// cause, depth high-watermark) so operators can see where back-pressure
+/// builds up — and tell it apart from shutdown — without attaching a
+/// profiler.
 template <typename T>
 class BoundedQueue {
  public:
@@ -28,110 +30,135 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while the queue is full. Returns false iff the queue is closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) {
-      ++rejected_;
-      return false;
+  bool Push(T item) FRESQUE_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
+      if (closed_) {
+        ++rejected_closed_;
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++enqueued_;
+      if (items_.size() > high_water_) high_water_ = items_.size();
     }
-    items_.push_back(std::move(item));
-    ++enqueued_;
-    if (items_.size() > high_water_) high_water_ = items_.size();
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
-  /// Non-blocking push. Returns false if full or closed.
-  bool TryPush(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (closed_ || items_.size() >= capacity_) {
-      ++rejected_;
-      return false;
+  /// Non-blocking push. Returns false if full (back-pressure) or closed.
+  bool TryPush(T item) FRESQUE_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      if (closed_) {
+        ++rejected_closed_;
+        return false;
+      }
+      if (items_.size() >= capacity_) {
+        ++rejected_full_;
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++enqueued_;
+      if (items_.size() > high_water_) high_water_ = items_.size();
     }
-    items_.push_back(std::move(item));
-    ++enqueued_;
-    if (items_.size() > high_water_) high_water_ = items_.size();
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  std::optional<T> Pop() FRESQUE_EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  std::optional<T> TryPop() FRESQUE_EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return item;
   }
 
   /// After Close, pushes fail and pops drain then return nullopt.
-  void Close() {
+  void Close() FRESQUE_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const FRESQUE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const FRESQUE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
   /// Items accepted over the queue's lifetime.
-  uint64_t enqueued() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t enqueued() const FRESQUE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return enqueued_;
   }
 
-  /// Pushes that failed (queue closed, or TryPush on a full queue).
-  uint64_t rejected() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return rejected_;
+  /// Pushes that failed for any reason (back-pressure or shutdown).
+  uint64_t rejected() const FRESQUE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return rejected_full_ + rejected_closed_;
+  }
+
+  /// TryPush calls that failed because the queue was full — genuine
+  /// back-pressure: the consumer is the bottleneck.
+  uint64_t rejected_full() const FRESQUE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return rejected_full_;
+  }
+
+  /// Pushes that failed because the queue was closed — expected during
+  /// shutdown, alarming mid-run.
+  uint64_t rejected_closed() const FRESQUE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return rejected_closed_;
   }
 
   /// Deepest the queue has ever been; `== capacity()` means producers
   /// have hit back-pressure at least once.
-  size_t high_watermark() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t high_watermark() const FRESQUE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return high_water_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  uint64_t enqueued_ = 0;
-  uint64_t rejected_ = 0;
-  size_t high_water_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ FRESQUE_GUARDED_BY(mu_);
+  uint64_t enqueued_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_full_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_closed_ FRESQUE_GUARDED_BY(mu_) = 0;
+  size_t high_water_ FRESQUE_GUARDED_BY(mu_) = 0;
+  bool closed_ FRESQUE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace fresque

@@ -9,6 +9,10 @@
 namespace fresque {
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// Thread-compatibility (applies to every class in this header):
+/// unsynchronized by design — these are benchmark/report accumulators
+/// owned by one thread; wrap with a fresque::Mutex if ever shared.
 class RunningStats {
  public:
   void Add(double x);

@@ -1,0 +1,78 @@
+#ifndef FRESQUE_COMMON_THREAD_ANNOTATIONS_H_
+#define FRESQUE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (no-ops on GCC and MSVC).
+///
+/// These macros turn the repo's lock discipline into compile-time proofs:
+/// fields carry FRESQUE_GUARDED_BY(mu_), lock-held helpers carry
+/// FRESQUE_REQUIRES(mu_), and a Clang build with -Werror=thread-safety
+/// (see the FRESQUE_WERROR CMake option and the `clang-thread-safety` CI
+/// job) rejects any access that does not hold the right mutex.
+///
+/// The analysis only understands capability-annotated lock types, and
+/// libstdc++'s std::mutex is not annotated — use fresque::Mutex /
+/// fresque::MutexLock from common/mutex.h for any state shared across
+/// threads. See DESIGN.md "Concurrency invariants" for the mutex
+/// inventory and the allowed lock order.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FRESQUE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FRESQUE_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define FRESQUE_CAPABILITY(x) FRESQUE_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define FRESQUE_SCOPED_CAPABILITY FRESQUE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field is protected by the given mutex.
+#define FRESQUE_GUARDED_BY(x) FRESQUE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define FRESQUE_PT_GUARDED_BY(x) FRESQUE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function must be called with the given mutex(es) held.
+#define FRESQUE_REQUIRES(...) \
+  FRESQUE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the given mutex(es) held in shared mode.
+#define FRESQUE_REQUIRES_SHARED(...) \
+  FRESQUE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the given mutex(es) and does not release them.
+#define FRESQUE_ACQUIRE(...) \
+  FRESQUE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the given mutex(es).
+#define FRESQUE_RELEASE(...) \
+  FRESQUE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the mutex iff it returns the given value.
+#define FRESQUE_TRY_ACQUIRE(...) \
+  FRESQUE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the given mutex(es) held
+/// (deadlock-prevention: it acquires them itself).
+#define FRESQUE_EXCLUDES(...) \
+  FRESQUE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Documents lock-ordering: this mutex must be acquired after `x`.
+#define FRESQUE_ACQUIRED_AFTER(...) \
+  FRESQUE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Documents lock-ordering: this mutex must be acquired before `x`.
+#define FRESQUE_ACQUIRED_BEFORE(...) \
+  FRESQUE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Function returns a reference to the given mutex.
+#define FRESQUE_RETURN_CAPABILITY(x) \
+  FRESQUE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function is safe for reasons the analysis cannot
+/// see (justify with a comment at every use).
+#define FRESQUE_NO_THREAD_SAFETY_ANALYSIS \
+  FRESQUE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // FRESQUE_COMMON_THREAD_ANNOTATIONS_H_

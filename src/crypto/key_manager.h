@@ -16,6 +16,11 @@ namespace crypto {
 ///   key(purpose, pn) = HMAC(master, purpose || pn)
 /// so every publication can be re-keyed without redistributing secrets,
 /// and compromise of one derived key does not expose the others.
+///
+/// Thread-safety: immutable after construction — every derivation reads
+/// only the master secret — so a single instance is safely shared by
+/// const pointer across all computing nodes and the merger without
+/// locking.
 class KeyManager {
  public:
   static constexpr size_t kKeySize = 32;  // AES-256

@@ -14,7 +14,7 @@ Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Tolerate floating-point drift when budgets are split evenly.
   if (spent_ + epsilon > total_ * (1.0 + 1e-9)) {
     return Status::ResourceExhausted(
@@ -28,12 +28,12 @@ Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
 }
 
 double BudgetAccountant::spent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spent_;
 }
 
 double BudgetAccountant::remaining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_ - spent_;
 }
 
@@ -44,7 +44,7 @@ double BudgetAccountant::SplitEvenly(double total_epsilon,
 }
 
 std::vector<std::string> BudgetAccountant::History() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return history_;
 }
 

@@ -2,11 +2,12 @@
 #define FRESQUE_DP_BUDGET_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace fresque {
 namespace dp {
@@ -25,24 +26,25 @@ class BudgetAccountant {
 
   /// Attempts to reserve `epsilon` for one mechanism invocation. Fails
   /// with ResourceExhausted once the total would be exceeded.
-  Status Spend(double epsilon, const std::string& label);
+  Status Spend(double epsilon, const std::string& label)
+      FRESQUE_EXCLUDES(mu_);
 
   double total_epsilon() const { return total_; }
-  double spent() const;
-  double remaining() const;
+  double spent() const FRESQUE_EXCLUDES(mu_);
+  double remaining() const FRESQUE_EXCLUDES(mu_);
 
   /// Per-publication epsilon when the total is split evenly over
   /// `num_publications` sequential publications.
   static double SplitEvenly(double total_epsilon, size_t num_publications);
 
   /// Labels of all successful spends, in order (for audit output).
-  std::vector<std::string> History() const;
+  std::vector<std::string> History() const FRESQUE_EXCLUDES(mu_);
 
  private:
   const double total_;
-  mutable std::mutex mu_;
-  double spent_ = 0.0;
-  std::vector<std::string> history_;
+  mutable Mutex mu_;
+  double spent_ FRESQUE_GUARDED_BY(mu_) = 0.0;
+  std::vector<std::string> history_ FRESQUE_GUARDED_BY(mu_);
 };
 
 }  // namespace dp

@@ -14,7 +14,7 @@ Status IndividualLedger::Admit(uint64_t individual, double epsilon) {
   if (epsilon <= 0) {
     return Status::InvalidArgument("epsilon must be positive");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double& spent = spent_[individual];
   if (spent + epsilon > total_ * (1.0 + 1e-9)) {
     return Status::ResourceExhausted(
@@ -27,7 +27,7 @@ Status IndividualLedger::Admit(uint64_t individual, double epsilon) {
 }
 
 double IndividualLedger::Spent(uint64_t individual) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = spent_.find(individual);
   return it == spent_.end() ? 0.0 : it->second;
 }
@@ -37,7 +37,7 @@ double IndividualLedger::Remaining(uint64_t individual) const {
 }
 
 size_t IndividualLedger::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spent_.size();
 }
 

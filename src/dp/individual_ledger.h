@@ -2,10 +2,11 @@
 #define FRESQUE_DP_INDIVIDUAL_LEDGER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace fresque {
 namespace dp {
@@ -30,23 +31,23 @@ class IndividualLedger {
   /// Charges `epsilon` to `individual` for participating in the current
   /// publication. ResourceExhausted once the individual's budget would
   /// be exceeded (the submission must then be rejected or deferred).
-  Status Admit(uint64_t individual, double epsilon);
+  Status Admit(uint64_t individual, double epsilon) FRESQUE_EXCLUDES(mu_);
 
   /// Epsilon already consumed by `individual` (0 if never seen).
-  double Spent(uint64_t individual) const;
+  double Spent(uint64_t individual) const FRESQUE_EXCLUDES(mu_);
 
   /// Remaining budget for `individual`.
-  double Remaining(uint64_t individual) const;
+  double Remaining(uint64_t individual) const FRESQUE_EXCLUDES(mu_);
 
   /// Individuals tracked so far.
-  size_t size() const;
+  size_t size() const FRESQUE_EXCLUDES(mu_);
 
   double total_epsilon() const { return total_; }
 
  private:
   const double total_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, double> spent_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, double> spent_ FRESQUE_GUARDED_BY(mu_);
 };
 
 }  // namespace dp

@@ -16,14 +16,14 @@ void CloudNode::Shutdown() {
 }
 
 void CloudNode::RouteAcksTo(net::MailboxPtr acks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ack_outbox_ = std::move(acks);
 }
 
 void CloudNode::Ack(uint64_t pn, const Status& st) {
   net::MailboxPtr out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out = ack_outbox_;
   }
   if (!out) return;
@@ -39,18 +39,18 @@ void CloudNode::Ack(uint64_t pn, const Status& st) {
 }
 
 Status CloudNode::first_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_error_;
 }
 
 std::vector<cloud::MatchingStats> CloudNode::matching_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void CloudNode::NoteError(const Status& st) {
   if (st.ok()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (first_error_.ok()) {
     first_error_ = st;
     FRESQUE_LOG(Warn) << "cloud node error: " << st.ToString();
@@ -92,7 +92,7 @@ bool CloudNode::Handle(net::Message&& m) {
       return true;
     case net::MessageType::kCloudTaggedRecord: {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         tagged_pns_.insert(m.pn);
       }
       NoteError(server_->IngestTagged(m.pn, m.leaf, m.payload));
@@ -107,7 +107,7 @@ bool CloudNode::Handle(net::Message&& m) {
       }
       std::optional<Status> outcome;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (tagged_pns_.count(m.pn)) {
           pending_index_.emplace(m.pn, std::move(*pub));
           pending_payload_[m.pn] = std::move(m.payload);
@@ -137,7 +137,7 @@ bool CloudNode::Handle(net::Message&& m) {
       }
       std::optional<Status> outcome;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         pending_table_.emplace(m.pn, std::move(*table));
         outcome = TryFinishTagged(m.pn);
       }

@@ -3,13 +3,14 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "cloud/server.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "index/matching.h"
 #include "net/message.h"
 #include "net/node.h"
@@ -42,34 +43,39 @@ class CloudNode {
   /// with the reason in `payload` on failure. Pass a collector's
   /// publication_acks() mailbox to close the publish -> ack loop.
   /// Thread-safe; may be called before or after Start().
-  void RouteAcksTo(net::MailboxPtr acks);
+  void RouteAcksTo(net::MailboxPtr acks) FRESQUE_EXCLUDES(mu_);
 
   /// First error the handler hit, if any (frames after an error are still
   /// processed; the first failure is sticky for post-run inspection).
-  Status first_error() const;
+  Status first_error() const FRESQUE_EXCLUDES(mu_);
 
   /// Matching stats of completed publications, by pn.
-  std::vector<cloud::MatchingStats> matching_stats() const;
+  std::vector<cloud::MatchingStats> matching_stats() const
+      FRESQUE_EXCLUDES(mu_);
 
  private:
-  bool Handle(net::Message&& m);
-  void NoteError(const Status& st);
+  bool Handle(net::Message&& m) FRESQUE_EXCLUDES(mu_);
+  void NoteError(const Status& st) FRESQUE_EXCLUDES(mu_);
   /// Attempts the deferred PINED-RQ++ publish; returns its outcome once
-  /// both halves (index + table) are present. Call with mu_ held.
-  std::optional<Status> TryFinishTagged(uint64_t pn);
+  /// both halves (index + table) are present.
+  std::optional<Status> TryFinishTagged(uint64_t pn) FRESQUE_REQUIRES(mu_);
   /// Pushes a kPublicationAck for `pn` if ack routing is configured.
-  void Ack(uint64_t pn, const Status& st);
+  /// Takes mu_ only to snapshot the outbox: the (possibly blocking) push
+  /// happens with no lock held.
+  void Ack(uint64_t pn, const Status& st) FRESQUE_EXCLUDES(mu_);
 
   cloud::CloudServer* server_;
-  mutable std::mutex mu_;
-  net::MailboxPtr ack_outbox_;
-  Status first_error_;
-  std::vector<cloud::MatchingStats> stats_;
+  mutable Mutex mu_;
+  net::MailboxPtr ack_outbox_ FRESQUE_GUARDED_BY(mu_);
+  Status first_error_ FRESQUE_GUARDED_BY(mu_);
+  std::vector<cloud::MatchingStats> stats_ FRESQUE_GUARDED_BY(mu_);
   // PINED-RQ++ pairing state.
-  std::set<uint64_t> tagged_pns_;
-  std::map<uint64_t, net::IndexPublication> pending_index_;
-  std::map<uint64_t, index::MatchingTable> pending_table_;
-  std::map<uint64_t, Bytes> pending_payload_;
+  std::set<uint64_t> tagged_pns_ FRESQUE_GUARDED_BY(mu_);
+  std::map<uint64_t, net::IndexPublication> pending_index_
+      FRESQUE_GUARDED_BY(mu_);
+  std::map<uint64_t, index::MatchingTable> pending_table_
+      FRESQUE_GUARDED_BY(mu_);
+  std::map<uint64_t, Bytes> pending_payload_ FRESQUE_GUARDED_BY(mu_);
   net::Node node_;
 };
 

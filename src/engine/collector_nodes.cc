@@ -17,33 +17,33 @@ namespace internal {
 // ReportSink
 
 void ReportSink::DispatcherInit(uint64_t pn, double millis, uint64_t dummies) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& r = Slot(pn);
   r.dispatcher_millis += millis;
   r.dummy_records = dummies;
 }
 
 void ReportSink::DispatcherPublish(uint64_t pn, double millis) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Slot(pn).dispatcher_millis += millis;
 }
 
 void ReportSink::Checking(uint64_t pn, double millis, uint64_t real) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& r = Slot(pn);
   r.checking_millis = millis;
   r.real_records = real;
 }
 
 void ReportSink::Merger(uint64_t pn, double millis, uint64_t removed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& r = Slot(pn);
   r.merger_millis = millis;
   r.removed_records = removed;
 }
 
 std::vector<PublishReport> ReportSink::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<PublishReport> out;
   out.reserve(reports_.size());
   for (const auto& [pn, r] : reports_) {
@@ -64,25 +64,29 @@ PublishReport& ReportSink::Slot(uint64_t pn) {
 
 void PublicationTracker::Complete(uint64_t pn, Status status) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     done_.emplace(pn, std::move(status));  // first terminal state wins
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status PublicationTracker::Wait(uint64_t pn,
                                 std::chrono::milliseconds timeout) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!cv_.wait_for(lock, timeout, [&] { return done_.count(pn) > 0; })) {
-    return Status::DeadlineExceeded("publication " + std::to_string(pn) +
-                                    " not acked within " +
-                                    std::to_string(timeout.count()) + "ms");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
+  while (done_.count(pn) == 0) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
+        done_.count(pn) == 0) {
+      return Status::DeadlineExceeded("publication " + std::to_string(pn) +
+                                      " not acked within " +
+                                      std::to_string(timeout.count()) + "ms");
+    }
   }
   return done_.at(pn);
 }
 
 uint64_t PublicationTracker::completed_ok() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t n = 0;
   for (const auto& [pn, st] : done_) {
     (void)pn;
@@ -92,7 +96,7 @@ uint64_t PublicationTracker::completed_ok() const {
 }
 
 uint64_t PublicationTracker::completed_failed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t n = 0;
   for (const auto& [pn, st] : done_) {
     (void)pn;

@@ -6,19 +6,26 @@
 /// particular the checking node's barrier and lost-template handling —
 /// is unit-testable in isolation. Everything here is collector-private;
 /// the supported public surface is FresqueCollector.
+///
+/// Concurrency model (see DESIGN.md §8): each *Impl's mutable state is
+/// confined to its own net::Node thread — only the mailbox crosses
+/// threads — except the std::atomic drop/progress counters (readable
+/// from any thread) and the two genuinely shared classes below,
+/// ReportSink and PublicationTracker, whose locking is annotated and
+/// checked by Clang's thread-safety analysis.
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "crypto/key_manager.h"
 #include "engine/config.h"
 #include "engine/dummy_schedule.h"
@@ -39,18 +46,21 @@ namespace internal {
 /// components write their slice here.
 class ReportSink {
  public:
-  void DispatcherInit(uint64_t pn, double millis, uint64_t dummies);
-  void DispatcherPublish(uint64_t pn, double millis);
-  void Checking(uint64_t pn, double millis, uint64_t real);
-  void Merger(uint64_t pn, double millis, uint64_t removed);
+  void DispatcherInit(uint64_t pn, double millis, uint64_t dummies)
+      FRESQUE_EXCLUDES(mu_);
+  void DispatcherPublish(uint64_t pn, double millis) FRESQUE_EXCLUDES(mu_);
+  void Checking(uint64_t pn, double millis, uint64_t real)
+      FRESQUE_EXCLUDES(mu_);
+  void Merger(uint64_t pn, double millis, uint64_t removed)
+      FRESQUE_EXCLUDES(mu_);
 
-  std::vector<PublishReport> Snapshot() const;
+  std::vector<PublishReport> Snapshot() const FRESQUE_EXCLUDES(mu_);
 
  private:
-  PublishReport& Slot(uint64_t pn);
+  PublishReport& Slot(uint64_t pn) FRESQUE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, PublishReport> reports_;
+  mutable Mutex mu_;
+  std::map<uint64_t, PublishReport> reports_ FRESQUE_GUARDED_BY(mu_);
 };
 
 /// Tracks terminal publication states (installed at the cloud, or failed
@@ -60,19 +70,20 @@ class PublicationTracker {
  public:
   /// Records the terminal state of `pn` (first ack wins) and wakes
   /// waiters.
-  void Complete(uint64_t pn, Status status);
+  void Complete(uint64_t pn, Status status) FRESQUE_EXCLUDES(mu_);
 
   /// Blocks until `pn` reached a terminal state or `timeout` elapsed.
   /// Returns the publication's terminal status, or DeadlineExceeded.
-  Status Wait(uint64_t pn, std::chrono::milliseconds timeout) const;
+  Status Wait(uint64_t pn, std::chrono::milliseconds timeout) const
+      FRESQUE_EXCLUDES(mu_);
 
-  uint64_t completed_ok() const;
-  uint64_t completed_failed() const;
+  uint64_t completed_ok() const FRESQUE_EXCLUDES(mu_);
+  uint64_t completed_failed() const FRESQUE_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::map<uint64_t, Status> done_;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  std::map<uint64_t, Status> done_ FRESQUE_GUARDED_BY(mu_);
 };
 
 /// Computing node (paper §5.3): parse raw line -> leaf offset -> encrypt,

@@ -35,6 +35,14 @@ class PublicationTracker;
 /// ends the interval asynchronously — publication work shifts to the
 /// merger while the dispatcher immediately opens the next publication.
 ///
+/// Thread-safety: Start/Ingest/SetIntervalProgress/Publish/Shutdown must
+/// all be called from the same (dispatcher) thread — the round-robin
+/// cursor, interval counters and dummy schedule are deliberately
+/// unsynchronized dispatcher state. Metrics(), Reports(), the drop
+/// counters and WaitForPublication() are safe from any thread at any
+/// time: they read atomics or the annotated ReportSink /
+/// PublicationTracker locks.
+///
 /// Publication lifecycle: every publication moves through
 ///   open -> ingest -> flush (kPublish barrier) -> publish (merger) ->
 ///   ack (kPublicationAck)

@@ -66,7 +66,7 @@ class ParallelPinedRqPpCollector::Worker {
   void FlushPartition() {
     index::HistogramIndex fresh =
         MakeZeroTree(local_counts_.binning(), config_.fanout);
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    MutexLock lock(shared_->mu);
     if (id_ < shared_->worker_tables.size()) {
       shared_->worker_tables[id_] = std::move(local_table_);
       shared_->worker_counts[id_] = std::move(local_counts_);
@@ -179,7 +179,7 @@ Status ParallelPinedRqPpCollector::OpenInterval() {
                                            config_.epsilon, &rng_);
   if (!tmpl.ok()) return tmpl.status();
   {
-    std::lock_guard<std::mutex> lock(shared_.mu);
+    MutexLock lock(shared_.mu);
     shared_.tmpl.emplace(tmpl->noise_index());
     shared_.worker_tables.assign(config_.num_computing_nodes,
                                  index::MatchingTable());
@@ -242,7 +242,7 @@ Status ParallelPinedRqPpCollector::Ingest(std::string_view line) {
   size_t leaf;
   bool remove;
   {
-    std::lock_guard<std::mutex> lock(shared_.mu);
+    MutexLock lock(shared_.mu);
     leaf = shared_.tmpl->WalkToLeaf(*v);
     remove = shared_.tmpl->leaf_count(leaf) < 0;
     if (remove) shared_.tmpl->AddAlongPath(leaf, 1);
@@ -312,7 +312,7 @@ Status ParallelPinedRqPpCollector::Publish() {
   // checker's template (noise + removed-record counts); the matching
   // tables concatenate (tags are 64-bit random, collisions negligible).
   index::HistogramIndex final_index = [&] {
-    std::lock_guard<std::mutex> lock(shared_.mu);
+    MutexLock lock(shared_.mu);
     index::HistogramIndex merged = *shared_.tmpl;
     for (const auto& partial : shared_.worker_counts) {
       auto sum = merged.Plus(partial);
@@ -321,7 +321,7 @@ Status ParallelPinedRqPpCollector::Publish() {
     return merged;
   }();
   index::MatchingTable final_table = [&] {
-    std::lock_guard<std::mutex> lock(shared_.mu);
+    MutexLock lock(shared_.mu);
     index::MatchingTable merged;
     for (const auto& partial : shared_.worker_tables) {
       for (const auto& [tag, leaf] : partial.entries()) {

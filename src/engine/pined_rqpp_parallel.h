@@ -2,13 +2,14 @@
 #define FRESQUE_ENGINE_PINED_RQPP_PARALLEL_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/queue.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "crypto/chacha20.h"
 #include "crypto/key_manager.h"
 #include "engine/config.h"
@@ -66,11 +67,11 @@ class ParallelPinedRqPpCollector {
   /// table — merged at publish, so per-record updates scale with workers
   /// (the distributed updater of Figure 5).
   struct SharedState {
-    std::mutex mu;
-    std::optional<index::HistogramIndex> tmpl;
+    Mutex mu;
+    std::optional<index::HistogramIndex> tmpl FRESQUE_GUARDED_BY(mu);
     /// Per-worker partial results, written once per interval on kPublish.
-    std::vector<index::MatchingTable> worker_tables;
-    std::vector<index::HistogramIndex> worker_counts;
+    std::vector<index::MatchingTable> worker_tables FRESQUE_GUARDED_BY(mu);
+    std::vector<index::HistogramIndex> worker_counts FRESQUE_GUARDED_BY(mu);
   };
 
   class Worker;

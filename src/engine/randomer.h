@@ -20,6 +20,12 @@ namespace engine {
 /// one). Flush shuffles and empties the buffer at the end of the interval.
 /// Capacity must exceed the publication's total dummy count with high
 /// probability — use dp::RandomerBufferSize (S = alpha * T).
+///
+/// Thread-compatibility: deliberately unsynchronized. A Randomer is
+/// confined to the checking node's thread (one per interval, inside
+/// CheckingNodeImpl::IntervalState) and must never be shared across
+/// threads without external locking — the buffer shuffle and the RNG it
+/// borrows are both stateful.
 class Randomer {
  public:
   /// `capacity` >= 1; `rng` must outlive the randomer.

@@ -20,6 +20,14 @@ namespace net {
 /// The loop stops when the handler returns false or the inbox is closed
 /// and drained; components decide themselves how to react to kShutdown
 /// (e.g. the checking node waits for one per computing node).
+///
+/// Thread-safety contract: the inbox (BoundedQueue) is the only
+/// cross-thread channel — any thread may Push into it. The handler runs
+/// exclusively on the node's own thread, so handler-owned state needs no
+/// locking; `frames_` / `running_` are atomics readable from any thread.
+/// Start() must be called exactly once, before any concurrent use of
+/// Join()/Stop() (`started_` is intentionally unsynchronized: it is part
+/// of the single-threaded setup phase).
 class Node {
  public:
   /// `handler` is invoked on the node's own thread for every frame and

@@ -27,7 +27,7 @@ void TcpEgress::Pump() {
     bool is_shutdown = m->type == MessageType::kShutdown;
     Status st = conn_.Send(*m);
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (first_error_.ok()) {
         first_error_ = st;
         FRESQUE_LOG(Warn) << "tcp egress: " << st.ToString();
@@ -38,7 +38,7 @@ void TcpEgress::Pump() {
 }
 
 Status TcpEgress::first_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_error_;
 }
 
@@ -67,7 +67,7 @@ void TcpIngress::Start() {
 void TcpIngress::Pump() {
   auto conn = listener_.Accept();
   if (!conn.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     first_error_ = conn.status();
     return;
   }
@@ -75,7 +75,7 @@ void TcpIngress::Pump() {
     auto m = conn->Receive();
     if (!m.ok()) {
       if (m.status().code() != StatusCode::kCancelled) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (first_error_.ok()) first_error_ = m.status();
       }
       return;  // peer closed (or errored)
@@ -87,7 +87,7 @@ void TcpIngress::Pump() {
 }
 
 Status TcpIngress::first_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_error_;
 }
 

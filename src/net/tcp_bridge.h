@@ -4,7 +4,9 @@
 #include <memory>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 #include "net/tcp.h"
 
@@ -30,19 +32,19 @@ class TcpEgress {
 
   /// First send error, if any (the pump keeps draining afterwards so
   /// producers do not block forever).
-  Status first_error() const;
+  Status first_error() const FRESQUE_EXCLUDES(mu_);
 
   /// Closes the mailbox and joins the pump thread.
   void Shutdown();
 
  private:
   TcpEgress(TcpConnection conn, size_t mailbox_capacity);
-  void Pump();
+  void Pump() FRESQUE_EXCLUDES(mu_);
 
   TcpConnection conn_;
   MailboxPtr mailbox_;
-  mutable std::mutex mu_;
-  Status first_error_;
+  mutable Mutex mu_;
+  Status first_error_ FRESQUE_GUARDED_BY(mu_);
   std::thread thread_;
 };
 
@@ -63,19 +65,19 @@ class TcpIngress {
   /// pump thread).
   void Start();
 
-  Status first_error() const;
+  Status first_error() const FRESQUE_EXCLUDES(mu_);
 
   /// Joins the pump thread (returns once the peer shut down).
   void Join();
 
  private:
   TcpIngress(TcpListener listener, MailboxPtr sink);
-  void Pump();
+  void Pump() FRESQUE_EXCLUDES(mu_);
 
   TcpListener listener_;
   MailboxPtr sink_;
-  mutable std::mutex mu_;
-  Status first_error_;
+  mutable Mutex mu_;
+  Status first_error_ FRESQUE_GUARDED_BY(mu_);
   std::thread thread_;
 };
 

@@ -1,0 +1,152 @@
+// BoundedQueue lifetime counters, close semantics, and a TSan-facing
+// multi-producer/multi-consumer stress test (this suite is in the
+// scripts/tsan_tests.sh TSan run list).
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/queue.h"
+
+namespace fresque {
+namespace {
+
+TEST(QueueTest, CountsEnqueuedAndHighWatermark) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.enqueued(), 0u);
+  EXPECT_EQ(q.high_watermark(), 0u);
+
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_EQ(q.enqueued(), 3u);
+  EXPECT_EQ(q.high_watermark(), 3u);
+
+  // Draining does not move the high watermark back down.
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.high_watermark(), 3u);
+  EXPECT_EQ(q.enqueued(), 3u);
+
+  EXPECT_TRUE(q.Push(4));
+  EXPECT_EQ(q.enqueued(), 4u);
+  EXPECT_EQ(q.high_watermark(), 3u);
+}
+
+TEST(QueueTest, TryPushSplitsBackPressureFromShutdown) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+
+  // Full queue: back-pressure reject.
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_FALSE(q.TryPush(4));
+  EXPECT_EQ(q.rejected_full(), 2u);
+  EXPECT_EQ(q.rejected_closed(), 0u);
+  EXPECT_EQ(q.rejected(), 2u);
+
+  // Closed queue: shutdown reject, even though space is available.
+  ASSERT_TRUE(q.Pop().has_value());
+  q.Close();
+  EXPECT_FALSE(q.TryPush(5));
+  EXPECT_EQ(q.rejected_full(), 2u);
+  EXPECT_EQ(q.rejected_closed(), 1u);
+  EXPECT_EQ(q.rejected(), 3u);
+}
+
+TEST(QueueTest, PushAfterCloseFailsAndCountsAsClosed) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(q.enqueued(), 1u);
+  EXPECT_EQ(q.rejected_closed(), 2u);
+  EXPECT_EQ(q.rejected_full(), 0u);
+}
+
+TEST(QueueTest, PopDrainsRemainingItemsThenReturnsNullopt) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.Push(10));
+  EXPECT_TRUE(q.Push(20));
+  q.Close();
+
+  EXPECT_EQ(q.Pop().value(), 10);
+  EXPECT_EQ(q.Pop().value(), 20);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Pop().has_value());  // stays drained
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(QueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::thread consumer([&] {
+    // Blocks until Close(); must return nullopt, not hang.
+    EXPECT_FALSE(q.Pop().has_value());
+  });
+  q.Close();
+  consumer.join();
+}
+
+TEST(QueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));  // fill to capacity
+  std::thread producer([&] {
+    // Blocks on the full queue until Close(); must fail, not hang.
+    EXPECT_FALSE(q.Push(2));
+  });
+  q.Close();
+  producer.join();
+  EXPECT_EQ(q.rejected_closed(), 1u);
+}
+
+// Multi-producer/multi-consumer stress: every pushed item is popped
+// exactly once, counters balance, and under TSan the queue's internal
+// synchronization proves clean.
+TEST(QueueTest, MultiProducerMultiConsumerConservesItems) {
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 3;
+  constexpr uint64_t kPerProducer = 5000;
+
+  BoundedQueue<uint64_t> q(64);
+  std::atomic<uint64_t> popped{0};
+  std::atomic<uint64_t> sum{0};
+
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.Pop()) {
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);  // each value once
+  EXPECT_EQ(q.enqueued(), kTotal);
+  EXPECT_EQ(q.rejected(), 0u);
+  EXPECT_GE(q.high_watermark(), 1u);
+  EXPECT_LE(q.high_watermark(), q.capacity());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fresque
