@@ -5,8 +5,9 @@
 #
 #   thread (default)     — builds with TSan and runs the concurrency-
 #                          sensitive suites: the publication drain/shutdown
-#                          protocol, the queue/node runtime, and the TCP
-#                          transport.
+#                          protocol, the queue/node runtime, the TCP
+#                          transport, and the durability subsystem (WAL,
+#                          snapshots, crash recovery).
 #   address | undefined  — builds with ASan or UBSan and runs the *full*
 #   address,undefined      ctest suite (these sanitizers are cheap enough
 #                          to afford every test).
@@ -34,9 +35,10 @@ if [[ "$SAN" == thread ]]; then
   # TSan slows execution ~10x; build and run only the suites that exercise
   # cross-thread protocols.
   cmake --build "$BUILD_DIR" -j \
-    --target concurrency_test tcp_test drain_shutdown_test queue_test
+    --target concurrency_test tcp_test drain_shutdown_test queue_test \
+      durability_test crash_recovery_test
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R '^(ConcurrencyTest|TcpTest|DrainShutdownTest|CheckingNodeTest|QueueTest)'
+    -R '^(ConcurrencyTest|TcpTest|DrainShutdownTest|CheckingNodeTest|QueueTest|WalTest|SnapshotManagerTest|RecoveryTest|CrashRecoveryTest)'
 else
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
   export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"

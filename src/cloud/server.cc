@@ -196,6 +196,18 @@ Result<Bytes> CloudServer::PublicationEvidence(uint64_t pn) const {
   return it->second.evidence;
 }
 
+Status CloudServer::ForEachStoredRecord(
+    uint64_t pn,
+    const std::function<Status(const PhysicalAddress&, const uint8_t*,
+                               size_t)>& fn) const {
+  MutexLock lock(mu_);
+  auto it = publications_.find(pn);
+  if (it == publications_.end()) {
+    return Status::NotFound("unknown publication " + std::to_string(pn));
+  }
+  return it->second.storage.ForEachRecord(fn);
+}
+
 size_t CloudServer::num_publications() const {
   MutexLock lock(mu_);
   return publications_.size();

@@ -103,6 +103,18 @@ class CloudServer {
   /// published or carried no payload.
   Result<Bytes> PublicationEvidence(uint64_t pn) const FRESQUE_EXCLUDES(mu_);
 
+  /// Visits every stored e-record of publication `pn` in ingest order
+  /// without the per-record copy Read performs; used by merger-side
+  /// verification and recovery equivalence checks. `fn` sees a pointer
+  /// into live segment memory that is invalid once it returns. The
+  /// server's mutex is held for the whole iteration — `fn` must not call
+  /// back into this server.
+  Status ForEachStoredRecord(
+      uint64_t pn,
+      const std::function<Status(const PhysicalAddress&, const uint8_t* data,
+                                 size_t size)>& fn) const
+      FRESQUE_EXCLUDES(mu_);
+
   /// Batch publication (PINED-RQ): stores `records` as `<leaf, e-record>`
   /// pairs and installs the index in one shot.
   Result<MatchingStats> PublishBatch(

@@ -1,6 +1,6 @@
 // CloudServer snapshot persistence: one binary file holding the whole
 // multi-publication state. Format (little-endian, length-prefixed):
-//   magic "FQSNAP01"
+//   magic "FQSNAP02"
 //   binning: f64 dmin, f64 dmax, f64 width
 //   u64 publication count, then per publication:
 //     u64 pn, u8 published
@@ -22,7 +22,7 @@ namespace cloud {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'Q', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr char kMagic[8] = {'F', 'Q', 'S', 'N', 'A', 'P', '0', '2'};
 
 void PutAddress(BinaryWriter* w, const PhysicalAddress& a) {
   w->PutU32(a.segment);
@@ -125,6 +125,12 @@ Result<std::unique_ptr<CloudServer>> CloudServer::LoadSnapshot(
 
   auto count = r.GetU64();
   if (!count.ok()) return Status::Corruption("truncated snapshot");
+  // Every claimed element count below is cross-checked against the bytes
+  // actually left in the file before it sizes an allocation, so a corrupt
+  // or hostile snapshot produces a Status — never an OOM or a crash.
+  if (*count > r.remaining() / 13) {  // pn + flag + storage prefix
+    return Status::Corruption("snapshot publication count implausible");
+  }
   for (uint64_t i = 0; i < *count; ++i) {
     auto pn = r.GetU64();
     auto published = r.GetU8();
@@ -140,27 +146,42 @@ Result<std::unique_ptr<CloudServer>> CloudServer::LoadSnapshot(
     if (*published == 0) {
       auto groups = r.GetU64();
       if (!groups.ok()) return Status::Corruption("truncated metadata");
+      if (*groups > r.remaining() / 12) {  // leaf + count per group
+        return Status::Corruption("snapshot metadata group count implausible");
+      }
       for (uint64_t g = 0; g < *groups; ++g) {
         auto leaf = r.GetU32();
         auto n = r.GetU64();
         if (!leaf.ok() || !n.ok()) {
           return Status::Corruption("truncated metadata group");
         }
+        if (*n > r.remaining() / 12) {  // 12 bytes per address
+          return Status::Corruption("snapshot metadata count implausible");
+        }
         auto& addrs = pub.metadata[*leaf];
         addrs.reserve(*n);
         for (uint64_t j = 0; j < *n; ++j) {
           auto a = GetAddress(&r);
           if (!a.ok()) return a.status();
+          if (!pub.storage.Contains(*a)) {
+            return Status::Corruption("snapshot metadata address unbacked");
+          }
           addrs.push_back(*a);
         }
       }
       auto tagged = r.GetU64();
       if (!tagged.ok()) return Status::Corruption("truncated tagged list");
+      if (*tagged > r.remaining() / 20) {  // tag + address per entry
+        return Status::Corruption("snapshot tagged count implausible");
+      }
       for (uint64_t j = 0; j < *tagged; ++j) {
         auto tag = r.GetU64();
         auto a = GetAddress(&r);
         if (!tag.ok() || !a.ok()) {
           return Status::Corruption("truncated tagged entry");
+        }
+        if (!pub.storage.Contains(*a)) {
+          return Status::Corruption("snapshot tagged address unbacked");
         }
         pub.tagged.emplace_back(*tag, *a);
       }
@@ -180,14 +201,23 @@ Result<std::unique_ptr<CloudServer>> CloudServer::LoadSnapshot(
       pub.index.emplace(std::move(*idx));
       pub.overflow.emplace(std::move(*ovf));
       pub.evidence = std::move(*evidence);
+      if (*leaves > r.remaining() / 8) {  // one count per leaf
+        return Status::Corruption("snapshot leaf count implausible");
+      }
       pub.postings.resize(*leaves);
       for (uint64_t leaf = 0; leaf < *leaves; ++leaf) {
         auto n = r.GetU64();
         if (!n.ok()) return Status::Corruption("truncated postings");
+        if (*n > r.remaining() / 12) {
+          return Status::Corruption("snapshot posting count implausible");
+        }
         pub.postings[leaf].reserve(*n);
         for (uint64_t j = 0; j < *n; ++j) {
           auto a = GetAddress(&r);
           if (!a.ok()) return a.status();
+          if (!pub.storage.Contains(*a)) {
+            return Status::Corruption("snapshot posting address unbacked");
+          }
           pub.postings[leaf].push_back(*a);
         }
       }

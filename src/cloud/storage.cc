@@ -23,9 +23,20 @@ PhysicalAddress SegmentStorage::Append(const Bytes& e_record) {
   addr.offset = static_cast<uint32_t>(seg.size());
   addr.length = static_cast<uint32_t>(e_record.size());
   seg.insert(seg.end(), e_record.begin(), e_record.end());
+  directory_.push_back(addr);
   ++num_records_;
   total_bytes_ += e_record.size();
   return addr;
+}
+
+Status SegmentStorage::ForEachRecord(
+    const std::function<Status(const PhysicalAddress&, const uint8_t*, size_t)>&
+        fn) const {
+  for (const PhysicalAddress& addr : directory_) {
+    const Bytes& seg = segments_[addr.segment];
+    FRESQUE_RETURN_NOT_OK(fn(addr, seg.data() + addr.offset, addr.length));
+  }
+  return Status::OK();
 }
 
 Result<Bytes> SegmentStorage::Read(const PhysicalAddress& addr) const {
@@ -37,7 +48,9 @@ Result<Bytes> SegmentStorage::Read(const PhysicalAddress& addr) const {
     return Status::OutOfRange("record range outside segment");
   }
   Bytes out(addr.length);
-  std::memcpy(out.data(), seg.data() + addr.offset, addr.length);
+  if (addr.length > 0) {
+    std::memcpy(out.data(), seg.data() + addr.offset, addr.length);
+  }
   return out;
 }
 
@@ -48,6 +61,12 @@ Bytes SegmentStorage::Serialize() const {
   w.PutU64(total_bytes_);
   w.PutU64(segments_.size());
   for (const auto& seg : segments_) w.PutBytes(seg);
+  w.PutU64(directory_.size());
+  for (const PhysicalAddress& addr : directory_) {
+    w.PutU32(addr.segment);
+    w.PutU32(addr.offset);
+    w.PutU32(addr.length);
+  }
   return w.Release();
 }
 
@@ -60,12 +79,52 @@ Result<SegmentStorage> SegmentStorage::Deserialize(const Bytes& data) {
   if (!capacity.ok() || !records.ok() || !total.ok() || !count.ok()) {
     return Status::Corruption("truncated storage snapshot");
   }
+  // Each serialized segment carries at least a 4-byte length prefix, so a
+  // claimed count larger than the bytes left is corrupt — reject before
+  // looping rather than trusting an attacker-controlled allocation count.
+  if (*count > r.remaining() / 4 + 1) {
+    return Status::Corruption("storage snapshot segment count implausible");
+  }
+  // Physical addresses index segments with u32 offset/length, so a capacity
+  // beyond u32 range can never have been written by Serialize — and the
+  // constructor reserves `capacity` bytes, so it must be validated before
+  // it drives an allocation.
+  if (*capacity == 0 || *capacity > UINT32_MAX) {
+    return Status::Corruption("storage snapshot capacity implausible");
+  }
   SegmentStorage out(*capacity);
   out.segments_.clear();
+  size_t segment_bytes = 0;
   for (uint64_t i = 0; i < *count; ++i) {
     auto seg = r.GetBytes();
     if (!seg.ok()) return Status::Corruption("truncated storage segment");
+    segment_bytes += seg->size();
     out.segments_.push_back(std::move(*seg));
+  }
+  if (segment_bytes != *total) {
+    return Status::Corruption("storage snapshot byte total mismatch");
+  }
+  auto dir_count = r.GetU64();
+  if (!dir_count.ok()) {
+    return Status::Corruption("truncated storage directory");
+  }
+  if (*dir_count != *records || *dir_count > r.remaining() / 12) {
+    return Status::Corruption("storage snapshot directory count mismatch");
+  }
+  out.directory_.reserve(*dir_count);
+  for (uint64_t i = 0; i < *dir_count; ++i) {
+    auto seg_idx = r.GetU32();
+    auto offset = r.GetU32();
+    auto length = r.GetU32();
+    if (!seg_idx.ok() || !offset.ok() || !length.ok()) {
+      return Status::Corruption("truncated storage directory entry");
+    }
+    if (*seg_idx >= out.segments_.size() ||
+        static_cast<size_t>(*offset) + *length >
+            out.segments_[*seg_idx].size()) {
+      return Status::Corruption("storage directory entry out of bounds");
+    }
+    out.directory_.push_back({*seg_idx, *offset, *length});
   }
   if (out.segments_.empty()) out.segments_.emplace_back();
   out.num_records_ = *records;

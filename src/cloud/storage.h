@@ -2,6 +2,7 @@
 #define FRESQUE_CLOUD_STORAGE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/bytes.h"
@@ -37,6 +38,23 @@ class SegmentStorage {
   /// so read-back-based matching (PINED-RQ++) pays a real per-record cost.
   Result<Bytes> Read(const PhysicalAddress& addr) const;
 
+  /// Visits every stored record in append order without copying: `fn`
+  /// receives the record's address plus a pointer/length into the live
+  /// segment. The pointer is valid only for the duration of the call —
+  /// callers must not retain it past `fn` returning (a later Append may
+  /// reallocate the segment). Stops and propagates the first non-OK
+  /// status `fn` returns.
+  Status ForEachRecord(
+      const std::function<Status(const PhysicalAddress&, const uint8_t* data,
+                                 size_t size)>& fn) const;
+
+  /// True when `addr` lies fully inside a stored segment.
+  bool Contains(const PhysicalAddress& addr) const {
+    return addr.segment < segments_.size() &&
+           static_cast<size_t>(addr.offset) + addr.length <=
+               segments_[addr.segment].size();
+  }
+
   size_t num_segments() const { return segments_.size(); }
   size_t num_records() const { return num_records_; }
   size_t total_bytes() const { return total_bytes_; }
@@ -48,6 +66,9 @@ class SegmentStorage {
  private:
   size_t segment_capacity_;
   std::vector<Bytes> segments_;
+  /// Append-order index of every record; lets iteration and integrity
+  /// checks walk segment memory directly instead of copying via Read.
+  std::vector<PhysicalAddress> directory_;
   size_t num_records_ = 0;
   size_t total_bytes_ = 0;
 };

@@ -1,0 +1,27 @@
+#ifndef FRESQUE_DURABILITY_CRC32_H_
+#define FRESQUE_DURABILITY_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace fresque {
+namespace durability {
+
+/// CRC-32 (IEEE 802.3, the zlib/ethernet polynomial) over `data`.
+///
+/// `seed` is the running CRC of everything hashed so far, letting callers
+/// chain calls over discontiguous buffers:
+///   uint32_t c = Crc32(header, hlen);
+///   c = Crc32(body, blen, c);
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(const Bytes& b, uint32_t seed = 0) {
+  return Crc32(b.data(), b.size(), seed);
+}
+
+}  // namespace durability
+}  // namespace fresque
+
+#endif  // FRESQUE_DURABILITY_CRC32_H_

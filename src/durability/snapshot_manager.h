@@ -1,0 +1,88 @@
+#ifndef FRESQUE_DURABILITY_SNAPSHOT_MANAGER_H_
+#define FRESQUE_DURABILITY_SNAPSHOT_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cloud/server.h"
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "durability/metrics.h"
+#include "durability/wal.h"
+
+namespace fresque {
+namespace durability {
+
+/// What the MANIFEST file points at: the current snapshot (may be empty on
+/// a log-only data dir) and the last WAL LSN the snapshot covers.
+struct Manifest {
+  std::string snapshot_file;  // relative to the data dir
+  uint64_t wal_lsn = 0;
+};
+
+/// Reads `dir`/MANIFEST. NotFound when the data dir has no manifest yet.
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Atomically replaces `dir`/MANIFEST (tmp + rename + dir fsync).
+Status WriteManifest(const std::string& dir, const Manifest& m);
+
+struct SnapshotOptions {
+  /// Data directory (shared with the WAL).
+  std::string dir;
+  /// Write a snapshot automatically every N successful publication
+  /// installs; 0 disables automatic snapshots (WriteSnapshot() only).
+  uint64_t snapshot_every_installs = 8;
+  const Clock* clock = SystemClock::Global();
+};
+
+/// Periodically serializes the whole CloudServer through its existing
+/// snapshot codec, installs the file atomically (tmp + rename + MANIFEST
+/// flip), then truncates WAL segments the snapshot made obsolete.
+///
+/// Crash-safety argument: the snapshot becomes visible only via the
+/// MANIFEST rename, and WAL segments are deleted only after the MANIFEST
+/// (and the snapshot it names) are fsynced — at every instant, MANIFEST +
+/// remaining WAL tail reconstruct the full acked state.
+///
+/// Call sites run on the CloudNode handler thread, which is also the only
+/// WAL appender, so `server` is quiescent during serialization and
+/// `wal->last_lsn()` exactly bounds the state being snapshotted.
+class SnapshotManager {
+ public:
+  /// `server` and `wal` must outlive the manager.
+  SnapshotManager(SnapshotOptions opts, const cloud::CloudServer* server,
+                  Wal* wal);
+
+  /// Counts one successful install; snapshots when the configured cadence
+  /// is reached. Failures are reported (and counted) but leave the
+  /// previous snapshot + WAL intact — durability never regresses.
+  Status NoteInstall() FRESQUE_EXCLUDES(mu_);
+
+  /// Unconditionally writes a snapshot now and truncates obsolete WAL
+  /// segments.
+  Status WriteSnapshot() FRESQUE_EXCLUDES(mu_);
+
+  void FillMetrics(DurabilityMetrics* m) const FRESQUE_EXCLUDES(mu_);
+
+ private:
+  Status WriteSnapshotLocked() FRESQUE_REQUIRES(mu_);
+
+  const SnapshotOptions opts_;
+  const cloud::CloudServer* server_;
+  Wal* wal_;
+
+  mutable Mutex mu_;
+  uint64_t installs_since_snapshot_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t snapshots_written_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t snapshot_failures_ FRESQUE_GUARDED_BY(mu_) = 0;
+  double last_snapshot_millis_ FRESQUE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace durability
+}  // namespace fresque
+
+#endif  // FRESQUE_DURABILITY_SNAPSHOT_MANAGER_H_

@@ -1,0 +1,236 @@
+#ifndef FRESQUE_DURABILITY_WAL_H_
+#define FRESQUE_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "durability/metrics.h"
+
+namespace fresque {
+namespace durability {
+
+/// When the WAL fsync()s relative to Commit():
+///   kAlways     — every Commit() fsyncs; an acked publication survives a
+///                 power cut. The durable default.
+///   kIntervalMs — Commit() fsyncs only if `fsync_interval_ms` elapsed
+///                 since the last fsync; bounds data-at-risk by time.
+///   kNever      — flush to the OS page cache only; survives a process
+///                 kill but not a kernel crash. Fastest.
+enum class FsyncPolicy : uint8_t { kAlways = 0, kIntervalMs = 1, kNever = 2 };
+
+const char* FsyncPolicyToString(FsyncPolicy p);
+/// Parses "always", "never", "interval" or "interval:<ms>" (the latter
+/// also returns the interval through `interval_ms` if non-null).
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& s,
+                                     uint64_t* interval_ms = nullptr);
+
+struct WalOptions {
+  /// Directory holding `wal-<base lsn>.log` segments. Created if missing.
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+  /// Minimum time between fsyncs under kIntervalMs.
+  uint64_t fsync_interval_ms = 50;
+  /// Rotate to a new segment once the current one exceeds this.
+  size_t segment_bytes = 16u << 20;
+  /// Frames are staged in memory and written out once the stage exceeds
+  /// this (or on Commit/rotation), so hot-path appends are memcpy-cheap.
+  size_t buffer_bytes = 256u << 10;
+  /// Per-publication e-record batch cap: buffered records are packed into
+  /// one kRecordBatch frame once this many accumulate (or earlier, when
+  /// the publication installs or Commit() runs).
+  size_t batch_records = 256;
+  /// Time source for the interval fsync policy.
+  const Clock* clock = SystemClock::Global();
+};
+
+/// Logical operation carried by one WAL frame.
+enum class WalOp : uint8_t {
+  /// Domain binning of the cloud store; first frame of a fresh log so
+  /// recovery can rebuild a CloudServer without a snapshot.
+  kMeta = 1,
+  /// StartPublication(pn).
+  kStart = 2,
+  /// A batch of `<leaf, e-record>` ingests for one publication.
+  kRecordBatch = 3,
+  /// A batch of `<tag, e-record>` ingests for one publication.
+  kTaggedBatch = 4,
+  /// PublishIndexed(pn, payload): payload is the verbatim encoded
+  /// IndexPublication (also the integrity evidence).
+  kInstall = 5,
+  /// PublishWithMatchingTable(pn, payload, table payload).
+  kInstallTagged = 6,
+};
+
+const char* WalOpToString(WalOp op);
+
+/// Decoded frame bodies (see the frame grammar in wal.cc / DESIGN.md §10).
+struct WalMeta {
+  double domain_min = 0;
+  double domain_max = 0;
+  double bin_width = 0;
+};
+struct WalRecordBatch {
+  uint64_t pn = 0;
+  std::vector<std::pair<uint32_t, Bytes>> records;  // <leaf, e-record>
+};
+struct WalTaggedBatch {
+  uint64_t pn = 0;
+  std::vector<std::pair<uint64_t, Bytes>> records;  // <tag, e-record>
+};
+struct WalInstall {
+  uint64_t pn = 0;
+  Bytes publication;  // encoded net::IndexPublication, verbatim
+  Bytes table;        // encoded matching table; empty for kInstall
+};
+
+Result<WalMeta> DecodeWalMeta(const Bytes& body);
+Result<uint64_t> DecodeWalStart(const Bytes& body);
+Result<WalRecordBatch> DecodeWalRecordBatch(const Bytes& body);
+Result<WalTaggedBatch> DecodeWalTaggedBatch(const Bytes& body);
+/// Handles both kInstall and kInstallTagged bodies.
+Result<WalInstall> DecodeWalInstall(WalOp op, const Bytes& body);
+
+/// Append-only, CRC32-framed, segment-rotating write-ahead log.
+///
+/// Frame on disk: `u32 crc, u32 len, body[len]` where the body starts with
+/// `u8 op, u64 lsn` and the CRC covers `len || body`. Segments are
+/// `wal-<base lsn>.log` files starting with an 8-byte magic and the u64
+/// base LSN; LSNs are assigned densely in append order, so file order ==
+/// replay order.
+///
+/// Contract: after Commit() returns OK, every previously appended frame
+/// survives a crash according to the fsync policy. Appends stage records
+/// into per-publication batches and a write buffer; nothing is promised
+/// until Commit().
+///
+/// Thread-safe; typically driven by the single CloudNode handler thread
+/// while metrics are polled from elsewhere.
+class Wal {
+ public:
+  /// Opens (or creates) the log in `opts.dir`. If the last segment ends in
+  /// a torn frame — the previous process died mid-write — the tail is
+  /// truncated away (counted in metrics) so new appends start clean.
+  static Result<std::unique_ptr<Wal>> Open(WalOptions opts);
+
+  /// Flushes staged frames to the OS (best effort, no fsync) and closes.
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  Status AppendMeta(double domain_min, double domain_max, double bin_width)
+      FRESQUE_EXCLUDES(mu_);
+  Status AppendStart(uint64_t pn) FRESQUE_EXCLUDES(mu_);
+  /// Stages one record into the publication's open batch frame.
+  Status AppendRecord(uint64_t pn, uint32_t leaf, const Bytes& e_record)
+      FRESQUE_EXCLUDES(mu_);
+  Status AppendTagged(uint64_t pn, uint64_t tag, const Bytes& e_record)
+      FRESQUE_EXCLUDES(mu_);
+  /// Seals the publication's record batch, then appends the install frame
+  /// (so replay sees every record before the install).
+  Status AppendInstall(uint64_t pn, const Bytes& publication)
+      FRESQUE_EXCLUDES(mu_);
+  Status AppendInstallTagged(uint64_t pn, const Bytes& publication,
+                             const Bytes& table) FRESQUE_EXCLUDES(mu_);
+
+  /// Makes everything appended so far durable per the fsync policy:
+  /// seals all open batches, writes the stage to the segment file, and
+  /// fsyncs (always / when the interval elapsed / never). Call before
+  /// acking a publication.
+  Status Commit() FRESQUE_EXCLUDES(mu_);
+
+  /// Like Commit() but never fsyncs (flush to OS only).
+  Status Flush() FRESQUE_EXCLUDES(mu_);
+
+  /// Rotates to a fresh segment and deletes sealed segments whose every
+  /// frame has LSN <= `through_lsn` (they are covered by a snapshot).
+  /// Returns the number of segments deleted.
+  Result<size_t> TruncateObsolete(uint64_t through_lsn) FRESQUE_EXCLUDES(mu_);
+
+  /// LSN of the last frame appended (0 if none). Staged batches have no
+  /// LSN yet; Commit()/install seals them first.
+  uint64_t last_lsn() const FRESQUE_EXCLUDES(mu_);
+  /// Frame bytes written to the OS so far (the durable prefix length
+  /// under FsyncPolicy::kAlways after a Commit()).
+  uint64_t flushed_bytes() const FRESQUE_EXCLUDES(mu_);
+
+  void FillMetrics(DurabilityMetrics* m) const FRESQUE_EXCLUDES(mu_);
+
+  const WalOptions& options() const { return opts_; }
+
+  /// One decoded frame during replay.
+  struct Frame {
+    uint64_t lsn = 0;
+    WalOp op = WalOp::kMeta;
+    Bytes body;  // op-specific body, without the op/lsn prefix
+  };
+
+  struct ReplayStats {
+    uint64_t frames = 0;          // frames delivered to the callback
+    uint64_t frames_skipped = 0;  // lsn <= after_lsn (snapshot-covered)
+    uint64_t last_lsn = 0;
+    bool torn_tail = false;
+    uint64_t torn_bytes = 0;
+  };
+
+  /// Replays every frame with lsn > `after_lsn` in LSN order. A torn or
+  /// truncated frame at the very tail of the last segment ends the replay
+  /// cleanly (reported in stats); anything inconsistent earlier is
+  /// Corruption. The callback's first error aborts the replay.
+  static Result<ReplayStats> Replay(
+      const std::string& dir, uint64_t after_lsn,
+      const std::function<Status(const Frame&)>& fn);
+
+ private:
+  explicit Wal(WalOptions opts);
+
+  Status AppendFrameLocked(WalOp op, const Bytes& body)
+      FRESQUE_REQUIRES(mu_);
+  Status SealBatchLocked(uint64_t pn) FRESQUE_REQUIRES(mu_);
+  Status SealAllBatchesLocked() FRESQUE_REQUIRES(mu_);
+  Status WriteStageLocked() FRESQUE_REQUIRES(mu_);
+  Status RotateLocked() FRESQUE_REQUIRES(mu_);
+  Status OpenSegmentLocked(uint64_t base_lsn) FRESQUE_REQUIRES(mu_);
+  Status FsyncLocked(bool force) FRESQUE_REQUIRES(mu_);
+
+  const WalOptions opts_;
+
+  mutable Mutex mu_;
+  int fd_ FRESQUE_GUARDED_BY(mu_) = -1;
+  uint64_t next_lsn_ FRESQUE_GUARDED_BY(mu_) = 1;
+  size_t segment_written_ FRESQUE_GUARDED_BY(mu_) = 0;
+  Bytes stage_ FRESQUE_GUARDED_BY(mu_);
+  std::map<uint64_t, WalRecordBatch> record_batches_ FRESQUE_GUARDED_BY(mu_);
+  std::map<uint64_t, WalTaggedBatch> tagged_batches_ FRESQUE_GUARDED_BY(mu_);
+  struct Segment {
+    std::string path;
+    uint64_t base_lsn = 0;
+  };
+  std::vector<Segment> segments_ FRESQUE_GUARDED_BY(mu_);
+  int64_t last_fsync_nanos_ FRESQUE_GUARDED_BY(mu_) = 0;
+
+  // Metrics.
+  uint64_t frames_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t record_batch_frames_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t flushed_bytes_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t fsyncs_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t segments_created_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t segments_deleted_ FRESQUE_GUARDED_BY(mu_) = 0;
+  uint64_t torn_bytes_discarded_ FRESQUE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace durability
+}  // namespace fresque
+
+#endif  // FRESQUE_DURABILITY_WAL_H_

@@ -13,6 +13,42 @@ CloudNode::CloudNode(cloud::CloudServer* server, size_t mailbox_capacity)
 void CloudNode::Shutdown() {
   node_.Stop();
   node_.Join();
+  // Open publications have record frames staged in the WAL; make them
+  // durable so a stop-start cycle (not just a crash) loses nothing.
+  if (wal_ != nullptr) NoteError(wal_->Commit());
+}
+
+Status CloudNode::AttachDurability(durability::Wal* wal,
+                                   durability::SnapshotManager* snapshots) {
+  wal_ = wal;
+  snapshots_ = snapshots;
+  const index::DomainBinning& b = server_->binning();
+  Status st = wal_->AppendMeta(b.domain_min(), b.domain_max(), b.bin_width());
+  if (st.ok()) st = wal_->Commit();
+  return st;
+}
+
+durability::DurabilityMetrics CloudNode::durability_metrics() const {
+  durability::DurabilityMetrics m;
+  if (wal_ != nullptr) wal_->FillMetrics(&m);
+  if (snapshots_ != nullptr) snapshots_->FillMetrics(&m);
+  return m;
+}
+
+Status CloudNode::LogInstall(uint64_t pn, const Bytes& publication,
+                             const Bytes& table, bool tagged) {
+  if (wal_ == nullptr) return Status::OK();
+  Status st = tagged ? wal_->AppendInstallTagged(pn, publication, table)
+                     : wal_->AppendInstall(pn, publication);
+  if (st.ok()) st = wal_->Commit();
+  return st;
+}
+
+void CloudNode::NoteDurableInstall() {
+  if (snapshots_ == nullptr) return;
+  // A snapshot failure is not an ack failure: the WAL already made the
+  // install durable. Record it and keep serving.
+  NoteError(snapshots_->NoteInstall());
 }
 
 void CloudNode::RouteAcksTo(net::MailboxPtr acks) {
@@ -57,7 +93,9 @@ void CloudNode::NoteError(const Status& st) {
   }
 }
 
-std::optional<Status> CloudNode::TryFinishTagged(uint64_t pn) {
+std::optional<Status> CloudNode::TryFinishTagged(uint64_t pn,
+                                                 Bytes* wal_publication,
+                                                 Bytes* wal_table) {
   auto idx_it = pending_index_.find(pn);
   auto tab_it = pending_table_.find(pn);
   if (idx_it == pending_index_.end() || tab_it == pending_table_.end()) {
@@ -68,11 +106,17 @@ std::optional<Status> CloudNode::TryFinishTagged(uint64_t pn) {
     payload = std::move(pit->second);
     pending_payload_.erase(pit);
   }
+  if (wal_ != nullptr) *wal_publication = payload;  // logged after install
   auto stats = server_->PublishWithMatchingTable(
       pn, std::move(idx_it->second), tab_it->second, std::move(payload));
   pending_index_.erase(idx_it);
   pending_table_.erase(tab_it);
   tagged_pns_.erase(pn);
+  if (auto tp = pending_table_payload_.find(pn);
+      tp != pending_table_payload_.end()) {
+    if (wal_ != nullptr) *wal_table = std::move(tp->second);
+    pending_table_payload_.erase(tp);
+  }
   if (!stats.ok()) {
     if (first_error_.ok()) first_error_ = stats.status();
     return stats.status();
@@ -83,19 +127,34 @@ std::optional<Status> CloudNode::TryFinishTagged(uint64_t pn) {
 
 bool CloudNode::Handle(net::Message&& m) {
   switch (m.type) {
-    case net::MessageType::kPublicationStart:
-      NoteError(server_->StartPublication(m.pn));
+    case net::MessageType::kPublicationStart: {
+      Status st = server_->StartPublication(m.pn);
+      if (st.ok() && wal_ != nullptr) st = wal_->AppendStart(m.pn);
+      NoteError(st);
       return true;
-    case net::MessageType::kCloudRecord:
-      NoteError(server_->IngestRecord(m.pn, static_cast<uint32_t>(m.leaf),
-                                      m.payload));
+    }
+    case net::MessageType::kCloudRecord: {
+      Status st = server_->IngestRecord(m.pn, static_cast<uint32_t>(m.leaf),
+                                        m.payload);
+      // Log after apply: only accepted mutations reach the WAL, so replay
+      // through the same API is deterministic.
+      if (st.ok() && wal_ != nullptr) {
+        st = wal_->AppendRecord(m.pn, static_cast<uint32_t>(m.leaf),
+                                m.payload);
+      }
+      NoteError(st);
       return true;
+    }
     case net::MessageType::kCloudTaggedRecord: {
       {
         MutexLock lock(mu_);
         tagged_pns_.insert(m.pn);
       }
-      NoteError(server_->IngestTagged(m.pn, m.leaf, m.payload));
+      Status st = server_->IngestTagged(m.pn, m.leaf, m.payload);
+      if (st.ok() && wal_ != nullptr) {
+        st = wal_->AppendTagged(m.pn, m.leaf, m.payload);
+      }
+      NoteError(st);
       return true;
     }
     case net::MessageType::kIndexPublication: {
@@ -106,13 +165,18 @@ bool CloudNode::Handle(net::Message&& m) {
         return true;
       }
       std::optional<Status> outcome;
+      Bytes wal_publication;
+      Bytes wal_table;
+      bool tagged = false;
       {
         MutexLock lock(mu_);
         if (tagged_pns_.count(m.pn)) {
+          tagged = true;
           pending_index_.emplace(m.pn, std::move(*pub));
           pending_payload_[m.pn] = std::move(m.payload);
-          outcome = TryFinishTagged(m.pn);
+          outcome = TryFinishTagged(m.pn, &wal_publication, &wal_table);
         } else {
+          if (wal_ != nullptr) wal_publication = m.payload;
           auto stats = server_->PublishIndexed(m.pn, std::move(*pub),
                                                std::move(m.payload));
           if (!stats.ok()) {
@@ -124,8 +188,20 @@ bool CloudNode::Handle(net::Message&& m) {
           }
         }
       }
+      // Durability point, outside mu_ (fsync can stall): the success ack
+      // is sent only after the install frame is committed.
+      if (outcome.has_value() && outcome->ok()) {
+        Status logged = LogInstall(m.pn, wal_publication, wal_table, tagged);
+        if (!logged.ok()) {
+          NoteError(logged);
+          outcome = logged;
+        }
+      }
       // Ack outside mu_: the push may block on a full ack mailbox.
-      if (outcome.has_value()) Ack(m.pn, *outcome);
+      if (outcome.has_value()) {
+        Ack(m.pn, *outcome);
+        if (outcome->ok()) NoteDurableInstall();
+      }
       return true;
     }
     case net::MessageType::kMatchingTable: {
@@ -136,12 +212,26 @@ bool CloudNode::Handle(net::Message&& m) {
         return true;
       }
       std::optional<Status> outcome;
+      Bytes wal_publication;
+      Bytes wal_table;
       {
         MutexLock lock(mu_);
         pending_table_.emplace(m.pn, std::move(*table));
-        outcome = TryFinishTagged(m.pn);
+        if (wal_ != nullptr) pending_table_payload_[m.pn] = std::move(m.payload);
+        outcome = TryFinishTagged(m.pn, &wal_publication, &wal_table);
       }
-      if (outcome.has_value()) Ack(m.pn, *outcome);
+      if (outcome.has_value() && outcome->ok()) {
+        Status logged =
+            LogInstall(m.pn, wal_publication, wal_table, /*tagged=*/true);
+        if (!logged.ok()) {
+          NoteError(logged);
+          outcome = logged;
+        }
+      }
+      if (outcome.has_value()) {
+        Ack(m.pn, *outcome);
+        if (outcome->ok()) NoteDurableInstall();
+      }
       return true;
     }
     case net::MessageType::kShutdown:

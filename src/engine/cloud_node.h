@@ -11,6 +11,9 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
+#include "durability/metrics.h"
+#include "durability/snapshot_manager.h"
+#include "durability/wal.h"
 #include "index/matching.h"
 #include "net/message.h"
 #include "net/node.h"
@@ -33,8 +36,23 @@ class CloudNode {
                      size_t mailbox_capacity = 8192);
 
   void Start() { node_.Start(); }
-  /// Stops accepting frames, drains the inbox and joins the thread.
+  /// Stops accepting frames, drains the inbox and joins the thread, then
+  /// commits any WAL tail so open-publication records survive a restart.
   void Shutdown();
+
+  /// Attaches a write-ahead log (and optionally a snapshot manager): every
+  /// mutation the server accepts is then logged, and a publication's
+  /// success ack is sent only after its install frame is durable per the
+  /// WAL's fsync policy — kPublicationAck means "will survive a crash".
+  /// Appends (and commits) a meta frame describing the server's binning so
+  /// a log with no snapshot still recovers. Must be called before Start();
+  /// `wal` and `snapshots` must outlive the node.
+  Status AttachDurability(durability::Wal* wal,
+                          durability::SnapshotManager* snapshots = nullptr);
+
+  /// Counters of the attached WAL / snapshot manager (zeros when no
+  /// durability is attached).
+  durability::DurabilityMetrics durability_metrics() const;
 
   const net::MailboxPtr& inbox() const { return node_.inbox(); }
 
@@ -57,14 +75,29 @@ class CloudNode {
   bool Handle(net::Message&& m) FRESQUE_EXCLUDES(mu_);
   void NoteError(const Status& st) FRESQUE_EXCLUDES(mu_);
   /// Attempts the deferred PINED-RQ++ publish; returns its outcome once
-  /// both halves (index + table) are present.
-  std::optional<Status> TryFinishTagged(uint64_t pn) FRESQUE_REQUIRES(mu_);
+  /// both halves (index + table) are present. On success, when a WAL is
+  /// attached, copies the verbatim publication / table payloads into the
+  /// out-params so the caller can log the install outside mu_.
+  std::optional<Status> TryFinishTagged(uint64_t pn, Bytes* wal_publication,
+                                        Bytes* wal_table)
+      FRESQUE_REQUIRES(mu_);
+  /// Appends the install frame and commits the WAL (durability point of a
+  /// publication). No-op without an attached WAL.
+  Status LogInstall(uint64_t pn, const Bytes& publication, const Bytes& table,
+                    bool tagged) FRESQUE_EXCLUDES(mu_);
+  /// Counts a durable install with the snapshot manager (which may decide
+  /// to write a snapshot now). No-op without one.
+  void NoteDurableInstall() FRESQUE_EXCLUDES(mu_);
   /// Pushes a kPublicationAck for `pn` if ack routing is configured.
   /// Takes mu_ only to snapshot the outbox: the (possibly blocking) push
   /// happens with no lock held.
   void Ack(uint64_t pn, const Status& st) FRESQUE_EXCLUDES(mu_);
 
   cloud::CloudServer* server_;
+  // Set once by AttachDurability before Start(); read by the handler
+  // thread afterwards (the Start() thread creation orders the write).
+  durability::Wal* wal_ = nullptr;
+  durability::SnapshotManager* snapshots_ = nullptr;
   mutable Mutex mu_;
   net::MailboxPtr ack_outbox_ FRESQUE_GUARDED_BY(mu_);
   Status first_error_ FRESQUE_GUARDED_BY(mu_);
@@ -76,6 +109,9 @@ class CloudNode {
   std::map<uint64_t, index::MatchingTable> pending_table_
       FRESQUE_GUARDED_BY(mu_);
   std::map<uint64_t, Bytes> pending_payload_ FRESQUE_GUARDED_BY(mu_);
+  /// Verbatim kMatchingTable payloads, kept until the paired install is
+  /// logged (the WAL's kInstallTagged frame carries both halves).
+  std::map<uint64_t, Bytes> pending_table_payload_ FRESQUE_GUARDED_BY(mu_);
   net::Node node_;
 };
 

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <string>
 
+#include "durability/wal.h"
 #include "record/dataset.h"
 
 namespace fresque {
@@ -48,6 +50,30 @@ struct CollectorConfig {
   /// Seed for all collector-side randomness; same seed => same noise,
   /// dummies and schedules (tests and reproducible experiments).
   uint64_t seed = 42;
+};
+
+/// Cloud-side durability settings (WAL + snapshots). Durability is off
+/// unless `data_dir` is set; with it, the cloud logs every accepted
+/// mutation and a publication's success ack implies the install survives
+/// a crash (per `fsync_policy`).
+struct DurabilityConfig {
+  /// Directory for WAL segments, snapshots and the MANIFEST. Empty
+  /// disables durability entirely.
+  std::string data_dir;
+
+  durability::FsyncPolicy fsync_policy = durability::FsyncPolicy::kAlways;
+
+  /// Minimum time between fsyncs under FsyncPolicy::kIntervalMs.
+  uint64_t fsync_interval_ms = 50;
+
+  /// Write a snapshot (and truncate the WAL) every N durable installs;
+  /// 0 never snapshots automatically.
+  size_t snapshot_every_installs = 8;
+
+  /// WAL segment rotation threshold in bytes.
+  size_t wal_segment_bytes = 16u << 20;
+
+  bool enabled() const { return !data_dir.empty(); }
 };
 
 }  // namespace engine

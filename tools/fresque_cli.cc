@@ -6,13 +6,25 @@
 //   fresque_cli query    <nasa|gowalla> <snapshot.bin> <lo> <hi> [key_hex]
 //   fresque_cli verify   <nasa|gowalla> <snapshot.bin> [key_hex]
 //   fresque_cli inspect  <snapshot.bin>
+//   fresque_cli wal-dump <data-dir>
+//   fresque_cli recover  <data-dir> [snapshot.bin]
 //
 // `ingest` runs the full FRESQUE collector over the file, publishing every
 // `interval_records` lines, then persists the cloud state; `query` and
 // `verify` operate on the persisted snapshot. The key (hex master secret,
 // default a fixed demo key) must match between ingest and query/verify.
+//
+// Durability flags (apply to `ingest`):
+//   --data-dir=<dir>      write-ahead log + snapshots live here; every
+//                         publication ack then implies the install is
+//                         durable, and `recover` rebuilds the store after
+//                         a crash
+//   --fsync=<policy>      always | interval | interval:<ms> | never
+//   --snapshot-every=<n>  snapshot + truncate the WAL every n installs
+//                         (0 = only the final snapshot)
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -21,7 +33,11 @@
 #include "cloud/server.h"
 #include "common/bytes.h"
 #include "crypto/key_manager.h"
+#include "durability/recovery.h"
+#include "durability/snapshot_manager.h"
+#include "durability/wal.h"
 #include "engine/cloud_node.h"
+#include "engine/config.h"
 #include "engine/fresque_collector.h"
 #include "record/dataset.h"
 
@@ -67,9 +83,20 @@ int CmdGenerate(const std::string& dataset, size_t count,
   return 0;
 }
 
+bool HasDurabilityState(const std::string& dir) {
+  if (std::filesystem::exists(dir + "/MANIFEST")) return true;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0) return true;
+  }
+  return false;
+}
+
 int CmdIngest(const std::string& dataset, const std::string& in_path,
               const std::string& snap_path, double epsilon, size_t nodes,
-              size_t interval, const std::string& key_hex) {
+              size_t interval, const std::string& key_hex,
+              const engine::DurabilityConfig& dur) {
   auto spec = SpecByName(dataset);
   if (!spec.ok()) return Fail(spec.status().ToString());
   std::ifstream in(in_path);
@@ -79,6 +106,35 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
       spec->domain_min, spec->domain_max, spec->bin_width);
   cloud::CloudServer server(std::move(binning).ValueOrDie());
   engine::CloudNode cloud_node(&server);
+
+  std::unique_ptr<durability::Wal> wal;
+  std::unique_ptr<durability::SnapshotManager> snapshots;
+  if (dur.enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dur.data_dir, ec);
+    if (HasDurabilityState(dur.data_dir)) {
+      return Fail("data dir " + dur.data_dir +
+                  " already holds durability state; run"
+                  " `fresque_cli recover` on it or pick a fresh directory");
+    }
+    durability::WalOptions wopts;
+    wopts.dir = dur.data_dir;
+    wopts.fsync_policy = dur.fsync_policy;
+    wopts.fsync_interval_ms = dur.fsync_interval_ms;
+    wopts.segment_bytes = dur.wal_segment_bytes;
+    auto opened = durability::Wal::Open(std::move(wopts));
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    wal = std::move(*opened);
+    durability::SnapshotOptions sopts;
+    sopts.dir = dur.data_dir;
+    sopts.snapshot_every_installs = dur.snapshot_every_installs;
+    snapshots = std::make_unique<durability::SnapshotManager>(
+        sopts, &server, wal.get());
+    if (auto st = cloud_node.AttachDurability(wal.get(), snapshots.get());
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
   cloud_node.Start();
 
   engine::CollectorConfig cfg;
@@ -124,6 +180,13 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
   if (auto st = server.SaveSnapshot(snap_path); !st.ok()) {
     return Fail(st.ToString());
   }
+  if (snapshots) {
+    // Converge the data dir: snapshot the final state (including the
+    // still-open interval's records) and truncate the covered WAL prefix.
+    if (auto st = snapshots->WriteSnapshot(); !st.ok()) {
+      return Fail("final durability snapshot: " + st.ToString());
+    }
+  }
   auto metrics = collector.Metrics();
   std::cout << "ingested " << total << " lines ("
             << collector.parse_errors() << " parse errors), published "
@@ -134,6 +197,16 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
             << metrics.codec_failures << ", pending "
             << metrics.pending_dropped << ", overflow "
             << metrics.overflow_drops << ")\n";
+  if (dur.enabled()) {
+    auto dm = cloud_node.durability_metrics();
+    std::cout << "durability: " << dm.wal_frames << " WAL frame(s), "
+              << dm.wal_bytes << " bytes, " << dm.wal_fsyncs << " fsync(s), "
+              << dm.wal_segments_created << " segment(s) ("
+              << dm.wal_segments_deleted << " truncated), "
+              << dm.snapshots_written << " snapshot(s) in " << dur.data_dir
+              << " [fsync=" << durability::FsyncPolicyToString(dur.fsync_policy)
+              << "]\n";
+  }
   return 0;
 }
 
@@ -193,23 +266,146 @@ int CmdInspect(const std::string& snap_path) {
   return 0;
 }
 
+int CmdWalDump(const std::string& data_dir) {
+  auto manifest = durability::ReadManifest(data_dir);
+  if (manifest.ok()) {
+    std::cout << "MANIFEST: snapshot="
+              << (manifest->snapshot_file.empty() ? "(none)"
+                                                  : manifest->snapshot_file)
+              << " wal_lsn=" << manifest->wal_lsn << "\n";
+  } else if (manifest.status().IsNotFound()) {
+    std::cout << "MANIFEST: (none)\n";
+  } else {
+    return Fail(manifest.status().ToString());
+  }
+
+  auto stats = durability::Wal::Replay(
+      data_dir, 0, [](const durability::Wal::Frame& f) -> Status {
+        std::cout << "  lsn " << f.lsn << "  "
+                  << durability::WalOpToString(f.op);
+        switch (f.op) {
+          case durability::WalOp::kMeta: {
+            auto m = durability::DecodeWalMeta(f.body);
+            if (!m.ok()) return m.status();
+            std::cout << "  domain [" << m->domain_min << ", "
+                      << m->domain_max << ") width " << m->bin_width;
+            break;
+          }
+          case durability::WalOp::kStart: {
+            auto pn = durability::DecodeWalStart(f.body);
+            if (!pn.ok()) return pn.status();
+            std::cout << "  pn " << *pn;
+            break;
+          }
+          case durability::WalOp::kRecordBatch: {
+            auto b = durability::DecodeWalRecordBatch(f.body);
+            if (!b.ok()) return b.status();
+            std::cout << "  pn " << b->pn << "  " << b->records.size()
+                      << " record(s)";
+            break;
+          }
+          case durability::WalOp::kTaggedBatch: {
+            auto b = durability::DecodeWalTaggedBatch(f.body);
+            if (!b.ok()) return b.status();
+            std::cout << "  pn " << b->pn << "  " << b->records.size()
+                      << " tagged record(s)";
+            break;
+          }
+          case durability::WalOp::kInstall:
+          case durability::WalOp::kInstallTagged: {
+            auto ins = durability::DecodeWalInstall(f.op, f.body);
+            if (!ins.ok()) return ins.status();
+            std::cout << "  pn " << ins->pn << "  publication "
+                      << ins->publication.size() << " B";
+            if (!ins->table.empty()) {
+              std::cout << "  table " << ins->table.size() << " B";
+            }
+            break;
+          }
+        }
+        std::cout << "\n";
+        return Status::OK();
+      });
+  if (!stats.ok()) return Fail(stats.status().ToString());
+  std::cout << stats->frames << " frame(s), last lsn " << stats->last_lsn;
+  if (stats->torn_tail) {
+    std::cout << " (torn tail: " << stats->torn_bytes << " bytes discarded)";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int CmdRecover(const std::string& data_dir, const std::string& out_snap) {
+  auto recovered = durability::RecoveryManager::Recover(data_dir);
+  if (!recovered.ok()) return Fail(recovered.status().ToString());
+  const auto& st = recovered->stats;
+  std::cout << "recovered " << recovered->server->num_publications()
+            << " publication(s), " << recovered->server->total_records()
+            << " record(s) in " << st.recovery_millis << " ms\n"
+            << "  snapshot: "
+            << (st.snapshot_loaded
+                    ? "loaded (lsn " + std::to_string(st.snapshot_lsn) + ")"
+                    : "none")
+            << "\n  WAL: " << st.frames_replayed << " frame(s) replayed ("
+            << st.records_replayed << " record(s), " << st.installs_replayed
+            << " install(s)), last lsn " << st.last_lsn << "\n";
+  if (st.torn_tail) {
+    std::cout << "  torn tail: " << st.torn_bytes
+              << " byte(s) of an in-flight frame discarded\n";
+  }
+  if (!out_snap.empty()) {
+    if (auto s = recovered->server->SaveSnapshot(out_snap); !s.ok()) {
+      return Fail(s.ToString());
+    }
+    std::cout << "  wrote " << out_snap << "\n";
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr
       << "usage:\n"
       << "  fresque_cli generate <nasa|gowalla> <count> <lines.txt>\n"
       << "  fresque_cli ingest <nasa|gowalla> <lines.txt> <snapshot.bin>"
          " [epsilon] [nodes] [interval] [key_hex]\n"
+      << "      [--data-dir=<dir>] [--fsync=always|interval[:<ms>]|never]"
+         " [--snapshot-every=<n>]\n"
       << "  fresque_cli query <nasa|gowalla> <snapshot.bin> <lo> <hi>"
          " [key_hex]\n"
       << "  fresque_cli verify <nasa|gowalla> <snapshot.bin> [key_hex]\n"
-      << "  fresque_cli inspect <snapshot.bin>\n";
+      << "  fresque_cli inspect <snapshot.bin>\n"
+      << "  fresque_cli wal-dump <data-dir>\n"
+      << "  fresque_cli recover <data-dir> [snapshot.bin]\n";
   return 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args;
+  fresque::engine::DurabilityConfig dur;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--data-dir=", 0) == 0) {
+      dur.data_dir = arg.substr(11);
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      auto policy =
+          fresque::durability::ParseFsyncPolicy(arg.substr(8),
+                                                &dur.fsync_interval_ms);
+      if (!policy.ok()) return Fail(policy.status().ToString());
+      dur.fsync_policy = *policy;
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      try {
+        dur.snapshot_every_installs = std::stoul(arg.substr(17));
+      } catch (const std::exception&) {
+        return Fail("bad --snapshot-every value: " + arg.substr(17));
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return Fail("unknown flag " + arg);
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
   if (args.empty()) return Usage();
   const std::string& cmd = args[0];
   try {
@@ -222,7 +418,13 @@ int main(int argc, char** argv) {
       size_t interval = args.size() > 6 ? std::stoul(args[6]) : 100000;
       std::string key = args.size() > 7 ? args[7] : kDefaultKeyHex;
       return CmdIngest(args[1], args[2], args[3], epsilon, nodes, interval,
-                       key);
+                       key, dur);
+    }
+    if (cmd == "wal-dump" && args.size() == 2) {
+      return CmdWalDump(args[1]);
+    }
+    if (cmd == "recover" && (args.size() == 2 || args.size() == 3)) {
+      return CmdRecover(args[1], args.size() == 3 ? args[2] : "");
     }
     if (cmd == "query" && args.size() >= 5) {
       std::string key = args.size() > 5 ? args[5] : kDefaultKeyHex;
