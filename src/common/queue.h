@@ -1,8 +1,10 @@
 #ifndef FRESQUE_COMMON_QUEUE_H_
 #define FRESQUE_COMMON_QUEUE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <utility>
 
@@ -39,6 +41,7 @@ class BoundedQueue {
         return false;
       }
       items_.push_back(std::move(item));
+      StampPushLocked();
       ++enqueued_;
       if (items_.size() > high_water_) high_water_ = items_.size();
     }
@@ -59,6 +62,7 @@ class BoundedQueue {
         return false;
       }
       items_.push_back(std::move(item));
+      StampPushLocked();
       ++enqueued_;
       if (items_.size() > high_water_) high_water_ = items_.size();
     }
@@ -75,6 +79,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
+      StampPopLocked();
     }
     not_full_.NotifyOne();
     return item;
@@ -88,6 +93,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
+      StampPopLocked();
     }
     not_full_.NotifyOne();
     return item;
@@ -148,12 +154,63 @@ class BoundedQueue {
     return high_water_;
   }
 
+  /// Attaches a time-in-queue observer: `hook(wait_ns)` fires on pop
+  /// with the nanoseconds the item spent enqueued (monotonic clock).
+  /// Systematically sampled — every `kWaitSampleStride`-th item is
+  /// stamped, the rest pay one deque op and no clock read — because the
+  /// clock reads sit inside the queue critical section, where on the
+  /// contended hops (k producers into the checking node) they would
+  /// serialize the whole pipeline. Arrivals are oblivious to the stride,
+  /// so the sampled waits are an unbiased draw of the distribution; only
+  /// hooks see the sampling, the queue's own accounting stays exact.
+  /// Existing callers with no hook attached pay nothing. Items already
+  /// enqueued are stamped "now", so their reported wait starts at attach
+  /// time. The hook runs under the queue lock: keep it cheap and
+  /// lock-free (a relaxed-atomic histogram record is fine), and never
+  /// touch this queue from inside it. Passing nullptr detaches.
+  static constexpr uint64_t kWaitSampleStride = 64;
+
+  void SetWaitHook(std::function<void(int64_t)> hook) FRESQUE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    wait_hook_ = std::move(hook);
+    stamps_.clear();
+    if (wait_hook_) stamps_.assign(items_.size(), NowNs());
+  }
+
  private:
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void StampPushLocked() FRESQUE_REQUIRES(mu_) {
+    if (wait_hook_) {
+      // 0 marks an unsampled item (a real stamp is never 0 on a
+      // monotonic clock that started in the past).
+      stamps_.push_back(stamp_round_robin_++ % kWaitSampleStride == 0
+                            ? NowNs()
+                            : 0);
+    }
+  }
+
+  void StampPopLocked() FRESQUE_REQUIRES(mu_) {
+    if (wait_hook_ && !stamps_.empty()) {
+      const int64_t stamp = stamps_.front();
+      stamps_.pop_front();
+      if (stamp != 0) wait_hook_(NowNs() - stamp);
+    }
+  }
+
   const size_t capacity_;
   mutable Mutex mu_;
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ FRESQUE_GUARDED_BY(mu_);
+  /// Parallel enqueue stamps; non-empty only while a wait hook is set.
+  std::deque<int64_t> stamps_ FRESQUE_GUARDED_BY(mu_);
+  std::function<void(int64_t)> wait_hook_ FRESQUE_GUARDED_BY(mu_);
+  uint64_t stamp_round_robin_ FRESQUE_GUARDED_BY(mu_) = 0;
   uint64_t enqueued_ FRESQUE_GUARDED_BY(mu_) = 0;
   uint64_t rejected_full_ FRESQUE_GUARDED_BY(mu_) = 0;
   uint64_t rejected_closed_ FRESQUE_GUARDED_BY(mu_) = 0;

@@ -7,6 +7,7 @@
 namespace fresque {
 
 void RunningStats::Add(double x) {
+  owner_.AssertOwned();
   if (count_ == 0) {
     min_ = x;
     max_ = x;
@@ -53,6 +54,7 @@ FixedHistogram::FixedHistogram(double lo, double hi, size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
 
 void FixedHistogram::Add(double x) {
+  owner_.AssertOwned();
   double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   long idx = width > 0 ? static_cast<long>((x - lo_) / width) : 0;
   idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);

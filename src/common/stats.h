@@ -1,18 +1,64 @@
 #ifndef FRESQUE_COMMON_STATS_H_
 #define FRESQUE_COMMON_STATS_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace fresque {
+
+/// Debug-build proof of the "owned by one thread" contract below: the
+/// first mutating call claims the instance for the calling thread, and
+/// any later mutation from a different thread fires an assert. Compiles
+/// away entirely under NDEBUG (release), so the accumulators stay free of
+/// synchronization cost. For state that genuinely crosses threads, don't
+/// silence the assert — wrap with fresque::Mutex and FRESQUE_GUARDED_BY
+/// (common/mutex.h, common/thread_annotations.h) or use the lock-free
+/// telemetry registry (telemetry/metrics.h) instead.
+class ThreadOwnershipChecker {
+ public:
+#ifndef NDEBUG
+  ThreadOwnershipChecker() = default;
+  /// Copies and moves start unclaimed: the destination is a fresh
+  /// accumulator owned by whichever thread mutates it next.
+  ThreadOwnershipChecker(const ThreadOwnershipChecker&) {}
+  ThreadOwnershipChecker& operator=(const ThreadOwnershipChecker&) {
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    return *this;
+  }
+
+  void AssertOwned() {
+    std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // unclaimed
+    if (!owner_.compare_exchange_strong(expected, self,
+                                        std::memory_order_relaxed) &&
+        expected != self) {
+      assert(false &&
+             "single-thread accumulator mutated from a second thread; "
+             "wrap it with a Mutex (see common/stats.h)");
+    }
+  }
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+#else
+  void AssertOwned() {}
+#endif
+};
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 ///
 /// Thread-compatibility (applies to every class in this header):
 /// unsynchronized by design — these are benchmark/report accumulators
-/// owned by one thread; wrap with a fresque::Mutex if ever shared.
+/// owned by one thread; wrap with a fresque::Mutex if ever shared. Debug
+/// builds enforce the single-owner contract via ThreadOwnershipChecker;
+/// every current user (sim/pipeline.cc, the dp/common/randomer tests) is
+/// single-threaded, and nothing in this header crosses threads after the
+/// telemetry wiring (cross-thread latency lives in telemetry::Histogram).
 class RunningStats {
  public:
   void Add(double x);
@@ -27,6 +73,7 @@ class RunningStats {
   double sum() const { return sum_; }
 
  private:
+  ThreadOwnershipChecker owner_;
   size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
@@ -40,6 +87,7 @@ class RunningStats {
 class LatencyRecorder {
  public:
   void Add(double x) {
+    owner_.AssertOwned();
     samples_.push_back(x);
     sorted_ = false;
   }
@@ -49,6 +97,7 @@ class LatencyRecorder {
   double Mean() const;
 
  private:
+  ThreadOwnershipChecker owner_;
   std::vector<double> samples_;
   bool sorted_ = false;
 };
@@ -74,6 +123,7 @@ class FixedHistogram {
   std::string ToString() const;
 
  private:
+  ThreadOwnershipChecker owner_;
   double lo_;
   double hi_;
   std::vector<uint64_t> counts_;

@@ -35,6 +35,13 @@ struct DurabilityMetrics {
   double recovery_millis = 0;
 };
 
+/// Publishes a DurabilityMetrics snapshot into the process-wide telemetry
+/// registry as gauges under "wal.*" / "snapshot.*" / "recovery.*", next
+/// to the native wal.fsync_ns / wal.commit_ns / snapshot.write_ns
+/// histograms the hot path records directly. No-op when built with
+/// FRESQUE_TELEMETRY=OFF.
+void ExportToRegistry(const DurabilityMetrics& m);
+
 }  // namespace durability
 }  // namespace fresque
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "durability/io.h"
+#include "telemetry/telemetry.h"
 
 namespace fresque {
 namespace durability {
@@ -90,6 +91,8 @@ Status SnapshotManager::WriteSnapshot() {
 }
 
 Status SnapshotManager::WriteSnapshotLocked() {
+  FRESQUE_TRACE_SPAN("snapshot");
+  const int64_t write_start = FRESQUE_TELEMETRY_NOW_NS();
   Stopwatch watch(opts_.clock);
   // Everything appended so far is applied (appender == snapshotter
   // thread); flush it so the manifest's LSN is never ahead of the log.
@@ -129,6 +132,8 @@ Status SnapshotManager::WriteSnapshotLocked() {
   installs_since_snapshot_ = 0;
   ++snapshots_written_;
   last_snapshot_millis_ = watch.ElapsedMillis();
+  FRESQUE_HISTOGRAM_RECORD("snapshot.write_ns",
+                           FRESQUE_TELEMETRY_NOW_NS() - write_start);
   return Status::OK();
 }
 

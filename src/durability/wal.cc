@@ -41,6 +41,7 @@
 
 #include "durability/crc32.h"
 #include "durability/io.h"
+#include "telemetry/telemetry.h"
 
 namespace fresque {
 namespace durability {
@@ -616,7 +617,13 @@ Status Wal::FsyncLocked(bool force) {
   }
   if (!due) return Status::OK();
   if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
-  if (::fsync(fd_) != 0) return Errno("fsync", segments_.back().path);
+  {
+    FRESQUE_TRACE_SPAN("wal.fsync");
+    const int64_t fsync_start = FRESQUE_TELEMETRY_NOW_NS();
+    if (::fsync(fd_) != 0) return Errno("fsync", segments_.back().path);
+    FRESQUE_HISTOGRAM_RECORD("wal.fsync_ns",
+                             FRESQUE_TELEMETRY_NOW_NS() - fsync_start);
+  }
   ++fsyncs_;
   last_fsync_nanos_ = opts_.clock->NowNanos();
   return Status::OK();
@@ -624,9 +631,13 @@ Status Wal::FsyncLocked(bool force) {
 
 Status Wal::Commit() {
   MutexLock lock(mu_);
+  const int64_t commit_start = FRESQUE_TELEMETRY_NOW_NS();
   FRESQUE_RETURN_NOT_OK(SealAllBatchesLocked());
   FRESQUE_RETURN_NOT_OK(WriteStageLocked());
-  return FsyncLocked(false);
+  FRESQUE_RETURN_NOT_OK(FsyncLocked(false));
+  FRESQUE_HISTOGRAM_RECORD("wal.commit_ns",
+                           FRESQUE_TELEMETRY_NOW_NS() - commit_start);
+  return Status::OK();
 }
 
 Status Wal::Flush() {

@@ -1,6 +1,7 @@
 #include "engine/cloud_node.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace fresque {
 namespace engine {
@@ -142,6 +143,18 @@ bool CloudNode::Handle(net::Message&& m) {
         st = wal_->AppendRecord(m.pn, static_cast<uint32_t>(m.leaf),
                                 m.payload);
       }
+      if (st.ok()) {
+        FRESQUE_COUNTER_ADD("cloud.records_in", 1);
+        // End of the record's pipeline: dispatcher stamp -> parse ->
+        // check/randomer -> cloud ingest (+ WAL stage).
+        if (m.born_ns != 0) {
+          FRESQUE_HISTOGRAM_RECORD(
+              "pipeline.record_e2e_ns",
+              FRESQUE_TELEMETRY_NOW_NS() - m.born_ns);
+        }
+      } else {
+        FRESQUE_COUNTER_ADD("cloud.records_rejected", 1);
+      }
       NoteError(st);
       return true;
     }
@@ -154,10 +167,21 @@ bool CloudNode::Handle(net::Message&& m) {
       if (st.ok() && wal_ != nullptr) {
         st = wal_->AppendTagged(m.pn, m.leaf, m.payload);
       }
+      if (st.ok()) {
+        FRESQUE_COUNTER_ADD("cloud.records_in", 1);
+        if (m.born_ns != 0) {
+          FRESQUE_HISTOGRAM_RECORD(
+              "pipeline.record_e2e_ns",
+              FRESQUE_TELEMETRY_NOW_NS() - m.born_ns);
+        }
+      } else {
+        FRESQUE_COUNTER_ADD("cloud.records_rejected", 1);
+      }
       NoteError(st);
       return true;
     }
     case net::MessageType::kIndexPublication: {
+      FRESQUE_TRACE_SPAN("matching");
       auto pub = net::DecodeIndexPublication(m.payload);
       if (!pub.ok()) {
         NoteError(pub.status());
@@ -199,12 +223,25 @@ bool CloudNode::Handle(net::Message&& m) {
       }
       // Ack outside mu_: the push may block on a full ack mailbox.
       if (outcome.has_value()) {
+        if (outcome->ok()) {
+          FRESQUE_COUNTER_ADD("cloud.publications_installed", 1);
+          // Publish-barrier stamp -> flush -> merge -> install + WAL
+          // commit: the paper's "publication latency".
+          if (m.born_ns != 0) {
+            FRESQUE_HISTOGRAM_RECORD(
+                "pipeline.publish_e2e_ns",
+                FRESQUE_TELEMETRY_NOW_NS() - m.born_ns);
+          }
+        } else {
+          FRESQUE_COUNTER_ADD("cloud.publications_failed", 1);
+        }
         Ack(m.pn, *outcome);
         if (outcome->ok()) NoteDurableInstall();
       }
       return true;
     }
     case net::MessageType::kMatchingTable: {
+      FRESQUE_TRACE_SPAN("matching");
       auto table = net::DecodeMatchingTable(m.payload);
       if (!table.ok()) {
         NoteError(table.status());
@@ -229,6 +266,11 @@ bool CloudNode::Handle(net::Message&& m) {
         }
       }
       if (outcome.has_value()) {
+        if (outcome->ok()) {
+          FRESQUE_COUNTER_ADD("cloud.publications_installed", 1);
+        } else {
+          FRESQUE_COUNTER_ADD("cloud.publications_failed", 1);
+        }
         Ack(m.pn, *outcome);
         if (outcome->ok()) NoteDurableInstall();
       }

@@ -8,6 +8,7 @@
 #include "index/index.h"
 #include "index/overflow.h"
 #include "net/payloads.h"
+#include "telemetry/telemetry.h"
 
 namespace fresque {
 namespace engine {
@@ -159,14 +160,19 @@ void ComputingNodeImpl::HandleLine(net::Message&& m) {
   net::Message out;
   out.type = net::MessageType::kTaggedRecord;
   out.pn = m.pn;
+  out.born_ns = m.born_ns;  // pipeline-entry stamp rides to the cloud
 
   if (m.dummy) {
     out.dummy = true;
     out.leaf = m.leaf;
-    auto ct = codec->EncryptDummy(config_.dummy_padding_len);
+    auto ct = [&] {
+      FRESQUE_TRACE_SPAN("encrypt");
+      return codec->EncryptDummy(config_.dummy_padding_len);
+    }();
     if (!ct.ok()) {
       FRESQUE_LOG(Warn) << "dummy encrypt failed: " << ct.status().ToString();
       codec_failures_.fetch_add(1, std::memory_order_relaxed);
+      FRESQUE_COUNTER_ADD("collector.codec_failures", 1);
       return;
     }
     out.payload = std::move(*ct);
@@ -176,24 +182,33 @@ void ComputingNodeImpl::HandleLine(net::Message&& m) {
 
   std::string_view line(reinterpret_cast<const char*>(m.payload.data()),
                         m.payload.size());
-  auto rec = config_.dataset.parser->Parse(line);
+  auto rec = [&] {
+    FRESQUE_TRACE_SPAN("parse");
+    return config_.dataset.parser->Parse(line);
+  }();
   if (!rec.ok()) {
     parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("collector.parse_errors", 1);
     return;
   }
-  auto v = rec->IndexedValue(config_.dataset.parser->schema());
-  if (!v.ok()) {
-    parse_errors_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  auto leaf = binning_.LeafOffsetChecked(*v);
+  auto leaf = [&]() -> Result<size_t> {
+    FRESQUE_TRACE_SPAN("offset");
+    auto v = rec->IndexedValue(config_.dataset.parser->schema());
+    if (!v.ok()) return v.status();
+    return binning_.LeafOffsetChecked(*v);
+  }();
   if (!leaf.ok()) {
     parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("collector.parse_errors", 1);
     return;
   }
-  auto ct = codec->EncryptRecord(*rec);
+  auto ct = [&] {
+    FRESQUE_TRACE_SPAN("encrypt");
+    return codec->EncryptRecord(*rec);
+  }();
   if (!ct.ok()) {
     codec_failures_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("collector.codec_failures", 1);
     return;
   }
   out.leaf = *leaf;
@@ -240,7 +255,7 @@ bool CheckingNodeImpl::Handle(net::Message&& m) {
       HandleRecord(std::move(m));
       return true;
     case net::MessageType::kPublish:
-      HandlePublish(m.pn);
+      HandlePublish(std::move(m));
       return true;
     case net::MessageType::kShutdown:
       if (++shutdown_votes_ < config_.num_computing_nodes) return true;
@@ -292,6 +307,7 @@ void CheckingNodeImpl::HandleTemplate(net::Message&& m) {
 }
 
 void CheckingNodeImpl::HandleRecord(net::Message&& m) {
+  FRESQUE_TRACE_SPAN("check");
   auto it = states_.find(m.pn);
   if (it == states_.end()) {
     // Template still in flight on the dispatcher->checking link;
@@ -300,6 +316,7 @@ void CheckingNodeImpl::HandleRecord(net::Message&& m) {
     auto& pending = pending_[m.pn];
     if (pending.size() >= config_.max_pending_per_publication) {
       pending_dropped_.fetch_add(1, std::memory_order_relaxed);
+      FRESQUE_COUNTER_ADD("collector.pending_dropped", 1);
       FRESQUE_LOG(Error) << "dropping record for publication " << m.pn
                          << ": no template after "
                          << config_.max_pending_per_publication << " records";
@@ -325,6 +342,11 @@ void CheckingNodeImpl::Dispatch(IntervalState& state, net::Message&& m) {
   }
   auto decision = state.leaves.Admit(static_cast<size_t>(m.leaf));
   if (decision == index::LeafArrays::Decision::kRemove) {
+    // Leaves the per-record cloud path here: the merger folds removed
+    // records into the publication's overflow arrays instead. The counter
+    // keeps the record-conservation ledger balanced (ingest.records_in +
+    // ingest.dummy_records == cloud arrivals + drops + removals).
+    FRESQUE_COUNTER_ADD("collector.records_removed", 1);
     m.type = net::MessageType::kRemovedRecord;
     merger_->Push(std::move(m));
     return;
@@ -333,7 +355,8 @@ void CheckingNodeImpl::Dispatch(IntervalState& state, net::Message&& m) {
   cloud_->Push(std::move(m));
 }
 
-void CheckingNodeImpl::HandlePublish(uint64_t pn) {
+void CheckingNodeImpl::HandlePublish(net::Message&& m) {
+  const uint64_t pn = m.pn;
   // Votes are counted independently of interval state: a lost or
   // undecodable template must not wedge the barrier for its publication.
   size_t votes = ++publish_votes_[pn];
@@ -348,14 +371,17 @@ void CheckingNodeImpl::HandlePublish(uint64_t pn) {
   } else {
     // All computing nodes flushed publication `pn`: release the buffer,
     // snapshot AL, hand both downstream.
+    FRESQUE_TRACE_SPAN("check.flush");
+    const int64_t flush_start = FRESQUE_TELEMETRY_NOW_NS();
     Stopwatch watch;
     auto& state = it->second;
-    for (auto& m : state.randomer.Flush()) {
-      Dispatch(state, std::move(m));
+    for (auto& r : state.randomer.Flush()) {
+      Dispatch(state, std::move(r));
     }
     net::Message snap;
     snap.type = net::MessageType::kAlSnapshot;
     snap.pn = pn;
+    snap.born_ns = m.born_ns;  // publish-barrier stamp rides to the merger
     snap.payload = net::EncodeAlSnapshot(state.leaves.al_snapshot());
     merger_->Push(std::move(snap));
 
@@ -363,6 +389,8 @@ void CheckingNodeImpl::HandlePublish(uint64_t pn) {
                        static_cast<uint64_t>(state.leaves.TotalReal()));
     states_.erase(it);
     publications_flushed_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_HISTOGRAM_RECORD("checking.flush_ns",
+                             FRESQUE_TELEMETRY_NOW_NS() - flush_start);
   }
   EvictStalePending(pn);
 }
@@ -387,6 +415,7 @@ void CheckingNodeImpl::EvictStalePending(uint64_t closed_pn) {
                        << " buffered records of publication " << it->first
                        << ": template never arrived";
     pending_dropped_.fetch_add(it->second.size(), std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("collector.pending_dropped", it->second.size());
     it = pending_.erase(it);
   }
 }
@@ -453,6 +482,8 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
     return;
   }
 
+  FRESQUE_TRACE_SPAN("merge");
+  const int64_t build_start = FRESQUE_TELEMETRY_NOW_NS();
   Stopwatch watch;
   auto& pending = it->second;
 
@@ -511,9 +542,13 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
   net::Message out;
   out.type = net::MessageType::kIndexPublication;
   out.pn = snap.pn;
+  out.born_ns = snap.born_ns;  // publish-barrier stamp rides to the cloud
   out.payload = net::EncodeIndexPublication(publication);
   cloud_->Push(std::move(out));
   publications_shipped_.fetch_add(1, std::memory_order_relaxed);
+  FRESQUE_COUNTER_ADD("collector.publications_shipped", 1);
+  FRESQUE_HISTOGRAM_RECORD("merger.build_ns",
+                           FRESQUE_TELEMETRY_NOW_NS() - build_start);
 
   reports_->Merger(snap.pn, watch.ElapsedMillis(),
                    static_cast<uint64_t>(pending.removed.size()));
@@ -538,6 +573,7 @@ DispatcherState::DispatcherState(const CollectorConfig& config,
       reports_(reports) {}
 
 Status DispatcherState::OpenInterval(uint64_t pn) {
+  FRESQUE_TRACE_SPAN("open_interval");
   Stopwatch watch;
   auto tmpl = index::IndexTemplate::Create(binning_, config_.fanout,
                                            config_.epsilon, &rng_);

@@ -176,7 +176,7 @@ class CheckingNodeImpl {
   void HandleTemplate(net::Message&& m);
   void HandleRecord(net::Message&& m);
   void Dispatch(IntervalState& state, net::Message&& m);
-  void HandlePublish(uint64_t pn);
+  void HandlePublish(net::Message&& m);
   void FailPublication(uint64_t pn, const std::string& reason);
   void EvictStalePending(uint64_t closed_pn);
 

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "engine/collector_nodes.h"
 #include "index/binning.h"
+#include "telemetry/telemetry.h"
 
 namespace fresque {
 namespace engine {
@@ -92,6 +93,7 @@ Status FresqueCollector::Ingest(std::string_view line) {
   if (!started_ || shut_down_) {
     return Status::FailedPrecondition("collector not running");
   }
+  const int64_t now_ns = FRESQUE_TELEMETRY_NOW_NS();
   // Release dummies whose scheduled point has passed.
   if (auto* sched = dispatcher_->schedule()) {
     for (uint32_t leaf : sched->Due(dispatcher_->progress())) {
@@ -100,15 +102,19 @@ Status FresqueCollector::Ingest(std::string_view line) {
       d.pn = pn_;
       d.leaf = leaf;
       d.dummy = true;
+      d.born_ns = now_ns;
       computing_[rr_++ % computing_.size()]->inbox()->Push(std::move(d));
+      FRESQUE_COUNTER_ADD("ingest.dummy_records", 1);
     }
   }
   net::Message m;
   m.type = net::MessageType::kRawLine;
   m.pn = pn_;
+  m.born_ns = now_ns;
   m.payload.assign(line.begin(), line.end());
   computing_[rr_++ % computing_.size()]->inbox()->Push(std::move(m));
   ++open_interval_lines_;
+  FRESQUE_COUNTER_ADD("ingest.records_in", 1);
   return Status::OK();
 }
 
@@ -117,6 +123,8 @@ void FresqueCollector::SetIntervalProgress(double fraction) {
 }
 
 void FresqueCollector::PublishCurrentInterval() {
+  FRESQUE_TRACE_SPAN("publish");
+  const int64_t now_ns = FRESQUE_TELEMETRY_NOW_NS();
   Stopwatch watch;
   // Flush unreleased dummies, then the publish barrier, one per CN.
   if (auto* sched = dispatcher_->schedule()) {
@@ -126,13 +134,18 @@ void FresqueCollector::PublishCurrentInterval() {
       d.pn = pn_;
       d.leaf = leaf;
       d.dummy = true;
+      d.born_ns = now_ns;
       computing_[rr_++ % computing_.size()]->inbox()->Push(std::move(d));
+      FRESQUE_COUNTER_ADD("ingest.dummy_records", 1);
     }
   }
   for (auto& cn : computing_) {
     net::Message p;
     p.type = net::MessageType::kPublish;
     p.pn = pn_;
+    // Stamps the barrier so the cloud can histogram publish-initiation ->
+    // install latency (pipeline.publish_e2e_ns).
+    p.born_ns = now_ns;
     cn->inbox()->Push(std::move(p));
   }
   reports_->DispatcherPublish(pn_, watch.ElapsedMillis());

@@ -45,6 +45,7 @@ Bytes Message::Serialize() const {
   w.PutU64(pn);
   w.PutU64(leaf);
   w.PutU8(dummy ? 1 : 0);
+  w.PutU64(static_cast<uint64_t>(born_ns));
   w.PutBytes(payload);
   return w.Release();
 }
@@ -55,8 +56,10 @@ Result<Message> Message::Deserialize(const Bytes& data) {
   auto pn = r.GetU64();
   auto leaf = r.GetU64();
   auto dummy = r.GetU8();
+  auto born = r.GetU64();
   auto payload = r.GetBytes();
-  if (!type.ok() || !pn.ok() || !leaf.ok() || !dummy.ok() || !payload.ok()) {
+  if (!type.ok() || !pn.ok() || !leaf.ok() || !dummy.ok() || !born.ok() ||
+      !payload.ok()) {
     return Status::Corruption("truncated message frame");
   }
   if (*type > static_cast<uint8_t>(MessageType::kPublicationAck)) {
@@ -68,6 +71,7 @@ Result<Message> Message::Deserialize(const Bytes& data) {
   m.pn = *pn;
   m.leaf = *leaf;
   m.dummy = *dummy != 0;
+  m.born_ns = static_cast<int64_t>(*born);
   m.payload = std::move(*payload);
   return m;
 }

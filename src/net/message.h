@@ -65,6 +65,13 @@ struct Message {
   /// Collector-private dummy marker (paper's "special flag"); never set on
   /// frames addressed to the cloud.
   bool dummy = false;
+  /// Monotonic (steady_clock) nanosecond stamp set when the frame's
+  /// payload entered the pipeline, carried end-to-end so the final
+  /// consumer can histogram true arrival→install latency. 0 = unstamped.
+  /// Monotonic clocks are per-process, so the stamp is only meaningful
+  /// within the process that set it (the in-process pipeline; across TCP
+  /// it still measures bytes+frames but not latency).
+  int64_t born_ns = 0;
   Bytes payload;
 
   /// Wire encoding; used by tests and by the frame-counting transports.

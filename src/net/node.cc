@@ -1,5 +1,12 @@
 #include "net/node.h"
 
+#include "telemetry/telemetry.h"
+
+#if FRESQUE_TELEMETRY_ENABLED
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#endif
+
 namespace fresque {
 namespace net {
 
@@ -7,7 +14,16 @@ Node::Node(std::string name, MailboxPtr inbox,
            std::function<bool(Message&&)> handler)
     : name_(std::move(name)),
       inbox_(std::move(inbox)),
-      handler_(std::move(handler)) {}
+      handler_(std::move(handler)) {
+#if FRESQUE_TELEMETRY_ENABLED
+  // Per-node time-in-queue histogram: "queue.cn0.wait_ns" etc. The hook
+  // only records a relaxed-atomic sample, as the queue contract requires.
+  telemetry::Histogram* wait =
+      telemetry::Registry::Global()->GetHistogram("queue." + name_ +
+                                                  ".wait_ns");
+  inbox_->SetWaitHook([wait](int64_t ns) { wait->RecordNanos(ns); });
+#endif
+}
 
 Node::~Node() {
   Stop();
@@ -22,6 +38,9 @@ void Node::Start() {
 }
 
 void Node::Loop() {
+#if FRESQUE_TELEMETRY_ENABLED
+  telemetry::Tracer::Global()->SetCurrentThreadName(name_);
+#endif
   for (;;) {
     auto msg = inbox_->Pop();
     if (!msg.has_value()) break;  // closed and drained

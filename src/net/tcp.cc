@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "telemetry/telemetry.h"
 
 namespace fresque {
 namespace net {
@@ -85,7 +86,10 @@ Status TcpConnection::Send(const Message& m) {
   uint32_t len = static_cast<uint32_t>(frame.size());
   for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
   FRESQUE_RETURN_NOT_OK(WriteAll(header, 4));
-  return WriteAll(frame.data(), frame.size());
+  FRESQUE_RETURN_NOT_OK(WriteAll(frame.data(), frame.size()));
+  FRESQUE_COUNTER_ADD("net.tcp.frames_sent", 1);
+  FRESQUE_COUNTER_ADD("net.tcp.bytes_sent", 4 + frame.size());
+  return Status::OK();
 }
 
 Result<Message> TcpConnection::Receive() {
@@ -99,6 +103,8 @@ Result<Message> TcpConnection::Receive() {
   }
   Bytes frame(len);
   FRESQUE_RETURN_NOT_OK(ReadAll(frame.data(), frame.size()));
+  FRESQUE_COUNTER_ADD("net.tcp.frames_received", 1);
+  FRESQUE_COUNTER_ADD("net.tcp.bytes_received", 4 + frame.size());
   return Message::Deserialize(frame);
 }
 

@@ -1,0 +1,175 @@
+#include "telemetry/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fresque {
+namespace telemetry {
+
+namespace {
+
+/// Small dense thread id (the value of a std::thread::id is opaque and
+/// unordered; Chrome trace wants small integers).
+uint64_t CurrentTid() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+struct ThreadCache {
+  uint64_t generation = 0;
+  TraceBuffer* buffer = nullptr;
+};
+
+ThreadCache& LocalCache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+void JsonEscapeInto(const std::string& s, std::ostringstream& out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+Tracer* Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: lives past exit
+  return tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  {
+    MutexLock lock(mu_);
+    capacity_ = capacity > 0 ? capacity : 1;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  const uint64_t tid = CurrentTid();
+  MutexLock lock(mu_);
+  for (auto& [id, n] : thread_names_) {
+    if (id == tid) {
+      n = name;
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, name);
+}
+
+TraceBuffer* Tracer::CurrentThreadBuffer() {
+  ThreadCache& cache = LocalCache();
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (cache.buffer != nullptr && cache.generation == gen) {
+    return cache.buffer;
+  }
+  const uint64_t tid = CurrentTid();
+  MutexLock lock(mu_);
+  std::string name = "thread-" + std::to_string(tid);
+  for (const auto& [id, n] : thread_names_) {
+    if (id == tid) name = n;
+  }
+  buffers_.push_back(std::make_unique<TraceBuffer>(std::move(name), capacity_));
+  cache.buffer = buffers_.back().get();
+  cache.generation = gen;
+  return cache.buffer;
+}
+
+void Tracer::Record(const char* name, int64_t start_ns, int64_t duration_ns) {
+  if (!enabled()) return;
+  CurrentThreadBuffer()->Record(name, start_ns, duration_ns);
+}
+
+TracerStats Tracer::GetStats() const {
+  MutexLock lock(mu_);
+  TracerStats stats;
+  stats.threads = buffers_.size();
+  for (const auto& buf : buffers_) {
+    stats.recorded += buf->recorded();
+    stats.dropped += buf->dropped();
+    stats.retained += buf->recorded() - buf->dropped();
+  }
+  return stats;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  MutexLock lock(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    out << (first ? "\n" : ",\n") << event;
+    first = false;
+  };
+  for (size_t t = 0; t < buffers_.size(); ++t) {
+    const TraceBuffer& buf = *buffers_[t];
+    const uint64_t tid = t + 1;
+    {
+      std::ostringstream meta;
+      meta << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+              "\"tid\": "
+           << tid << ", \"args\": {\"name\": \"";
+      JsonEscapeInto(buf.thread_name(), meta);
+      meta << "\"}}";
+      emit(meta.str());
+    }
+    const uint64_t recorded = buf.recorded();
+    const size_t n =
+        recorded < buf.capacity() ? static_cast<size_t>(recorded)
+                                  : buf.capacity();
+    for (size_t i = 0; i < n; ++i) {
+      const TraceSlot& slot = buf.slot(i);
+      const char* name = slot.name.load(std::memory_order_relaxed);
+      if (name == nullptr) continue;
+      const int64_t start =
+          slot.start_ns.load(std::memory_order_relaxed);
+      const int64_t dur =
+          slot.duration_ns.load(std::memory_order_relaxed);
+      std::ostringstream ev;
+      // Chrome trace timestamps are microseconds (doubles are fine).
+      ev << "{\"name\": \"" << name
+         << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+         << ", \"ts\": " << static_cast<double>(start) / 1000.0
+         << ", \"dur\": " << static_cast<double>(dur) / 1000.0 << "}";
+      emit(ev.str());
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string body = ToChromeTraceJson();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp);
+    out << body;
+    if (!out.good()) return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::ResetForTest() {
+  enabled_.store(false, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  buffers_.clear();
+  thread_names_.clear();
+  // Release pairs with the acquire in CurrentThreadBuffer: a thread that
+  // sees the new generation also sees the cleared buffer list.
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace telemetry
+}  // namespace fresque

@@ -13,6 +13,8 @@
 #include "engine/fresque_collector.h"
 #include "index/binning.h"
 #include "record/dataset.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace fresque {
 namespace {
@@ -236,6 +238,79 @@ TEST(FresqueCollectorTest, ZeroComputingNodesRejected) {
   engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
   EXPECT_FALSE(collector.Start().ok());
 }
+
+#if FRESQUE_TELEMETRY_ENABLED
+// Record conservation across the whole pipeline, as seen by the metrics
+// registry: after a full drain, every ingested frame (real or dummy) must
+// be accounted for — accepted by the cloud, rejected by the cloud, or
+// dropped at a named pipeline stage. A leak on either side of the ledger
+// means a counter is missing or a record vanished silently.
+TEST(TelemetryInvariantsTest, RecordCountersConserveAcrossPipeline) {
+  telemetry::Registry::Global()->ResetForTest();
+
+  auto spec = record::NasaDataset();
+  ASSERT_TRUE(spec.ok());
+  auto cfg = MakeConfig(*spec, 3);
+
+  cloud::CloudServer server(BinningOf(*spec));
+  engine::CloudNode cloud_node(&server);
+  cloud_node.Start();
+
+  crypto::KeyManager keys(Bytes(32, 0x55));
+  engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
+  ASSERT_TRUE(collector.Start().ok());
+
+  auto gen = record::MakeGenerator(*spec, 4242);
+  ASSERT_TRUE(gen.ok());
+  constexpr size_t kRecords = 2000;
+  constexpr size_t kIntervals = 2;
+  for (size_t interval = 0; interval < kIntervals; ++interval) {
+    for (size_t i = 0; i < kRecords; ++i) {
+      collector.SetIntervalProgress(static_cast<double>(i) / kRecords);
+      ASSERT_TRUE(collector.Ingest((*gen)->NextLine()).ok());
+    }
+    ASSERT_TRUE(collector.Publish().ok());
+  }
+  ASSERT_TRUE(collector.Shutdown().ok());
+  cloud_node.Shutdown();
+  ASSERT_TRUE(cloud_node.first_error().ok())
+      << cloud_node.first_error().ToString();
+
+  telemetry::MetricsSnapshot snap =
+      telemetry::Registry::Global()->Snapshot();
+  auto counter = [&snap](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+
+  const uint64_t in = counter("ingest.records_in");
+  const uint64_t dummies = counter("ingest.dummy_records");
+  const uint64_t arrived = counter("cloud.records_in");
+  const uint64_t rejected = counter("cloud.records_rejected");
+  const uint64_t removed = counter("collector.records_removed");
+  const uint64_t dropped = counter("collector.parse_errors") +
+                           counter("collector.codec_failures") +
+                           counter("collector.pending_dropped");
+  EXPECT_EQ(in, static_cast<uint64_t>(kRecords) * kIntervals);
+  EXPECT_EQ(in + dummies, arrived + rejected + removed + dropped)
+      << "records leaked: in=" << in << " dummies=" << dummies
+      << " arrived=" << arrived << " rejected=" << rejected
+      << " removed=" << removed << " dropped=" << dropped;
+  EXPECT_EQ(counter("collector.publications_shipped"),
+            counter("cloud.publications_installed") +
+                counter("cloud.publications_failed"));
+  EXPECT_EQ(counter("cloud.publications_failed"), 0u);
+
+  // The end-to-end latency histogram must have seen every accepted record.
+  for (const auto& h : snap.histograms) {
+    if (h.name == "pipeline.record_e2e_ns") {
+      EXPECT_EQ(h.count, arrived);
+    }
+  }
+}
+#endif  // FRESQUE_TELEMETRY_ENABLED
 
 }  // namespace
 }  // namespace fresque

@@ -8,6 +8,7 @@
 //   fresque_cli inspect  <snapshot.bin>
 //   fresque_cli wal-dump <data-dir>
 //   fresque_cli recover  <data-dir> [snapshot.bin]
+//   fresque_cli metrics-dump <metrics.json>
 //
 // `ingest` runs the full FRESQUE collector over the file, publishing every
 // `interval_records` lines, then persists the cloud state; `query` and
@@ -22,17 +23,30 @@
 //   --fsync=<policy>      always | interval | interval:<ms> | never
 //   --snapshot-every=<n>  snapshot + truncate the WAL every n installs
 //                         (0 = only the final snapshot)
+//
+// Observability flags (apply to `ingest`, see DESIGN.md §11):
+//   --metrics-out=<file>        dump the metrics registry periodically and
+//                               at exit; JSON when the path ends in .json,
+//                               Prometheus text exposition otherwise
+//   --metrics-interval-ms=<n>   dump period (default 1000)
+//   --trace-out=<file>          capture spans and write a Chrome
+//                               trace_event JSON; open in chrome://tracing
+//                               or https://ui.perfetto.dev
 
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "client/client.h"
 #include "cloud/server.h"
 #include "common/bytes.h"
 #include "crypto/key_manager.h"
+#include "durability/metrics.h"
 #include "durability/recovery.h"
 #include "durability/snapshot_manager.h"
 #include "durability/wal.h"
@@ -40,6 +54,12 @@
 #include "engine/config.h"
 #include "engine/fresque_collector.h"
 #include "record/dataset.h"
+#include "telemetry/telemetry.h"
+
+#if FRESQUE_TELEMETRY_ENABLED
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#endif
 
 namespace {
 
@@ -83,6 +103,65 @@ int CmdGenerate(const std::string& dataset, size_t count,
   return 0;
 }
 
+/// Observability options parsed from --metrics-out/--trace-out.
+struct TelemetryOptions {
+  std::string metrics_out;
+  std::string trace_out;
+  size_t metrics_interval_ms = 1000;
+
+  bool any() const { return !metrics_out.empty() || !trace_out.empty(); }
+};
+
+#if FRESQUE_TELEMETRY_ENABLED
+
+/// Background thread dumping the registry to `path` every interval, plus
+/// a final dump on destruction (so short runs still produce a file).
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, size_t interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MetricsDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    Dump();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_));
+      if (stop_) break;
+      lock.unlock();
+      Dump();
+      lock.lock();
+    }
+  }
+
+  void Dump() {
+    auto snap = telemetry::Registry::Global()->Snapshot();
+    if (auto st = telemetry::WriteMetricsFile(snap, path_); !st.ok()) {
+      std::cerr << "warning: metrics dump: " << st.ToString() << "\n";
+    }
+  }
+
+  std::string path_;
+  size_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+#endif  // FRESQUE_TELEMETRY_ENABLED
+
 bool HasDurabilityState(const std::string& dir) {
   if (std::filesystem::exists(dir + "/MANIFEST")) return true;
   std::error_code ec;
@@ -96,11 +175,29 @@ bool HasDurabilityState(const std::string& dir) {
 int CmdIngest(const std::string& dataset, const std::string& in_path,
               const std::string& snap_path, double epsilon, size_t nodes,
               size_t interval, const std::string& key_hex,
-              const engine::DurabilityConfig& dur) {
+              const engine::DurabilityConfig& dur,
+              const TelemetryOptions& tel) {
   auto spec = SpecByName(dataset);
   if (!spec.ok()) return Fail(spec.status().ToString());
   std::ifstream in(in_path);
   if (!in) return Fail("cannot open " + in_path);
+
+#if FRESQUE_TELEMETRY_ENABLED
+  std::unique_ptr<MetricsDumper> dumper;
+  if (!tel.metrics_out.empty()) {
+    dumper = std::make_unique<MetricsDumper>(tel.metrics_out,
+                                             tel.metrics_interval_ms);
+  }
+  if (!tel.trace_out.empty()) {
+    telemetry::Tracer::Global()->Enable();
+    telemetry::Tracer::Global()->SetCurrentThreadName("dispatcher");
+  }
+#else
+  if (tel.any()) {
+    std::cerr << "warning: built with FRESQUE_TELEMETRY=OFF;"
+                 " --metrics-out/--trace-out are no-ops\n";
+  }
+#endif
 
   auto binning = index::DomainBinning::Create(
       spec->domain_min, spec->domain_max, spec->bin_width);
@@ -188,6 +285,30 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
     }
   }
   auto metrics = collector.Metrics();
+  engine::ExportToRegistry(metrics);
+  if (dur.enabled()) {
+    durability::ExportToRegistry(cloud_node.durability_metrics());
+  }
+#if FRESQUE_TELEMETRY_ENABLED
+  dumper.reset();  // stop the thread and write the final snapshot
+  if (!tel.trace_out.empty()) {
+    telemetry::Tracer::Global()->Disable();
+    auto stats = telemetry::Tracer::Global()->GetStats();
+    if (auto st = telemetry::Tracer::Global()->WriteChromeTrace(tel.trace_out);
+        !st.ok()) {
+      return Fail("trace dump: " + st.ToString());
+    }
+    std::cout << "trace: " << stats.retained << " span(s) across "
+              << stats.threads << " thread(s) -> " << tel.trace_out;
+    if (stats.dropped > 0) {
+      std::cout << " (" << stats.dropped << " dropped to ring wraparound)";
+    }
+    std::cout << "\n";
+  }
+  if (!tel.metrics_out.empty()) {
+    std::cout << "metrics: " << tel.metrics_out << "\n";
+  }
+#endif
   std::cout << "ingested " << total << " lines ("
             << collector.parse_errors() << " parse errors), published "
             << publications << " publication(s), snapshot " << snap_path
@@ -362,6 +483,27 @@ int CmdRecover(const std::string& data_dir, const std::string& out_snap) {
   return 0;
 }
 
+int CmdMetricsDump(const std::string& path) {
+#if FRESQUE_TELEMETRY_ENABLED
+  std::ifstream in(path);
+  if (!in) return Fail("cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    auto snap = telemetry::ParseMetricsJson(text);
+    if (!snap.ok()) return Fail(snap.status().ToString());
+    std::cout << telemetry::FormatMetricsTable(*snap);
+  } else {
+    // Prometheus text is already human-readable; echo it through.
+    std::cout << text;
+  }
+  return 0;
+#else
+  (void)path;
+  return Fail("built with FRESQUE_TELEMETRY=OFF; metrics-dump unavailable");
+#endif
+}
+
 int Usage() {
   std::cerr
       << "usage:\n"
@@ -370,12 +512,15 @@ int Usage() {
          " [epsilon] [nodes] [interval] [key_hex]\n"
       << "      [--data-dir=<dir>] [--fsync=always|interval[:<ms>]|never]"
          " [--snapshot-every=<n>]\n"
+      << "      [--metrics-out=<file>] [--metrics-interval-ms=<n>]"
+         " [--trace-out=<file>]\n"
       << "  fresque_cli query <nasa|gowalla> <snapshot.bin> <lo> <hi>"
          " [key_hex]\n"
       << "  fresque_cli verify <nasa|gowalla> <snapshot.bin> [key_hex]\n"
       << "  fresque_cli inspect <snapshot.bin>\n"
       << "  fresque_cli wal-dump <data-dir>\n"
-      << "  fresque_cli recover <data-dir> [snapshot.bin]\n";
+      << "  fresque_cli recover <data-dir> [snapshot.bin]\n"
+      << "  fresque_cli metrics-dump <metrics.json|metrics.prom>\n";
   return 1;
 }
 
@@ -384,10 +529,22 @@ int Usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   fresque::engine::DurabilityConfig dur;
+  TelemetryOptions tel;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--data-dir=", 0) == 0) {
       dur.data_dir = arg.substr(11);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      tel.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      tel.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-interval-ms=", 0) == 0) {
+      try {
+        tel.metrics_interval_ms = std::stoul(arg.substr(22));
+      } catch (const std::exception&) {
+        return Fail("bad --metrics-interval-ms value: " + arg.substr(22));
+      }
+      if (tel.metrics_interval_ms == 0) tel.metrics_interval_ms = 1;
     } else if (arg.rfind("--fsync=", 0) == 0) {
       auto policy =
           fresque::durability::ParseFsyncPolicy(arg.substr(8),
@@ -418,10 +575,13 @@ int main(int argc, char** argv) {
       size_t interval = args.size() > 6 ? std::stoul(args[6]) : 100000;
       std::string key = args.size() > 7 ? args[7] : kDefaultKeyHex;
       return CmdIngest(args[1], args[2], args[3], epsilon, nodes, interval,
-                       key, dur);
+                       key, dur, tel);
     }
     if (cmd == "wal-dump" && args.size() == 2) {
       return CmdWalDump(args[1]);
+    }
+    if (cmd == "metrics-dump" && args.size() == 2) {
+      return CmdMetricsDump(args[1]);
     }
     if (cmd == "recover" && (args.size() == 2 || args.size() == 3)) {
       return CmdRecover(args[1], args.size() == 3 ? args[2] : "");
