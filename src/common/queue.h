@@ -7,6 +7,7 @@
 #include <functional>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -49,6 +50,41 @@ class BoundedQueue {
     return true;
   }
 
+  /// Pushes items[0..n) in FIFO order with one lock acquisition and one
+  /// consumer wakeup per chunk instead of one per item. Blocks while the
+  /// queue is full, so batches larger than the capacity land in chunks as
+  /// the consumer frees space. Returns how many items were accepted —
+  /// `n`, or fewer iff the queue was closed mid-batch (the rest are
+  /// counted as rejected-closed and left in a valid moved-from state).
+  size_t PushBatch(T* items, size_t n) FRESQUE_EXCLUDES(mu_) {
+    size_t accepted = 0;
+    while (accepted < n) {
+      size_t chunk = 0;
+      {
+        MutexLock lock(mu_);
+        while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
+        if (closed_) {
+          rejected_closed_ += n - accepted;
+          return accepted;
+        }
+        while (accepted < n && items_.size() < capacity_) {
+          items_.push_back(std::move(items[accepted]));
+          StampPushLocked();
+          ++enqueued_;
+          ++accepted;
+          ++chunk;
+        }
+        if (items_.size() > high_water_) high_water_ = items_.size();
+      }
+      if (chunk > 1) {
+        not_empty_.NotifyAll();
+      } else if (chunk == 1) {
+        not_empty_.NotifyOne();
+      }
+    }
+    return accepted;
+  }
+
   /// Non-blocking push. Returns false if full (back-pressure) or closed.
   bool TryPush(T item) FRESQUE_EXCLUDES(mu_) {
     {
@@ -83,6 +119,45 @@ class BoundedQueue {
     }
     not_full_.NotifyOne();
     return item;
+  }
+
+  /// Pops up to `max` items into `*out` (appended) with one lock
+  /// acquisition. Blocks until at least one item is available; then, if
+  /// `linger` is positive and fewer than `max` items are queued, waits up
+  /// to `linger` for the batch to fill before returning ("bounded
+  /// linger": the added latency is capped by the knob; the default 0
+  /// means batches form only from natural queue depth under load and an
+  /// idle-queue pop returns the moment one item arrives). Returns the
+  /// number popped; 0 means closed-and-drained, the terminal state.
+  size_t PopBatch(std::vector<T>* out, size_t max,
+                  std::chrono::nanoseconds linger = std::chrono::nanoseconds(0))
+      FRESQUE_EXCLUDES(mu_) {
+    if (max == 0) return 0;
+    size_t popped = 0;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+      if (linger.count() > 0 && !closed_ && items_.size() < max) {
+        const auto deadline = std::chrono::steady_clock::now() + linger;
+        while (!closed_ && items_.size() < max) {
+          if (not_empty_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+      while (popped < max && !items_.empty()) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+        StampPopLocked();
+        ++popped;
+      }
+    }
+    if (popped > 1) {
+      not_full_.NotifyAll();
+    } else if (popped == 1) {
+      not_full_.NotifyOne();
+    }
+    return popped;
   }
 
   /// Non-blocking pop.

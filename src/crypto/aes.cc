@@ -1,11 +1,16 @@
 #include "crypto/aes.h"
 
+#include <cstdlib>
 #include <cstring>
 
 namespace fresque {
 namespace crypto {
 
 namespace {
+
+using internal::AesBackend;
+using internal::AesScheduledKey;
+using internal::CbcStream;
 
 // The S-box and its inverse are derived at startup from GF(2^8)
 // arithmetic (multiplicative inverse + affine transform, FIPS 197 §5.1.1)
@@ -78,65 +83,24 @@ inline uint32_t SubWord(uint32_t w) {
 
 inline uint32_t RotWord(uint32_t w) { return (w << 8) | (w >> 24); }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Software backend (portable tables; the pre-dispatch implementation).
+// ---------------------------------------------------------------------------
 
-Result<Aes> Aes::Create(const Bytes& key) {
-  Aes aes;
-  Status st = aes.Init(key);
-  if (!st.ok()) return st;
-  return aes;
+void SoftSetup(AesScheduledKey* /*key*/) {
+  // The software inverse cipher consumes the encryption round keys
+  // directly; no derived decryption schedule is needed.
 }
 
-Status Aes::Init(const Bytes& key) {
-  int nk;
-  switch (key.size()) {
-    case 16:
-      nk = 4;
-      rounds_ = 10;
-      break;
-    case 24:
-      nk = 6;
-      rounds_ = 12;
-      break;
-    case 32:
-      nk = 8;
-      rounds_ = 14;
-      break;
-    default:
-      return Status::InvalidArgument("AES key must be 16, 24 or 32 bytes");
-  }
-
-  const int total_words = 4 * (rounds_ + 1);
-  for (int i = 0; i < nk; ++i) {
-    round_keys_[i] = (static_cast<uint32_t>(key[4 * i]) << 24) |
-                     (static_cast<uint32_t>(key[4 * i + 1]) << 16) |
-                     (static_cast<uint32_t>(key[4 * i + 2]) << 8) |
-                     static_cast<uint32_t>(key[4 * i + 3]);
-  }
-  uint32_t rcon = 0x01000000;
-  for (int i = nk; i < total_words; ++i) {
-    uint32_t temp = round_keys_[i - 1];
-    if (i % nk == 0) {
-      temp = SubWord(RotWord(temp)) ^ rcon;
-      rcon = static_cast<uint32_t>(XTime(static_cast<uint8_t>(rcon >> 24)))
-             << 24;
-    } else if (nk > 6 && i % nk == 4) {
-      temp = SubWord(temp);
-    }
-    round_keys_[i] = round_keys_[i - nk] ^ temp;
-  }
-  return Status::OK();
-}
-
-void Aes::EncryptBlock(const uint8_t in[kBlockSize],
-                       uint8_t out[kBlockSize]) const {
+void SoftEncryptBlock(const AesScheduledKey& key, const uint8_t in[16],
+                      uint8_t out[16]) {
   const auto& t = Tables();
   uint8_t s[16];
   std::memcpy(s, in, 16);
 
   auto add_round_key = [&](int round) {
     for (int c = 0; c < 4; ++c) {
-      uint32_t w = round_keys_[round * 4 + c];
+      uint32_t w = key.enc_words[round * 4 + c];
       s[4 * c] ^= static_cast<uint8_t>(w >> 24);
       s[4 * c + 1] ^= static_cast<uint8_t>(w >> 16);
       s[4 * c + 2] ^= static_cast<uint8_t>(w >> 8);
@@ -145,7 +109,7 @@ void Aes::EncryptBlock(const uint8_t in[kBlockSize],
   };
 
   add_round_key(0);
-  for (int round = 1; round <= rounds_; ++round) {
+  for (int round = 1; round <= key.rounds; ++round) {
     // SubBytes
     for (auto& b : s) b = t.sbox[b];
     // ShiftRows: row r rotates left by r. State is column-major:
@@ -168,7 +132,7 @@ void Aes::EncryptBlock(const uint8_t in[kBlockSize],
     s[7] = s[3];
     s[3] = tmp;
 
-    if (round != rounds_) {
+    if (round != key.rounds) {
       // MixColumns
       for (int c = 0; c < 4; ++c) {
         uint8_t a0 = s[4 * c], a1 = s[4 * c + 1], a2 = s[4 * c + 2],
@@ -187,15 +151,15 @@ void Aes::EncryptBlock(const uint8_t in[kBlockSize],
   std::memcpy(out, s, 16);
 }
 
-void Aes::DecryptBlock(const uint8_t in[kBlockSize],
-                       uint8_t out[kBlockSize]) const {
+void SoftDecryptBlock(const AesScheduledKey& key, const uint8_t in[16],
+                      uint8_t out[16]) {
   const auto& t = Tables();
   uint8_t s[16];
   std::memcpy(s, in, 16);
 
   auto add_round_key = [&](int round) {
     for (int c = 0; c < 4; ++c) {
-      uint32_t w = round_keys_[round * 4 + c];
+      uint32_t w = key.enc_words[round * 4 + c];
       s[4 * c] ^= static_cast<uint8_t>(w >> 24);
       s[4 * c + 1] ^= static_cast<uint8_t>(w >> 16);
       s[4 * c + 2] ^= static_cast<uint8_t>(w >> 8);
@@ -203,8 +167,8 @@ void Aes::DecryptBlock(const uint8_t in[kBlockSize],
     }
   };
 
-  add_round_key(rounds_);
-  for (int round = rounds_ - 1; round >= 0; --round) {
+  add_round_key(key.rounds);
+  for (int round = key.rounds - 1; round >= 0; --round) {
     // InvShiftRows: row r rotates right by r.
     uint8_t tmp;
     tmp = s[13];
@@ -243,6 +207,145 @@ void Aes::DecryptBlock(const uint8_t in[kBlockSize],
     }
   }
   std::memcpy(out, s, 16);
+}
+
+void SoftCbcEncryptMulti(const AesScheduledKey& key, CbcStream* streams,
+                         size_t n) {
+  // No instruction-level parallelism to exploit here: walk each chain.
+  for (size_t i = 0; i < n; ++i) {
+    CbcStream& s = streams[i];
+    uint8_t chain[16];
+    std::memcpy(chain, s.chain, 16);
+    for (size_t b = 0; b < s.n_blocks; ++b) {
+      uint8_t block[16];
+      for (int j = 0; j < 16; ++j) {
+        block[j] = static_cast<uint8_t>(s.in[16 * b + j] ^ chain[j]);
+      }
+      SoftEncryptBlock(key, block, s.out + 16 * b);
+      std::memcpy(chain, s.out + 16 * b, 16);
+    }
+  }
+}
+
+constexpr AesBackend kSoftBackend = {
+    "soft", SoftSetup, SoftEncryptBlock, SoftDecryptBlock,
+    SoftCbcEncryptMulti,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+bool ForceSoftCrypto() {
+  const char* env = std::getenv("FRESQUE_FORCE_SOFT_CRYPTO");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+const AesBackend* HardwareBackend() {
+  // Probed once; the answer cannot change while the process runs.
+  static const AesBackend* const kHw = [] {
+    if (const AesBackend* b = internal::AesNiBackend()) return b;
+    return internal::Armv8AesBackend();
+  }();
+  return kHw;
+}
+
+const AesBackend* AutoBackend() {
+  static const AesBackend* const kAuto = [] {
+    if (ForceSoftCrypto()) return &kSoftBackend;
+    if (const AesBackend* hw = HardwareBackend()) return hw;
+    return &kSoftBackend;
+  }();
+  return kAuto;
+}
+
+}  // namespace
+
+namespace internal {
+
+const AesBackend* SoftAesBackend() { return &kSoftBackend; }
+
+}  // namespace internal
+
+Result<Aes> Aes::Create(const Bytes& key, Backend backend) {
+  Aes aes;
+  Status st = aes.Init(key, backend);
+  if (!st.ok()) return st;
+  return aes;
+}
+
+const char* Aes::ActiveBackendName() { return AutoBackend()->name; }
+
+bool Aes::HardwareBackendAvailable() { return HardwareBackend() != nullptr; }
+
+Status Aes::Init(const Bytes& key, Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:
+      backend_ = AutoBackend();
+      break;
+    case Backend::kSoftware:
+      backend_ = &kSoftBackend;
+      break;
+    case Backend::kHardware:
+      backend_ = HardwareBackend();
+      if (backend_ == nullptr) {
+        return Status::FailedPrecondition(
+            "no hardware AES backend on this CPU/build");
+      }
+      break;
+  }
+
+  int nk;
+  switch (key.size()) {
+    case 16:
+      nk = 4;
+      key_.rounds = 10;
+      break;
+    case 24:
+      nk = 6;
+      key_.rounds = 12;
+      break;
+    case 32:
+      nk = 8;
+      key_.rounds = 14;
+      break;
+    default:
+      return Status::InvalidArgument("AES key must be 16, 24 or 32 bytes");
+  }
+
+  const int total_words = 4 * (key_.rounds + 1);
+  for (int i = 0; i < nk; ++i) {
+    key_.enc_words[i] = (static_cast<uint32_t>(key[4 * i]) << 24) |
+                        (static_cast<uint32_t>(key[4 * i + 1]) << 16) |
+                        (static_cast<uint32_t>(key[4 * i + 2]) << 8) |
+                        static_cast<uint32_t>(key[4 * i + 3]);
+  }
+  uint32_t rcon = 0x01000000;
+  for (int i = nk; i < total_words; ++i) {
+    uint32_t temp = key_.enc_words[i - 1];
+    if (i % nk == 0) {
+      temp = SubWord(RotWord(temp)) ^ rcon;
+      rcon = static_cast<uint32_t>(XTime(static_cast<uint8_t>(rcon >> 24)))
+             << 24;
+    } else if (nk > 6 && i % nk == 4) {
+      temp = SubWord(temp);
+    }
+    key_.enc_words[i] = key_.enc_words[i - nk] ^ temp;
+  }
+
+  // Round keys as bytes in state order: word i's bytes land big-endian
+  // at enc[4*i] — exactly the 16-byte round block AESENC/AESD consume.
+  for (int i = 0; i < total_words; ++i) {
+    const uint32_t w = key_.enc_words[i];
+    key_.enc[4 * i] = static_cast<uint8_t>(w >> 24);
+    key_.enc[4 * i + 1] = static_cast<uint8_t>(w >> 16);
+    key_.enc[4 * i + 2] = static_cast<uint8_t>(w >> 8);
+    key_.enc[4 * i + 3] = static_cast<uint8_t>(w);
+  }
+
+  backend_->setup(&key_);
+  return Status::OK();
 }
 
 }  // namespace crypto

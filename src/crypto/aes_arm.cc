@@ -1,0 +1,158 @@
+// ARMv8 Crypto Extensions backend. Compiled with -march=...+crypto (see
+// src/crypto/CMakeLists.txt) and reachable only after the runtime hwcap
+// probe in Armv8AesBackend() succeeds.
+//
+// Instruction shapes differ from x86: AESE/AESD fold AddRoundKey in
+// *before* the byte permutation (x86 folds it after), and MixColumns is a
+// separate AESMC/AESIMC instruction that fuses with the preceding
+// AESE/AESD on every Armv8 core that matters. The key schedule is shared
+// with x86 — AESD also wants InvMixColumns-transformed middle round keys
+// because IMC distributes over the XOR with the state.
+
+#include "crypto/aes_backend.h"
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRYPTO)
+
+#include <arm_neon.h>
+#include <sys/auxv.h>
+
+#include <cstring>
+
+#ifndef HWCAP_AES
+#define HWCAP_AES (1 << 3)
+#endif
+
+namespace fresque {
+namespace crypto {
+namespace internal {
+namespace {
+
+constexpr size_t kMaxLanes = 8;
+
+inline uint8x16_t LoadKey(const uint8_t* p) { return vld1q_u8(p); }
+
+void ArmSetup(AesScheduledKey* key) {
+  const int rounds = key->rounds;
+  std::memcpy(key->dec, key->enc + 16 * rounds, 16);
+  for (int i = 1; i < rounds; ++i) {
+    vst1q_u8(key->dec + 16 * i, vaesimcq_u8(LoadKey(key->enc + 16 * (rounds - i))));
+  }
+  std::memcpy(key->dec + 16 * rounds, key->enc, 16);
+}
+
+inline uint8x16_t EncryptState(const AesScheduledKey& key, uint8x16_t st) {
+  for (int r = 0; r < key.rounds - 1; ++r) {
+    st = vaesmcq_u8(vaeseq_u8(st, LoadKey(key.enc + 16 * r)));
+  }
+  st = vaeseq_u8(st, LoadKey(key.enc + 16 * (key.rounds - 1)));
+  return veorq_u8(st, LoadKey(key.enc + 16 * key.rounds));
+}
+
+void ArmEncryptBlock(const AesScheduledKey& key, const uint8_t in[16],
+                     uint8_t out[16]) {
+  vst1q_u8(out, EncryptState(key, vld1q_u8(in)));
+}
+
+void ArmDecryptBlock(const AesScheduledKey& key, const uint8_t in[16],
+                     uint8_t out[16]) {
+  uint8x16_t st = vld1q_u8(in);
+  for (int r = 0; r < key.rounds - 1; ++r) {
+    st = vaesimcq_u8(vaesdq_u8(st, LoadKey(key.dec + 16 * r)));
+  }
+  st = vaesdq_u8(st, LoadKey(key.dec + 16 * (key.rounds - 1)));
+  vst1q_u8(out, veorq_u8(st, LoadKey(key.dec + 16 * key.rounds)));
+}
+
+// Interleaved CBC chains; see the x86 twin in aes_ni.cc for why.
+template <size_t G>
+void CbcLockstep(const AesScheduledKey& key, CbcStream* streams,
+                 size_t min_blocks) {
+  uint8x16_t chain[G];
+  for (size_t j = 0; j < G; ++j) chain[j] = vld1q_u8(streams[j].chain);
+
+  const int rounds = key.rounds;
+  for (size_t b = 0; b < min_blocks; ++b) {
+    uint8x16_t st[G];
+    for (size_t j = 0; j < G; ++j) {
+      st[j] = veorq_u8(vld1q_u8(streams[j].in + 16 * b), chain[j]);
+    }
+    for (int r = 0; r < rounds - 1; ++r) {
+      const uint8x16_t rk = LoadKey(key.enc + 16 * r);
+      for (size_t j = 0; j < G; ++j) {
+        st[j] = vaesmcq_u8(vaeseq_u8(st[j], rk));
+      }
+    }
+    const uint8x16_t kpen = LoadKey(key.enc + 16 * (rounds - 1));
+    const uint8x16_t klast = LoadKey(key.enc + 16 * rounds);
+    for (size_t j = 0; j < G; ++j) {
+      st[j] = veorq_u8(vaeseq_u8(st[j], kpen), klast);
+      vst1q_u8(streams[j].out + 16 * b, st[j]);
+      chain[j] = st[j];
+    }
+  }
+}
+
+void CbcTail(const AesScheduledKey& key, const CbcStream& s, size_t from) {
+  uint8x16_t chain = from == 0 ? vld1q_u8(s.chain)
+                               : vld1q_u8(s.out + 16 * (from - 1));
+  for (size_t b = from; b < s.n_blocks; ++b) {
+    chain = EncryptState(key, veorq_u8(vld1q_u8(s.in + 16 * b), chain));
+    vst1q_u8(s.out + 16 * b, chain);
+  }
+}
+
+template <size_t G>
+void CbcGroup(const AesScheduledKey& key, CbcStream* streams) {
+  size_t min_blocks = streams[0].n_blocks;
+  for (size_t j = 1; j < G; ++j) {
+    if (streams[j].n_blocks < min_blocks) min_blocks = streams[j].n_blocks;
+  }
+  CbcLockstep<G>(key, streams, min_blocks);
+  for (size_t j = 0; j < G; ++j) {
+    if (streams[j].n_blocks > min_blocks) CbcTail(key, streams[j], min_blocks);
+  }
+}
+
+void ArmCbcEncryptMulti(const AesScheduledKey& key, CbcStream* streams,
+                        size_t n) {
+  size_t i = 0;
+  for (; i + kMaxLanes <= n; i += kMaxLanes) CbcGroup<8>(key, streams + i);
+  if (i + 4 <= n) {
+    CbcGroup<4>(key, streams + i);
+    i += 4;
+  }
+  if (i + 2 <= n) {
+    CbcGroup<2>(key, streams + i);
+    i += 2;
+  }
+  if (i < n) CbcTail(key, streams[i], 0);
+}
+
+constexpr AesBackend kArmBackend = {
+    "armv8", ArmSetup, ArmEncryptBlock, ArmDecryptBlock, ArmCbcEncryptMulti,
+};
+
+}  // namespace
+
+const AesBackend* Armv8AesBackend() {
+  static const bool kSupported = (getauxval(AT_HWCAP) & HWCAP_AES) != 0;
+  return kSupported ? &kArmBackend : nullptr;
+}
+
+}  // namespace internal
+}  // namespace crypto
+}  // namespace fresque
+
+#else  // not aarch64+crypto
+
+namespace fresque {
+namespace crypto {
+namespace internal {
+
+const AesBackend* Armv8AesBackend() { return nullptr; }
+
+}  // namespace internal
+}  // namespace crypto
+}  // namespace fresque
+
+#endif

@@ -1,0 +1,87 @@
+#ifndef FRESQUE_CRYPTO_AES_BACKEND_H_
+#define FRESQUE_CRYPTO_AES_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fresque {
+namespace crypto {
+namespace internal {
+
+/// Expanded AES key material shared by every backend.
+///
+/// The key schedule itself is always computed by the portable software
+/// code (it runs once per key, off the hot path); backends that need a
+/// transformed copy — e.g. AES-NI's InvMixColumns'd decryption keys —
+/// fill `dec` in their `setup` hook.
+struct AesScheduledKey {
+  static constexpr size_t kMaxRounds = 14;
+
+  /// Encryption round keys as bytes, round-major: `enc + 16*r` is the
+  /// 16-byte round key XORed into the state at round r, in state-byte
+  /// order (exactly the layout the AESENC/AESD instructions expect).
+  alignas(16) uint8_t enc[(kMaxRounds + 1) * 16];
+
+  /// Decryption round keys for the "equivalent inverse cipher":
+  /// dec[0] = enc[rounds], dec[i] = InvMixColumns(enc[rounds-i]) for
+  /// 0 < i < rounds, dec[rounds] = enc[0]. Only hardware backends fill
+  /// this (in `setup`); the software backend decrypts from `enc_words`.
+  alignas(16) uint8_t dec[(kMaxRounds + 1) * 16];
+
+  /// The same encryption round keys as big-endian words — the form the
+  /// portable table implementation consumes.
+  uint32_t enc_words[4 * (kMaxRounds + 1)];
+
+  int rounds = 0;
+};
+
+/// One independent CBC encryption stream inside a batch call.
+///
+/// The backend computes out[j] = E(in[j] XOR c[j-1]) for j in
+/// [0, n_blocks), where c[-1] is the 16-byte chaining value at `chain`
+/// (the IV, or the previous ciphertext block when resuming a stream).
+/// Streams are independent of each other, which is what lets hardware
+/// backends interleave them across the instruction pipeline: CBC is
+/// serial per stream but embarrassingly parallel across streams.
+struct CbcStream {
+  const uint8_t* in = nullptr;   ///< n_blocks * 16 bytes of plaintext
+  uint8_t* out = nullptr;        ///< n_blocks * 16 bytes of ciphertext
+  size_t n_blocks = 0;
+  const uint8_t* chain = nullptr;  ///< 16-byte initial chaining value
+};
+
+/// One AES implementation. All hooks are stateless: the per-key state
+/// lives in AesScheduledKey, so a backend pointer is shared process-wide.
+struct AesBackend {
+  const char* name;
+
+  /// Called once after the software key schedule ran; prepares any
+  /// backend-specific key material (e.g. inverse round keys).
+  void (*setup)(AesScheduledKey* key);
+
+  void (*encrypt_block)(const AesScheduledKey& key, const uint8_t in[16],
+                        uint8_t out[16]);
+  void (*decrypt_block)(const AesScheduledKey& key, const uint8_t in[16],
+                        uint8_t out[16]);
+
+  /// CBC-encrypts `n` independent streams (see CbcStream).
+  void (*cbc_encrypt_multi)(const AesScheduledKey& key, CbcStream* streams,
+                            size_t n);
+};
+
+/// Portable table-based implementation; always available.
+const AesBackend* SoftAesBackend();
+
+/// x86 AES-NI implementation, or nullptr when not compiled in or the CPU
+/// lacks the AES ISA.
+const AesBackend* AesNiBackend();
+
+/// ARMv8 Crypto Extensions implementation, or nullptr when not compiled
+/// in or the CPU lacks the AES instructions.
+const AesBackend* Armv8AesBackend();
+
+}  // namespace internal
+}  // namespace crypto
+}  // namespace fresque
+
+#endif  // FRESQUE_CRYPTO_AES_BACKEND_H_

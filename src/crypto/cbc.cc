@@ -5,8 +5,8 @@
 namespace fresque {
 namespace crypto {
 
-Result<AesCbc> AesCbc::Create(const Bytes& key) {
-  auto aes = Aes::Create(key);
+Result<AesCbc> AesCbc::Create(const Bytes& key, Aes::Backend backend) {
+  auto aes = Aes::Create(key, backend);
   if (!aes.ok()) return aes.status();
   return AesCbc(std::move(aes).ValueOrDie());
 }
@@ -16,26 +16,27 @@ Result<Bytes> AesCbc::EncryptWithIv(const Bytes& plaintext,
   if (iv.size() != Aes::kBlockSize) {
     return Status::InvalidArgument("CBC IV must be 16 bytes");
   }
-  const size_t pad = Aes::kBlockSize - plaintext.size() % Aes::kBlockSize;
-  const size_t padded_len = plaintext.size() + pad;
+  constexpr size_t kB = Aes::kBlockSize;
+  const size_t full = plaintext.size() / kB;
+  const size_t rem = plaintext.size() % kB;
+  const uint8_t pad = static_cast<uint8_t>(kB - rem);
 
-  Bytes out(Aes::kBlockSize + padded_len);
-  std::memcpy(out.data(), iv.data(), Aes::kBlockSize);
+  Bytes out(CiphertextSize(plaintext.size()));
+  std::memcpy(out.data(), iv.data(), kB);
 
-  uint8_t chain[Aes::kBlockSize];
-  std::memcpy(chain, iv.data(), Aes::kBlockSize);
-
-  uint8_t block[Aes::kBlockSize];
-  for (size_t off = 0; off < padded_len; off += Aes::kBlockSize) {
-    for (size_t i = 0; i < Aes::kBlockSize; ++i) {
-      uint8_t p = (off + i < plaintext.size())
-                      ? plaintext[off + i]
-                      : static_cast<uint8_t>(pad);
-      block[i] = p ^ chain[i];
-    }
-    aes_.EncryptBlock(block, chain);
-    std::memcpy(out.data() + Aes::kBlockSize + off, chain, Aes::kBlockSize);
+  // Full plaintext blocks as one backend stream, then the padded final
+  // block chained off the last full ciphertext block (or the IV).
+  if (full > 0) {
+    internal::CbcStream stream{plaintext.data(), out.data() + kB, full,
+                               out.data()};
+    aes_.CbcEncryptStreams(&stream, 1);
   }
+  uint8_t final_block[kB];
+  if (rem != 0) std::memcpy(final_block, plaintext.data() + full * kB, rem);
+  std::memset(final_block + rem, pad, pad);
+  internal::CbcStream last{final_block, out.data() + kB + full * kB, 1,
+                           full > 0 ? out.data() + full * kB : out.data()};
+  aes_.CbcEncryptStreams(&last, 1);
   return out;
 }
 

@@ -8,8 +8,18 @@ namespace engine {
 
 CloudNode::CloudNode(cloud::CloudServer* server, size_t mailbox_capacity)
     : server_(server),
-      node_("cloud", net::MakeMailbox(mailbox_capacity),
-            [this](net::Message&& m) { return Handle(std::move(m)); }) {}
+      // Batched pop: record floods drain with one mailbox lock/wakeup per
+      // batch instead of per frame. No linger — a lone frame is handled
+      // the moment it arrives.
+      node_(
+          "cloud", net::MakeMailbox(mailbox_capacity),
+          [this](std::vector<net::Message>& batch) {
+            for (auto& m : batch) {
+              if (!Handle(std::move(m))) return false;
+            }
+            return true;
+          },
+          /*batch_size=*/64) {}
 
 void CloudNode::Shutdown() {
   node_.Stop();

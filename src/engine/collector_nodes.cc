@@ -129,33 +129,64 @@ ComputingNodeImpl::ComputingNodeImpl(size_t id, const CollectorConfig& config,
       rng_(config.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1))),
       node_("cn" + std::to_string(id),
             net::MakeMailbox(config.mailbox_capacity),
-            [this](net::Message&& m) { return Handle(std::move(m)); }) {}
+            [this](std::vector<net::Message>& b) { return HandleBatch(b); },
+            config.pipeline_batch_size,
+            std::chrono::microseconds(config.pipeline_linger_us)) {}
 
-bool ComputingNodeImpl::Handle(net::Message&& m) {
-  switch (m.type) {
-    case net::MessageType::kRawLine:
-      HandleLine(std::move(m));
-      return true;
-    case net::MessageType::kPublish:
-    case net::MessageType::kShutdown: {
-      // Forward the barrier so the checking node can count one per CN.
-      bool keep_going = m.type != net::MessageType::kShutdown;
-      checking_->Push(std::move(m));
-      return keep_going;
+bool ComputingNodeImpl::HandleBatch(std::vector<net::Message>& batch) {
+  // Raw lines of the same publication are staged into one batch encrypt:
+  // hardware backends interleave the independent CBC chains, and the
+  // resulting kTaggedRecord frames leave as one PushBatch. A run ends at
+  // any control frame or publication turnover (the codec is
+  // per-publication), and its ciphertexts flush *before* the boundary
+  // frame is forwarded — the checking node must see every record of an
+  // interval ahead of that interval's kPublish vote.
+  //
+  // The encryptor holds &out_[k].payload pointers until FlushStaged, so
+  // out_ must not reallocate mid-run: one run stages at most the whole
+  // batch, and out_ is empty here (every path through the loop flushes).
+  out_.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    net::Message& m = batch[i];
+    switch (m.type) {
+      case net::MessageType::kRawLine: {
+        const uint64_t pn = m.pn;
+        auto* codec = CodecFor(pn);
+        size_t j = i;
+        for (; j < batch.size() &&
+               batch[j].type == net::MessageType::kRawLine &&
+               batch[j].pn == pn;
+             ++j) {
+          if (codec == nullptr) {
+            codec_failures_.fetch_add(1, std::memory_order_relaxed);
+            FRESQUE_COUNTER_ADD("collector.codec_failures", 1);
+            continue;
+          }
+          StageLine(std::move(batch[j]), codec);
+        }
+        FlushStaged();
+        i = j - 1;
+        break;
+      }
+      case net::MessageType::kPublish:
+        // Forward the barrier so the checking node can count one per CN.
+        checking_->Push(std::move(m));
+        break;
+      case net::MessageType::kShutdown:
+        checking_->Push(std::move(m));
+        return false;
+      default:
+        FRESQUE_LOG(Warn) << "computing node: unexpected "
+                          << net::MessageTypeToString(m.type);
+        break;
     }
-    default:
-      FRESQUE_LOG(Warn) << "computing node: unexpected "
-                        << net::MessageTypeToString(m.type);
-      return true;
   }
+  return true;
 }
 
-void ComputingNodeImpl::HandleLine(net::Message&& m) {
-  auto* codec = CodecFor(m.pn);
-  if (codec == nullptr) {
-    codec_failures_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
+void ComputingNodeImpl::StageLine(net::Message&& m,
+                                  record::SecureRecordCodec* codec) {
+  if (!enc_) enc_.emplace(codec);
 
   net::Message out;
   out.type = net::MessageType::kTaggedRecord;
@@ -165,35 +196,25 @@ void ComputingNodeImpl::HandleLine(net::Message&& m) {
   if (m.dummy) {
     out.dummy = true;
     out.leaf = m.leaf;
-    auto ct = [&] {
-      FRESQUE_TRACE_SPAN("encrypt");
-      return codec->EncryptDummy(config_.dummy_padding_len);
-    }();
-    if (!ct.ok()) {
-      FRESQUE_LOG(Warn) << "dummy encrypt failed: " << ct.status().ToString();
-      codec_failures_.fetch_add(1, std::memory_order_relaxed);
-      FRESQUE_COUNTER_ADD("collector.codec_failures", 1);
-      return;
-    }
-    out.payload = std::move(*ct);
-    checking_->Push(std::move(out));
+    out_.push_back(std::move(out));
+    enc_->StageDummy(config_.dummy_padding_len, &out_.back().payload);
     return;
   }
 
   std::string_view line(reinterpret_cast<const char*>(m.payload.data()),
                         m.payload.size());
-  auto rec = [&] {
+  Status parsed = [&] {
     FRESQUE_TRACE_SPAN("parse");
-    return config_.dataset.parser->Parse(line);
+    return config_.dataset.parser->ParseInto(line, &scratch_rec_);
   }();
-  if (!rec.ok()) {
+  if (!parsed.ok()) {
     parse_errors_.fetch_add(1, std::memory_order_relaxed);
     FRESQUE_COUNTER_ADD("collector.parse_errors", 1);
     return;
   }
   auto leaf = [&]() -> Result<size_t> {
     FRESQUE_TRACE_SPAN("offset");
-    auto v = rec->IndexedValue(config_.dataset.parser->schema());
+    auto v = scratch_rec_.IndexedValue(config_.dataset.parser->schema());
     if (!v.ok()) return v.status();
     return binning_.LeafOffsetChecked(*v);
   }();
@@ -202,18 +223,33 @@ void ComputingNodeImpl::HandleLine(net::Message&& m) {
     FRESQUE_COUNTER_ADD("collector.parse_errors", 1);
     return;
   }
-  auto ct = [&] {
-    FRESQUE_TRACE_SPAN("encrypt");
-    return codec->EncryptRecord(*rec);
-  }();
-  if (!ct.ok()) {
+  out.leaf = *leaf;
+  out_.push_back(std::move(out));
+  Status staged = enc_->StageRecord(scratch_rec_, &out_.back().payload);
+  if (!staged.ok()) {
+    out_.pop_back();
     codec_failures_.fetch_add(1, std::memory_order_relaxed);
     FRESQUE_COUNTER_ADD("collector.codec_failures", 1);
+  }
+}
+
+void ComputingNodeImpl::FlushStaged() {
+  if (out_.empty()) return;
+  Status st = [&] {
+    FRESQUE_TRACE_SPAN("encrypt");
+    return enc_->Flush();
+  }();
+  if (!st.ok()) {
+    // Every record of the batch is lost; the counters keep the
+    // record-conservation ledger honest.
+    FRESQUE_LOG(Warn) << "batch encrypt failed: " << st.ToString();
+    codec_failures_.fetch_add(out_.size(), std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("collector.codec_failures", out_.size());
+    out_.clear();
     return;
   }
-  out.leaf = *leaf;
-  out.payload = std::move(*ct);
-  checking_->Push(std::move(out));
+  checking_->PushBatch(out_.data(), out_.size());
+  out_.clear();
 }
 
 record::SecureRecordCodec* ComputingNodeImpl::CodecFor(uint64_t pn) {
@@ -244,7 +280,21 @@ CheckingNodeImpl::CheckingNodeImpl(const CollectorConfig& config,
       acks_(std::move(acks)),
       rng_(config.seed ^ 0xC0FFEE),
       node_("checking", net::MakeMailbox(config.mailbox_capacity),
-            [this](net::Message&& m) { return Handle(std::move(m)); }) {}
+            [this](std::vector<net::Message>& b) { return HandleBatch(b); },
+            config.pipeline_batch_size,
+            std::chrono::microseconds(config.pipeline_linger_us)) {}
+
+bool CheckingNodeImpl::HandleBatch(std::vector<net::Message>& batch) {
+  bool keep_going = true;
+  for (auto& m : batch) {
+    if (!Handle(std::move(m))) {
+      keep_going = false;
+      break;
+    }
+  }
+  FlushOutputs();
+  return keep_going;
+}
 
 bool CheckingNodeImpl::Handle(net::Message&& m) {
   switch (m.type) {
@@ -259,12 +309,25 @@ bool CheckingNodeImpl::Handle(net::Message&& m) {
       return true;
     case net::MessageType::kShutdown:
       if (++shutdown_votes_ < config_.num_computing_nodes) return true;
-      merger_->Push(std::move(m));
+      // Appended (not pushed) so the batch-end flush delivers it after
+      // everything already staged toward the merger.
+      merger_out_.push_back(std::move(m));
       return false;
     default:
       FRESQUE_LOG(Warn) << "checking node: unexpected "
                         << net::MessageTypeToString(m.type);
       return true;
+  }
+}
+
+void CheckingNodeImpl::FlushOutputs() {
+  if (!cloud_out_.empty()) {
+    cloud_->PushBatch(cloud_out_.data(), cloud_out_.size());
+    cloud_out_.clear();
+  }
+  if (!merger_out_.empty()) {
+    merger_->PushBatch(merger_out_.data(), merger_out_.size());
+    merger_out_.clear();
   }
 }
 
@@ -291,11 +354,11 @@ void CheckingNodeImpl::HandleTemplate(net::Message&& m) {
   net::Message start;
   start.type = net::MessageType::kPublicationStart;
   start.pn = pn;
-  cloud_->Push(std::move(start));
+  cloud_out_.push_back(std::move(start));
 
   net::Message fwd = std::move(m);
   fwd.type = net::MessageType::kTemplateForward;
-  merger_->Push(std::move(fwd));
+  merger_out_.push_back(std::move(fwd));
 
   // Records of this publication may have raced ahead of the template.
   auto it = pending_.find(pn);
@@ -337,7 +400,7 @@ void CheckingNodeImpl::Dispatch(IntervalState& state, net::Message&& m) {
     // Dummies skip AL/ALN entirely; strip the collector-private flag.
     m.type = net::MessageType::kCloudRecord;
     m.dummy = false;
-    cloud_->Push(std::move(m));
+    cloud_out_.push_back(std::move(m));
     return;
   }
   auto decision = state.leaves.Admit(static_cast<size_t>(m.leaf));
@@ -348,11 +411,11 @@ void CheckingNodeImpl::Dispatch(IntervalState& state, net::Message&& m) {
     // ingest.dummy_records == cloud arrivals + drops + removals).
     FRESQUE_COUNTER_ADD("collector.records_removed", 1);
     m.type = net::MessageType::kRemovedRecord;
-    merger_->Push(std::move(m));
+    merger_out_.push_back(std::move(m));
     return;
   }
   m.type = net::MessageType::kCloudRecord;
-  cloud_->Push(std::move(m));
+  cloud_out_.push_back(std::move(m));
 }
 
 void CheckingNodeImpl::HandlePublish(net::Message&& m) {
@@ -383,7 +446,7 @@ void CheckingNodeImpl::HandlePublish(net::Message&& m) {
     snap.pn = pn;
     snap.born_ns = m.born_ns;  // publish-barrier stamp rides to the merger
     snap.payload = net::EncodeAlSnapshot(state.leaves.al_snapshot());
-    merger_->Push(std::move(snap));
+    merger_out_.push_back(std::move(snap));
 
     reports_->Checking(pn, watch.ElapsedMillis(),
                        static_cast<uint64_t>(state.leaves.TotalReal()));
@@ -433,7 +496,27 @@ MergerImpl::MergerImpl(const CollectorConfig& config,
       acks_(std::move(acks)),
       rng_(config.seed ^ 0x4D455247),  // "MERG"
       node_("merger", net::MakeMailbox(config.mailbox_capacity),
-            [this](net::Message&& m) { return Handle(std::move(m)); }) {}
+            [this](std::vector<net::Message>& b) { return HandleBatch(b); },
+            config.pipeline_batch_size,
+            std::chrono::microseconds(config.pipeline_linger_us)) {}
+
+bool MergerImpl::HandleBatch(std::vector<net::Message>& batch) {
+  bool keep_going = true;
+  for (auto& m : batch) {
+    if (!Handle(std::move(m))) {
+      keep_going = false;
+      break;
+    }
+  }
+  FlushOutputs();
+  return keep_going;
+}
+
+void MergerImpl::FlushOutputs() {
+  if (cloud_out_.empty()) return;
+  cloud_->PushBatch(cloud_out_.data(), cloud_out_.size());
+  cloud_out_.clear();
+}
 
 bool MergerImpl::Handle(net::Message&& m) {
   switch (m.type) {
@@ -454,7 +537,9 @@ bool MergerImpl::Handle(net::Message&& m) {
       FinishPublication(std::move(m));
       return true;
     case net::MessageType::kShutdown:
-      cloud_->Push(std::move(m));
+      // Appended so the batch-end flush delivers it after any
+      // publication shipped earlier in this batch.
+      cloud_out_.push_back(std::move(m));
       return false;
     default:
       FRESQUE_LOG(Warn) << "merger: unexpected "
@@ -530,10 +615,26 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
     FailPublication(snap.pn, reason);
     return;
   }
-  overflow.PadWithDummies([&] {
-    auto d = codec->EncryptDummy(config_.dummy_padding_len);
-    return d.ok() ? std::move(*d) : Bytes{};
-  });
+  // Pad the remaining slots with dummy ciphertexts, batch-encrypted in
+  // one interleaved AES call (slot storage is stable, so staging directly
+  // into the slots is safe). An encrypt failure here fails the whole
+  // publication: shipping empty or partially-padded slots would let the
+  // cloud distinguish real removed records from padding.
+  {
+    record::SecureRecordCodec::BatchEncryptor enc(&*codec);
+    overflow.ForEachEmptySlot(
+        [&](Bytes* slot) { enc.StageDummy(config_.dummy_padding_len, slot); });
+    Status padded = enc.Flush();
+    if (!padded.ok()) {
+      codec_failures_.fetch_add(1, std::memory_order_relaxed);
+      FRESQUE_COUNTER_ADD("collector.codec_failures", 1);
+      std::string reason =
+          "merger: overflow dummy encrypt " + padded.ToString();
+      pending_.erase(it);
+      FailPublication(snap.pn, reason);
+      return;
+    }
+  }
 
   net::IndexPublication publication(std::move(*merged), std::move(overflow));
   publication.integrity_tag = net::ComputeIndexPublicationTag(
@@ -544,7 +645,7 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
   out.pn = snap.pn;
   out.born_ns = snap.born_ns;  // publish-barrier stamp rides to the cloud
   out.payload = net::EncodeIndexPublication(publication);
-  cloud_->Push(std::move(out));
+  cloud_out_.push_back(std::move(out));
   publications_shipped_.fetch_add(1, std::memory_order_relaxed);
   FRESQUE_COUNTER_ADD("collector.publications_shipped", 1);
   FRESQUE_HISTOGRAM_RECORD("merger.build_ns",

@@ -109,8 +109,15 @@ class ComputingNodeImpl {
   }
 
  private:
-  bool Handle(net::Message&& m);
-  void HandleLine(net::Message&& m);
+  bool HandleBatch(std::vector<net::Message>& batch);
+
+  /// Parses/stages one raw line (or dummy directive) into the pending
+  /// encrypt batch; the ciphertext lands in `out_` at FlushStaged().
+  void StageLine(net::Message&& m, record::SecureRecordCodec* codec);
+
+  /// Encrypts everything staged in one batch call and hands the resulting
+  /// kTaggedRecord frames to the checking node with one PushBatch.
+  void FlushStaged();
 
   /// Per-publication record codec, rebuilt when the publication turns
   /// over (each publication has its own derived AES key).
@@ -123,6 +130,14 @@ class ComputingNodeImpl {
   crypto::SecureRandom rng_;
   std::optional<record::SecureRecordCodec> codec_;
   uint64_t codec_pn_ = ~0ULL;
+  /// Batch encryptor bound to `codec_`'s stable address (std::optional
+  /// re-emplacement never moves the object), created with the first
+  /// codec. All scratch inside it is reused across batches.
+  std::optional<record::SecureRecordCodec::BatchEncryptor> enc_;
+  /// Reused parse target and outbound staging buffer (ciphertexts are
+  /// encrypted in place into out_[i].payload).
+  record::Record scratch_rec_;
+  std::vector<net::Message> out_;
   std::atomic<uint64_t> parse_errors_{0};
   std::atomic<uint64_t> codec_failures_{0};
   net::Node node_;
@@ -172,6 +187,7 @@ class CheckingNodeImpl {
         : leaves(noise), randomer(buffer_size, rng) {}
   };
 
+  bool HandleBatch(std::vector<net::Message>& batch);
   bool Handle(net::Message&& m);
   void HandleTemplate(net::Message&& m);
   void HandleRecord(net::Message&& m);
@@ -179,6 +195,13 @@ class CheckingNodeImpl {
   void HandlePublish(net::Message&& m);
   void FailPublication(uint64_t pn, const std::string& reason);
   void EvictStalePending(uint64_t closed_pn);
+
+  /// Hands the accumulated output of one input batch downstream, one
+  /// PushBatch per link. Cloud flushes before merger: the merger's
+  /// kIndexPublication for a publication must enter the cloud inbox
+  /// behind all of that publication's kCloudRecord frames, and the
+  /// merger cannot see the AL snapshot before this cloud flush lands.
+  void FlushOutputs();
 
   const CollectorConfig& config_;
   net::MailboxPtr merger_;
@@ -189,6 +212,12 @@ class CheckingNodeImpl {
   std::map<uint64_t, IntervalState> states_;
   std::map<uint64_t, std::vector<net::Message>> pending_;
   std::map<uint64_t, size_t> publish_votes_;
+  /// Per-batch outbound staging; Handle appends, FlushOutputs drains.
+  /// FIFO order within each buffer preserves the per-link protocol
+  /// ordering (kPublicationStart before records, records before the AL
+  /// snapshot, kShutdown last).
+  std::vector<net::Message> cloud_out_;
+  std::vector<net::Message> merger_out_;
   size_t shutdown_votes_ = 0;
   std::atomic<uint64_t> pending_dropped_{0};
   std::atomic<uint64_t> publications_flushed_{0};
@@ -220,6 +249,12 @@ class MergerImpl {
   uint64_t publications_shipped() const {
     return publications_shipped_.load(std::memory_order_relaxed);
   }
+  /// Publications failed because overflow-array dummies could not be
+  /// encrypted (previously those shipped with empty slots — a
+  /// distinguishable, privacy-breaking publication).
+  uint64_t codec_failures() const {
+    return codec_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct PendingPublication {
@@ -227,9 +262,11 @@ class MergerImpl {
     std::vector<net::Message> removed;
   };
 
+  bool HandleBatch(std::vector<net::Message>& batch);
   bool Handle(net::Message&& m);
   void FinishPublication(net::Message&& snap);
   void FailPublication(uint64_t pn, const std::string& reason);
+  void FlushOutputs();
 
   const CollectorConfig& config_;
   const crypto::KeyManager* keys_;
@@ -238,8 +275,11 @@ class MergerImpl {
   net::MailboxPtr acks_;
   crypto::SecureRandom rng_;
   std::map<uint64_t, PendingPublication> pending_;
+  /// Per-batch outbound staging toward the cloud (see CheckingNodeImpl).
+  std::vector<net::Message> cloud_out_;
   std::atomic<uint64_t> overflow_drops_{0};
   std::atomic<uint64_t> publications_shipped_{0};
+  std::atomic<uint64_t> codec_failures_{0};
   net::Node node_;
 };
 

@@ -36,6 +36,26 @@ struct CollectorConfig {
   /// Mailbox capacity per link (bounded, for back-pressure).
   size_t mailbox_capacity = 8192;
 
+  /// Max messages a pipeline stage pops (and pushes downstream) per
+  /// mailbox lock acquisition. Under load batches fill from natural
+  /// queue depth, amortizing the lock/wakeup and letting the computing
+  /// nodes interleave the records' AES-CBC chains in one hardware batch;
+  /// at low rate a stage still processes each message the moment it
+  /// arrives (see pipeline_linger_us). 1 disables batching.
+  size_t pipeline_batch_size = 64;
+
+  /// Upper bound, in microseconds, a stage may wait for a partially
+  /// filled batch to grow before processing it. 0 (default) never waits:
+  /// batching then adds no latency at low arrival rates. Positive values
+  /// trade bounded per-hop latency for fuller batches on sparse traffic.
+  uint64_t pipeline_linger_us = 0;
+
+  /// Records the dispatcher buffers per computing node before flushing
+  /// them downstream as one PushBatch. Buffers also flush at publication
+  /// boundaries and shutdown, so records never strand; 1 forwards each
+  /// record individually.
+  size_t dispatch_batch_size = 64;
+
   /// Plaintext padding length of dummy records; pick near the dataset's
   /// typical record size so ciphertext lengths blend in.
   size_t dummy_padding_len = 64;

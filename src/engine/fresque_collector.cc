@@ -1,5 +1,6 @@
 #include "engine/fresque_collector.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -55,6 +56,7 @@ Status FresqueCollector::Start() {
     computing_.push_back(std::make_unique<internal::ComputingNodeImpl>(
         i, config_, *binning, &key_manager_, checking_->inbox()));
   }
+  dispatch_buf_.assign(computing_.size(), {});
 
   // The ack consumer outlives the pipeline: cloud installs complete
   // asynchronously, possibly after Shutdown() returned.
@@ -103,7 +105,7 @@ Status FresqueCollector::Ingest(std::string_view line) {
       d.leaf = leaf;
       d.dummy = true;
       d.born_ns = now_ns;
-      computing_[rr_++ % computing_.size()]->inbox()->Push(std::move(d));
+      DispatchBuffered(std::move(d));
       FRESQUE_COUNTER_ADD("ingest.dummy_records", 1);
     }
   }
@@ -112,10 +114,29 @@ Status FresqueCollector::Ingest(std::string_view line) {
   m.pn = pn_;
   m.born_ns = now_ns;
   m.payload.assign(line.begin(), line.end());
-  computing_[rr_++ % computing_.size()]->inbox()->Push(std::move(m));
+  DispatchBuffered(std::move(m));
   ++open_interval_lines_;
   FRESQUE_COUNTER_ADD("ingest.records_in", 1);
   return Status::OK();
+}
+
+void FresqueCollector::DispatchBuffered(net::Message&& m) {
+  const size_t cn = rr_++ % computing_.size();
+  auto& buf = dispatch_buf_[cn];
+  buf.push_back(std::move(m));
+  if (buf.size() >= std::max<size_t>(1, config_.dispatch_batch_size)) {
+    computing_[cn]->inbox()->PushBatch(buf.data(), buf.size());
+    buf.clear();
+  }
+}
+
+void FresqueCollector::FlushDispatchBuffers() {
+  for (size_t cn = 0; cn < computing_.size(); ++cn) {
+    auto& buf = dispatch_buf_[cn];
+    if (buf.empty()) continue;
+    computing_[cn]->inbox()->PushBatch(buf.data(), buf.size());
+    buf.clear();
+  }
 }
 
 void FresqueCollector::SetIntervalProgress(double fraction) {
@@ -135,10 +156,13 @@ void FresqueCollector::PublishCurrentInterval() {
       d.leaf = leaf;
       d.dummy = true;
       d.born_ns = now_ns;
-      computing_[rr_++ % computing_.size()]->inbox()->Push(std::move(d));
+      DispatchBuffered(std::move(d));
       FRESQUE_COUNTER_ADD("ingest.dummy_records", 1);
     }
   }
+  // Per-link FIFO is the barrier's correctness condition: every buffered
+  // record must enter its node's mailbox before that node's kPublish.
+  FlushDispatchBuffers();
   for (auto& cn : computing_) {
     net::Message p;
     p.type = net::MessageType::kPublish;
@@ -175,6 +199,7 @@ Status FresqueCollector::Shutdown() {
   if (open_interval_lines_ > 0) {
     PublishCurrentInterval();
   }
+  FlushDispatchBuffers();  // no-op after publish; safety for the skip path
 
   for (auto& cn : computing_) {
     net::Message s;
@@ -239,6 +264,7 @@ uint64_t FresqueCollector::parse_errors() const {
 uint64_t FresqueCollector::codec_failures() const {
   uint64_t t = 0;
   for (const auto& cn : computing_) t += cn->codec_failures();
+  if (merger_) t += merger_->codec_failures();
   return t;
 }
 

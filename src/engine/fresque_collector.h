@@ -141,6 +141,15 @@ class FresqueCollector {
   /// computing nodes for the current interval, without opening the next.
   void PublishCurrentInterval();
 
+  /// Buffers one raw-line/dummy frame for its round-robin computing node,
+  /// flushing that node's buffer as one PushBatch when it reaches
+  /// config_.dispatch_batch_size.
+  void DispatchBuffered(net::Message&& m);
+  /// Hands every buffered frame to its computing node. Must run before
+  /// any barrier frame (kPublish/kShutdown) so per-link FIFO keeps
+  /// records ahead of the barrier.
+  void FlushDispatchBuffers();
+
   CollectorConfig config_;
   crypto::KeyManager key_manager_;
   net::MailboxPtr cloud_inbox_;
@@ -161,6 +170,10 @@ class FresqueCollector {
   uint64_t pn_ = 0;
   uint64_t open_interval_lines_ = 0;  // Ingest() calls since OpenInterval
   size_t rr_ = 0;  // round-robin cursor over computing nodes
+  /// Per-computing-node dispatch buffers (dispatcher-thread state):
+  /// frames accumulate here and enter the node's mailbox in one PushBatch
+  /// of config_.dispatch_batch_size, amortizing the mailbox lock/wakeup.
+  std::vector<std::vector<net::Message>> dispatch_buf_;
   bool started_ = false;
   bool shut_down_ = false;
 };

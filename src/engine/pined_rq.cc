@@ -126,10 +126,8 @@ Status PinedRqCollector::Publish() {
       ++report.dummy_records;
     }
   }
-  overflow.PadWithDummies([&] {
-    auto d = codec->EncryptDummy(config_.dummy_padding_len);
-    return d.ok() ? std::move(*d) : Bytes{};
-  });
+  FRESQUE_RETURN_NOT_OK(overflow.PadWithDummies(
+      [&] { return codec->EncryptDummy(config_.dummy_padding_len); }));
 
   // Step 4: ship everything as one synchronous publication.
   net::Message start;

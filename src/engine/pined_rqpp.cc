@@ -149,10 +149,8 @@ Status PinedRqPpCollector::Publish() {
     Status st = overflow.Insert(leaf, std::move(*ct), &rng_);
     if (!st.ok() && !st.IsResourceExhausted()) return st;
   }
-  overflow.PadWithDummies([&] {
-    auto d = codec_->EncryptDummy(config_.dummy_padding_len);
-    return d.ok() ? std::move(*d) : Bytes{};
-  });
+  FRESQUE_RETURN_NOT_OK(overflow.PadWithDummies(
+      [&] { return codec_->EncryptDummy(config_.dummy_padding_len); }));
 
   net::Message table_msg;
   table_msg.type = net::MessageType::kMatchingTable;

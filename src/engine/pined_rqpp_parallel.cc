@@ -303,10 +303,8 @@ Status ParallelPinedRqPpCollector::Publish() {
     Status st = overflow.Insert(leaf, std::move(*ct), &rng_);
     if (!st.ok() && !st.IsResourceExhausted()) return st;
   }
-  overflow.PadWithDummies([&] {
-    auto d = codec_->EncryptDummy(config_.dummy_padding_len);
-    return d.ok() ? std::move(*d) : Bytes{};
-  });
+  FRESQUE_RETURN_NOT_OK(overflow.PadWithDummies(
+      [&] { return codec_->EncryptDummy(config_.dummy_padding_len); }));
 
   // Merge the worker partitions: every partial count tree adds onto the
   // checker's template (noise + removed-record counts); the matching

@@ -32,11 +32,33 @@ class OverflowArrays {
   Status Insert(size_t i, Bytes e_record, crypto::SecureRandom* rng);
 
   /// Fills every remaining empty slot with `make_dummy()` ciphertexts.
+  /// `make_dummy` may return Bytes or Result<Bytes>; the first failure
+  /// aborts the pad and is returned, leaving later slots empty. A
+  /// partially padded array must not ship — an empty slot would reveal
+  /// which slots hold real removed records — so callers fail the whole
+  /// publication on error instead of publishing.
   template <typename DummyFn>
-  void PadWithDummies(DummyFn&& make_dummy) {
+  Status PadWithDummies(DummyFn&& make_dummy) {
     for (auto& leaf : slots_) {
       for (auto& slot : leaf) {
-        if (slot.empty()) slot = make_dummy();
+        if (!slot.empty()) continue;
+        Result<Bytes> d = make_dummy();
+        if (!d.ok()) return d.status();
+        slot = std::move(*d);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Visits every still-empty slot as a mutable Bytes*. Slot storage is
+  /// stable, so callers may retain the pointers until the arrays are
+  /// next mutated — this is what lets the merger stage all dummies into
+  /// one hardware-interleaved batch encrypt instead of one call per slot.
+  template <typename Fn>
+  void ForEachEmptySlot(Fn&& fn) {
+    for (auto& leaf : slots_) {
+      for (auto& slot : leaf) {
+        if (slot.empty()) fn(&slot);
       }
     }
   }

@@ -40,14 +40,28 @@ const char* MessageTypeToString(MessageType t) {
 }
 
 Bytes Message::Serialize() const {
-  BinaryWriter w;
-  w.PutU8(static_cast<uint8_t>(type));
-  w.PutU64(pn);
-  w.PutU64(leaf);
-  w.PutU8(dummy ? 1 : 0);
-  w.PutU64(static_cast<uint64_t>(born_ns));
-  w.PutBytes(payload);
-  return w.Release();
+  Bytes out;
+  SerializeAppend(&out);
+  return out;
+}
+
+void Message::SerializeAppend(Bytes* out) const {
+  out->reserve(out->size() + SerializedSize());
+  auto put_u64 = [out](uint64_t v) {
+    for (size_t i = 0; i < sizeof(v); ++i) {
+      out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  out->push_back(static_cast<uint8_t>(type));
+  put_u64(pn);
+  put_u64(leaf);
+  out->push_back(dummy ? 1 : 0);
+  put_u64(static_cast<uint64_t>(born_ns));
+  const uint32_t plen = static_cast<uint32_t>(payload.size());
+  for (size_t i = 0; i < sizeof(plen); ++i) {
+    out->push_back(static_cast<uint8_t>(plen >> (8 * i)));
+  }
+  out->insert(out->end(), payload.begin(), payload.end());
 }
 
 Result<Message> Message::Deserialize(const Bytes& data) {

@@ -76,6 +76,14 @@ struct Message {
 
   /// Wire encoding; used by tests and by the frame-counting transports.
   Bytes Serialize() const;
+
+  /// Appends the wire encoding to `*out` (same bytes as Serialize); a
+  /// reused buffer makes repeated serialization allocation-free.
+  void SerializeAppend(Bytes* out) const;
+
+  /// Bytes SerializeAppend will append for this message.
+  size_t SerializedSize() const { return 30 + payload.size(); }
+
   static Result<Message> Deserialize(const Bytes& data);
 };
 

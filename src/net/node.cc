@@ -15,6 +15,20 @@ Node::Node(std::string name, MailboxPtr inbox,
     : name_(std::move(name)),
       inbox_(std::move(inbox)),
       handler_(std::move(handler)) {
+  AttachWaitHook();
+}
+
+Node::Node(std::string name, MailboxPtr inbox, BatchHandler handler,
+           size_t batch_size, std::chrono::nanoseconds linger)
+    : name_(std::move(name)),
+      inbox_(std::move(inbox)),
+      batch_handler_(std::move(handler)),
+      batch_size_(batch_size < 1 ? 1 : batch_size),
+      linger_(linger) {
+  AttachWaitHook();
+}
+
+void Node::AttachWaitHook() {
 #if FRESQUE_TELEMETRY_ENABLED
   // Per-node time-in-queue histogram: "queue.cn0.wait_ns" etc. The hook
   // only records a relaxed-atomic sample, as the queue contract requires.
@@ -34,7 +48,13 @@ void Node::Start() {
   if (started_) return;
   started_ = true;
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Loop(); });
+  thread_ = std::thread([this] {
+    if (batch_handler_) {
+      BatchLoop();
+    } else {
+      Loop();
+    }
+  });
 }
 
 void Node::Loop() {
@@ -46,6 +66,22 @@ void Node::Loop() {
     if (!msg.has_value()) break;  // closed and drained
     frames_.fetch_add(1, std::memory_order_relaxed);
     if (!handler_(std::move(*msg))) break;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Node::BatchLoop() {
+#if FRESQUE_TELEMETRY_ENABLED
+  telemetry::Tracer::Global()->SetCurrentThreadName(name_);
+#endif
+  std::vector<Message> batch;
+  batch.reserve(batch_size_);
+  for (;;) {
+    batch.clear();
+    const size_t n = inbox_->PopBatch(&batch, batch_size_, linger_);
+    if (n == 0) break;  // closed and drained
+    frames_.fetch_add(n, std::memory_order_relaxed);
+    if (!batch_handler_(batch)) break;
   }
   running_.store(false, std::memory_order_release);
 }

@@ -2,10 +2,13 @@
 #define FRESQUE_NET_NODE_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "net/message.h"
 
@@ -30,10 +33,26 @@ namespace net {
 /// of the single-threaded setup phase).
 class Node {
  public:
+  /// Handler invoked with each batch the loop pops (size in
+  /// [1, batch_size]); returns false to stop the loop. The vector is
+  /// owned by the loop and reused across iterations, so steady state
+  /// costs no allocation; the handler may consume/move its elements
+  /// freely (the loop clears it).
+  using BatchHandler = std::function<bool(std::vector<Message>&)>;
+
   /// `handler` is invoked on the node's own thread for every frame and
   /// returns false to stop. It must be callable until Join() returns.
   Node(std::string name, MailboxPtr inbox,
        std::function<bool(Message&&)> handler);
+
+  /// Batched variant: the loop pops up to `batch_size` messages per lock
+  /// acquisition (PopBatch) and hands them to the handler together. Under
+  /// load, batches form from natural queue depth; `linger` additionally
+  /// lets a partially-filled pop wait that long for stragglers (bounded
+  /// latency cost, 0 = never wait — see BoundedQueue::PopBatch).
+  Node(std::string name, MailboxPtr inbox, BatchHandler handler,
+       size_t batch_size,
+       std::chrono::nanoseconds linger = std::chrono::nanoseconds(0));
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -66,10 +85,15 @@ class Node {
 
  private:
   void Loop();
+  void BatchLoop();
+  void AttachWaitHook();
 
   std::string name_;
   MailboxPtr inbox_;
   std::function<bool(Message&&)> handler_;
+  BatchHandler batch_handler_;
+  size_t batch_size_ = 1;
+  std::chrono::nanoseconds linger_{0};
   std::thread thread_;
   std::atomic<uint64_t> frames_{0};
   std::atomic<bool> running_{false};

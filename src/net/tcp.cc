@@ -92,6 +92,29 @@ Status TcpConnection::Send(const Message& m) {
   return Status::OK();
 }
 
+Status TcpConnection::SendBatch(const Message* msgs, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  if (n == 0) return Status::OK();
+  // Gather every frame (u32 length || body, same as Send) into one
+  // reused buffer and flush it with a single syscall. Coalescing in user
+  // space rather than via writev keeps the iovec bookkeeping (IOV_MAX
+  // chunking, partial-write resume straddling iovecs) out of the path —
+  // the kernel sees one contiguous write either way.
+  send_buf_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t len = static_cast<uint32_t>(msgs[i].SerializedSize());
+    for (int b = 0; b < 4; ++b) {
+      send_buf_.push_back(static_cast<uint8_t>(len >> (8 * b)));
+    }
+    msgs[i].SerializeAppend(&send_buf_);
+  }
+  FRESQUE_RETURN_NOT_OK(WriteAll(send_buf_.data(), send_buf_.size()));
+  FRESQUE_COUNTER_ADD("net.tcp.frames_sent", n);
+  FRESQUE_COUNTER_ADD("net.tcp.bytes_sent", send_buf_.size());
+  FRESQUE_COUNTER_ADD("net.tcp.batch_flushes", 1);
+  return Status::OK();
+}
+
 Result<Message> TcpConnection::Receive() {
   if (fd_ < 0) return Status::FailedPrecondition("connection closed");
   uint8_t header[4];

@@ -29,6 +29,13 @@ class TcpConnection {
   /// Writes one frame: u32 length || Message bytes.
   Status Send(const Message& m);
 
+  /// Writes `n` frames with one writev-style gathered flush instead of a
+  /// send syscall (or two) per frame. The wire format is identical to n
+  /// consecutive Send calls; only the syscall count changes, which is
+  /// what makes batched egress cheap. Serialization scratch is retained
+  /// across calls, so steady-state batches do not allocate.
+  Status SendBatch(const Message* msgs, size_t n);
+
   /// Reads one frame; blocks. Returns kCancelled on orderly peer close.
   Result<Message> Receive();
 
@@ -42,6 +49,9 @@ class TcpConnection {
   Status ReadAll(uint8_t* data, size_t len);
 
   int fd_ = -1;
+  /// Reusable SendBatch scratch: all headers+frames of a batch, back to
+  /// back, written with one gathered flush.
+  Bytes send_buf_;
 };
 
 /// Listening socket on 127.0.0.1.

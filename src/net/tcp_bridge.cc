@@ -1,5 +1,7 @@
 #include "net/tcp_bridge.h"
 
+#include <vector>
+
 #include "common/logging.h"
 
 namespace fresque {
@@ -21,11 +23,30 @@ Result<std::unique_ptr<TcpEgress>> TcpEgress::Connect(
 TcpEgress::~TcpEgress() { Shutdown(); }
 
 void TcpEgress::Pump() {
+  // Drain the mailbox in batches and flush each as one gathered write:
+  // under load one syscall covers dozens of frames. PopBatch with no
+  // linger returns the moment a single frame is available, so sparse
+  // traffic still goes out immediately.
+  constexpr size_t kBatch = 64;
+  std::vector<Message> batch;
+  batch.reserve(kBatch);
   for (;;) {
-    auto m = mailbox_->Pop();
-    if (!m.has_value()) return;  // mailbox closed and drained
-    bool is_shutdown = m->type == MessageType::kShutdown;
-    Status st = conn_.Send(*m);
+    batch.clear();
+    if (mailbox_->PopBatch(&batch, kBatch) == 0) {
+      return;  // mailbox closed and drained
+    }
+    // Nothing after a kShutdown frame may reach the peer (the receiving
+    // pump stops at it anyway): truncate the batch there.
+    size_t n = batch.size();
+    bool is_shutdown = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (batch[i].type == MessageType::kShutdown) {
+        is_shutdown = true;
+        n = i + 1;
+        break;
+      }
+    }
+    Status st = conn_.SendBatch(batch.data(), n);
     if (!st.ok()) {
       MutexLock lock(mu_);
       if (first_error_.ok()) {

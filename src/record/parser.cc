@@ -63,10 +63,17 @@ Result<std::unique_ptr<ApacheLogParser>> ApacheLogParser::Create() {
 }
 
 Result<Record> ApacheLogParser::Parse(std::string_view line) const {
+  Record rec;
+  Status st = ParseInto(line, &rec);
+  if (!st.ok()) return st;
+  return rec;
+}
+
+Status ApacheLogParser::ParseInto(std::string_view line, Record* out) const {
   // host - - [dd/Mon/yyyy:HH:MM:SS -0400] "request" status bytes
   size_t sp = line.find(' ');
   if (sp == std::string_view::npos) return ParseError("host", line);
-  std::string host(line.substr(0, sp));
+  std::string_view host = line.substr(0, sp);
 
   size_t lb = line.find('[', sp);
   size_t rb = (lb == std::string_view::npos) ? std::string_view::npos
@@ -95,7 +102,7 @@ Result<Record> ApacheLogParser::Parse(std::string_view line) const {
   size_t q2 = (q1 == std::string_view::npos) ? std::string_view::npos
                                              : line.find('"', q1 + 1);
   if (q2 == std::string_view::npos) return ParseError("request", line);
-  std::string request(line.substr(q1 + 1, q2 - q1 - 1));
+  std::string_view request = line.substr(q1 + 1, q2 - q1 - 1);
 
   std::string_view tail = line.substr(q2 + 1);
   while (!tail.empty() && tail.front() == ' ') tail.remove_prefix(1);
@@ -113,19 +120,28 @@ Result<Record> ApacheLogParser::Parse(std::string_view line) const {
   }
   if (!status.ok()) return ParseError("status value", line);
 
-  std::vector<Value> values;
-  values.reserve(5);
-  values.emplace_back(std::move(host));
-  values.emplace_back(epoch);
-  values.emplace_back(std::move(request));
-  values.emplace_back(*status);
-  values.emplace_back(bytes_val);
-  return Record(std::move(values));
+  // Overwrite in place: SetString reuses the previous call's string
+  // capacity, so a recycled Record parses without allocating.
+  auto& values = out->values();
+  values.resize(5);
+  values[0].SetString(host);
+  values[1].SetInt64(epoch);
+  values[2].SetString(request);
+  values[3].SetInt64(*status);
+  values[4].SetInt64(bytes_val);
+  return Status::OK();
 }
 
 Result<Record> CsvParser::Parse(std::string_view line) const {
-  std::vector<Value> values;
-  values.reserve(schema_.num_fields());
+  Record rec;
+  Status st = ParseInto(line, &rec);
+  if (!st.ok()) return st;
+  return rec;
+}
+
+Status CsvParser::ParseInto(std::string_view line, Record* out) const {
+  auto& values = out->values();
+  values.resize(schema_.num_fields());
   size_t start = 0;
   for (size_t i = 0; i < schema_.num_fields(); ++i) {
     size_t comma = line.find(',', start);
@@ -142,22 +158,22 @@ Result<Record> CsvParser::Parse(std::string_view line) const {
       case ValueType::kInt64: {
         auto v = ParseInt(cell);
         if (!v.ok()) return v.status();
-        values.emplace_back(*v);
+        values[i].SetInt64(*v);
         break;
       }
       case ValueType::kDouble: {
         auto v = ParseDouble(cell);
         if (!v.ok()) return v.status();
-        values.emplace_back(*v);
+        values[i].SetDouble(*v);
         break;
       }
       case ValueType::kString:
-        values.emplace_back(std::string(cell));
+        values[i].SetString(cell);
         break;
     }
     start = comma + 1;
   }
-  return Record(std::move(values));
+  return Status::OK();
 }
 
 }  // namespace record

@@ -23,6 +23,19 @@ class LineParser {
 
   virtual Result<Record> Parse(std::string_view line) const = 0;
 
+  /// Parses into an existing Record, reusing its values' storage: string
+  /// fields keep their capacity across calls, so a per-thread scratch
+  /// Record makes steady-state parsing allocation-free. On error `*out`
+  /// may hold a partial mix of old and new values — treat it as garbage
+  /// until the next successful call. The default forwards to Parse;
+  /// concrete parsers on the ingest hot path override it.
+  virtual Status ParseInto(std::string_view line, Record* out) const {
+    auto rec = Parse(line);
+    if (!rec.ok()) return rec.status();
+    *out = std::move(*rec);
+    return Status::OK();
+  }
+
   /// Schema of the records this parser produces.
   virtual const Schema& schema() const = 0;
 };
@@ -36,6 +49,7 @@ class ApacheLogParser : public LineParser {
   static Result<std::unique_ptr<ApacheLogParser>> Create();
 
   Result<Record> Parse(std::string_view line) const override;
+  Status ParseInto(std::string_view line, Record* out) const override;
   const Schema& schema() const override { return schema_; }
 
  private:
@@ -53,6 +67,7 @@ class CsvParser : public LineParser {
   explicit CsvParser(Schema schema) : schema_(std::move(schema)) {}
 
   Result<Record> Parse(std::string_view line) const override;
+  Status ParseInto(std::string_view line, Record* out) const override;
   const Schema& schema() const override { return schema_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "record/record.h"
 
+#include <cstring>
 #include <sstream>
 
 namespace fresque {
@@ -24,33 +25,66 @@ std::string Record::ToString() const {
   return os.str();
 }
 
+namespace {
+
+// Little-endian appends matching BinaryWriter's wire format, writing
+// straight into a caller-owned buffer so the hot path can reuse capacity.
+inline void AppendU64Le(uint64_t v, Bytes* out) {
+  for (size_t i = 0; i < sizeof(v); ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void AppendU32Le(uint32_t v, Bytes* out) {
+  for (size_t i = 0; i < sizeof(v); ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
 Result<Bytes> RecordCodec::Serialize(const Record& rec) const {
+  Bytes out;
+  Status st = SerializeAppend(rec, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status RecordCodec::SerializeAppend(const Record& rec, Bytes* out) const {
   if (rec.num_values() != schema_->num_fields()) {
     return Status::InvalidArgument(
         "record arity does not match schema: " +
         std::to_string(rec.num_values()) + " vs " +
         std::to_string(schema_->num_fields()));
   }
-  BinaryWriter w;
+  const size_t rollback = out->size();
   for (size_t i = 0; i < rec.num_values(); ++i) {
     const Value& v = rec.value(i);
     if (v.type() != schema_->field(i).type) {
+      out->resize(rollback);
       return Status::InvalidArgument("value type mismatch at field " +
                                      schema_->field(i).name);
     }
     switch (v.type()) {
       case ValueType::kInt64:
-        w.PutI64(v.AsInt64());
+        AppendU64Le(static_cast<uint64_t>(v.AsInt64()), out);
         break;
-      case ValueType::kDouble:
-        w.PutF64(v.AsDouble());
+      case ValueType::kDouble: {
+        uint64_t bits;
+        double d = v.AsDouble();
+        std::memcpy(&bits, &d, sizeof(bits));
+        AppendU64Le(bits, out);
         break;
-      case ValueType::kString:
-        w.PutString(v.AsString());
+      }
+      case ValueType::kString: {
+        const std::string& s = v.AsString();
+        AppendU32Le(static_cast<uint32_t>(s.size()), out);
+        out->insert(out->end(), s.begin(), s.end());
         break;
+      }
     }
   }
-  return w.Release();
+  return Status::OK();
 }
 
 Result<Record> RecordCodec::Deserialize(const Bytes& data) const {

@@ -46,6 +46,12 @@ class RecordCodec {
   /// Fails if the record shape does not match the schema.
   Result<Bytes> Serialize(const Record& rec) const;
 
+  /// Appends the serialized record to `*out` without clearing it. With a
+  /// reused buffer the retained capacity makes repeated calls
+  /// allocation-free, which is what the computing nodes' batch path
+  /// relies on. On error `*out` is left unchanged.
+  Status SerializeAppend(const Record& rec, Bytes* out) const;
+
   Result<Record> Deserialize(const Bytes& data) const;
 
   const Schema& schema() const { return *schema_; }

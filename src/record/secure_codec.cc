@@ -33,6 +33,59 @@ Result<Bytes> SecureRecordCodec::EncryptDummy(size_t padding_len) {
                       [this](uint8_t* out, size_t n) { rng_->Fill(out, n); });
 }
 
+Status SecureRecordCodec::BatchEncryptor::StageRecord(const Record& rec,
+                                                      Bytes* out) {
+  const size_t start = arena_.size();
+  arena_.push_back(kKindReal);
+  Status st = codec_->codec_.SerializeAppend(rec, &arena_);
+  if (!st.ok()) {
+    arena_.resize(start);
+    return st;
+  }
+  offsets_.push_back(start);
+  outs_.push_back(out);
+  return Status::OK();
+}
+
+void SecureRecordCodec::BatchEncryptor::StageSerializedRecord(const Bytes& body,
+                                                              Bytes* out) {
+  offsets_.push_back(arena_.size());
+  arena_.push_back(kKindReal);
+  arena_.insert(arena_.end(), body.begin(), body.end());
+  outs_.push_back(out);
+}
+
+void SecureRecordCodec::BatchEncryptor::StageDummy(size_t padding_len,
+                                                   Bytes* out) {
+  const size_t start = arena_.size();
+  arena_.resize(start + 1 + padding_len);
+  arena_[start] = kKindDummy;
+  codec_->rng_->Fill(arena_.data() + start + 1, padding_len);
+  offsets_.push_back(start);
+  outs_.push_back(out);
+}
+
+Status SecureRecordCodec::BatchEncryptor::Flush() {
+  const size_t n = outs_.size();
+  if (n == 0) return Status::OK();
+  // Item pointers are resolved only now: the arena cannot reallocate
+  // under them anymore.
+  items_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t end = (i + 1 < n) ? offsets_[i + 1] : arena_.size();
+    items_[i] = crypto::CbcBatchItem{arena_.data() + offsets_[i],
+                                     end - offsets_[i], outs_[i]};
+  }
+  crypto::SecureRandom* rng = codec_->rng_;
+  Status st = codec_->cbc_.EncryptBatch(
+      items_.data(), n, [rng](uint8_t* p, size_t len) { rng->Fill(p, len); },
+      &scratch_);
+  arena_.clear();
+  offsets_.clear();
+  outs_.clear();
+  return st;
+}
+
 Result<SecureRecordCodec::Opened> SecureRecordCodec::Decrypt(
     const Bytes& e_record) const {
   auto plain = cbc_.Decrypt(e_record);

@@ -42,6 +42,45 @@ class SecureRecordCodec {
   /// same distribution as real ones.
   Result<Bytes> EncryptDummy(size_t padding_len);
 
+  /// Stages many records and encrypts them in one AES batch call, letting
+  /// hardware backends interleave the CBC chains across the instruction
+  /// pipeline. All plaintexts accumulate in one reusable arena, so the
+  /// steady-state stage/flush cycle performs zero heap allocations (the
+  /// arena, item lists and every `out` buffer retain their capacity).
+  ///
+  /// Usage: Stage* each record with the Bytes* that should receive its
+  /// ciphertext, then Flush() once per batch. The out pointers must stay
+  /// valid until Flush returns; a failed Flush leaves the out buffers
+  /// unspecified and clears the batch.
+  class BatchEncryptor {
+   public:
+    explicit BatchEncryptor(SecureRecordCodec* codec) : codec_(codec) {}
+
+    /// Serializes and stages a real record. Serialization errors surface
+    /// here (the record is not staged); crypto errors surface at Flush.
+    Status StageRecord(const Record& rec, Bytes* out);
+
+    /// Stages an already-serialized real record body.
+    void StageSerializedRecord(const Bytes& body, Bytes* out);
+
+    /// Stages a dummy of `padding_len` random bytes.
+    void StageDummy(size_t padding_len, Bytes* out);
+
+    /// Records currently staged and not yet flushed.
+    size_t staged() const { return outs_.size(); }
+
+    /// Encrypts everything staged (no-op when empty) and resets.
+    Status Flush();
+
+   private:
+    SecureRecordCodec* codec_;
+    Bytes arena_;                  ///< kind||body plaintexts, back to back
+    std::vector<size_t> offsets_;  ///< start of each plaintext in arena_
+    std::vector<Bytes*> outs_;
+    std::vector<crypto::CbcBatchItem> items_;
+    crypto::CbcBatchScratch scratch_;
+  };
+
   /// Decryption outcome: a real record or a recognized dummy.
   struct Opened {
     bool is_dummy = false;
@@ -52,6 +91,9 @@ class SecureRecordCodec {
   Result<Opened> Decrypt(const Bytes& e_record) const;
 
   const Schema& schema() const { return codec_.schema(); }
+
+  /// AES backend the codec's cipher dispatches to.
+  const char* crypto_backend_name() const { return cbc_.backend_name(); }
 
  private:
   SecureRecordCodec(crypto::AesCbc cbc, const Schema* schema,

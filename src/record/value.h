@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "common/result.h"
@@ -35,6 +36,21 @@ class Value {
   bool is_int64() const { return type() == ValueType::kInt64; }
   bool is_double() const { return type() == ValueType::kDouble; }
   bool is_string() const { return type() == ValueType::kString; }
+
+  /// In-place mutators for hot-path reuse: a Record's values can be
+  /// overwritten without destroying them, and SetString reuses the
+  /// existing string's capacity when the value already holds one —
+  /// steady-state parsing then allocates nothing (see
+  /// LineParser::ParseInto).
+  void SetInt64(int64_t v) { repr_ = v; }
+  void SetDouble(double v) { repr_ = v; }
+  void SetString(std::string_view s) {
+    if (auto* existing = std::get_if<std::string>(&repr_)) {
+      existing->assign(s.data(), s.size());
+    } else {
+      repr_.emplace<std::string>(s);
+    }
+  }
 
   int64_t AsInt64() const { return std::get<int64_t>(repr_); }
   double AsDouble() const { return std::get<double>(repr_); }

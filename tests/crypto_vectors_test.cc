@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/bytes.h"
 #include "crypto/aes.h"
 #include "crypto/cbc.h"
@@ -14,6 +16,20 @@ namespace crypto {
 namespace {
 
 Bytes Hex(const std::string& s) { return std::move(FromHex(s)).ValueOrDie(); }
+
+/// Every backend compiled into this binary and usable on this CPU: the
+/// software tables always, plus the hardware backend (AES-NI / ARMv8 CE)
+/// when present. Known-answer tests run against each so a dispatch bug
+/// can never hide behind whichever backend kAuto happens to pick.
+std::vector<Aes::Backend> UsableBackends() {
+  std::vector<Aes::Backend> b{Aes::Backend::kSoftware};
+  if (Aes::HardwareBackendAvailable()) b.push_back(Aes::Backend::kHardware);
+  return b;
+}
+
+const char* BackendLabel(Aes::Backend b) {
+  return b == Aes::Backend::kSoftware ? "soft" : "hardware";
+}
 
 // SP 800-38A F.2: the shared 4-block plaintext and IV.
 const char* kCbcIv = "000102030405060708090a0b0c0d0e0f";
@@ -30,19 +46,22 @@ struct CbcVector {
 
 class CbcNistTest : public ::testing::TestWithParam<CbcVector> {};
 
-TEST_P(CbcNistTest, FourBlockChainMatches) {
+TEST_P(CbcNistTest, FourBlockChainMatchesOnEveryBackend) {
   const auto& v = GetParam();
-  auto cbc = AesCbc::Create(Hex(v.key));
-  ASSERT_TRUE(cbc.ok());
-  auto ct = cbc->EncryptWithIv(Hex(kCbcPlain), Hex(kCbcIv));
-  ASSERT_TRUE(ct.ok());
-  // Our output: IV || C1..C4 || padding block. Compare C1..C4.
-  Bytes body(ct->begin() + 16, ct->begin() + 16 + 64);
-  EXPECT_EQ(ToHex(body), v.cipher);
-  // And the whole thing decrypts back.
-  auto pt = cbc->Decrypt(*ct);
-  ASSERT_TRUE(pt.ok());
-  EXPECT_EQ(*pt, Hex(kCbcPlain));
+  for (Aes::Backend backend : UsableBackends()) {
+    SCOPED_TRACE(BackendLabel(backend));
+    auto cbc = AesCbc::Create(Hex(v.key), backend);
+    ASSERT_TRUE(cbc.ok());
+    auto ct = cbc->EncryptWithIv(Hex(kCbcPlain), Hex(kCbcIv));
+    ASSERT_TRUE(ct.ok());
+    // Our output: IV || C1..C4 || padding block. Compare C1..C4.
+    Bytes body(ct->begin() + 16, ct->begin() + 16 + 64);
+    EXPECT_EQ(ToHex(body), v.cipher);
+    // And the whole thing decrypts back.
+    auto pt = cbc->Decrypt(*ct);
+    ASSERT_TRUE(pt.ok());
+    EXPECT_EQ(*pt, Hex(kCbcPlain));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -99,6 +118,120 @@ TEST(AesDecryptInvertsEncryptProperty, AllKeySizesRandomBlocks) {
       EXPECT_EQ(Bytes(back, back + 16), block);
       // A block cipher must not be the identity.
       EXPECT_NE(Bytes(ct, ct + 16), block);
+    }
+  }
+}
+
+// FIPS 197 Appendix C single-block examples, all three key sizes, run
+// against every compiled backend.
+struct BlockVector {
+  const char* key;
+  const char* cipher;
+};
+
+class AesFips197Test : public ::testing::TestWithParam<BlockVector> {};
+
+TEST_P(AesFips197Test, SingleBlockMatchesOnEveryBackend) {
+  const auto& v = GetParam();
+  const Bytes plain = Hex("00112233445566778899aabbccddeeff");
+  for (Aes::Backend backend : UsableBackends()) {
+    SCOPED_TRACE(BackendLabel(backend));
+    auto aes = Aes::Create(Hex(v.key), backend);
+    ASSERT_TRUE(aes.ok());
+    uint8_t ct[16], back[16];
+    aes->EncryptBlock(plain.data(), ct);
+    EXPECT_EQ(ToHex(Bytes(ct, ct + 16)), v.cipher);
+    aes->DecryptBlock(ct, back);
+    EXPECT_EQ(Bytes(back, back + 16), plain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fips197AppendixC, AesFips197Test,
+    ::testing::Values(
+        // C.1 AES-128.
+        BlockVector{"000102030405060708090a0b0c0d0e0f",
+                    "69c4e0d86a7b0430d8cdb78070b4c55a"},
+        // C.2 AES-192.
+        BlockVector{"000102030405060708090a0b0c0d0e0f1011121314151617",
+                    "dda97ca4864cdfe06eaf70a0ec0d7191"},
+        // C.3 AES-256.
+        BlockVector{"000102030405060708090a0b0c0d0e0f"
+                    "101112131415161718191a1b1c1d1e1f",
+                    "8ea2b7ca516745bfeafc49904b496089"}));
+
+// Hardware and software backends must be byte-identical on arbitrary
+// inputs, not just the standard vectors: 10k random key/IV/plaintext
+// triples across all key sizes and lengths spanning the padding edge
+// cases (empty, sub-block, exact multiples, multi-block).
+TEST(AesBackendCrossCheck, RandomTriplesEncryptIdentically) {
+  if (!Aes::HardwareBackendAvailable()) {
+    GTEST_SKIP() << "no hardware AES backend on this CPU/build";
+  }
+  SecureRandom rng(20260807);
+  constexpr size_t kTriples = 10000;
+  const size_t key_sizes[] = {16, 24, 32};
+  for (size_t i = 0; i < kTriples; ++i) {
+    Bytes key = rng.RandomBytes(key_sizes[i % 3]);
+    auto soft = AesCbc::Create(key, Aes::Backend::kSoftware);
+    auto hw = AesCbc::Create(key, Aes::Backend::kHardware);
+    ASSERT_TRUE(soft.ok());
+    ASSERT_TRUE(hw.ok());
+    Bytes iv = rng.RandomBytes(16);
+    Bytes plain = rng.RandomBytes(rng.NextU64() % 193);  // 0..192 bytes
+    auto ct_soft = soft->EncryptWithIv(plain, iv);
+    auto ct_hw = hw->EncryptWithIv(plain, iv);
+    ASSERT_TRUE(ct_soft.ok());
+    ASSERT_TRUE(ct_hw.ok());
+    ASSERT_EQ(*ct_soft, *ct_hw) << "triple " << i;
+    // Decrypt cross-wise: each backend opens the other's ciphertext.
+    auto pt_a = soft->Decrypt(*ct_hw);
+    auto pt_b = hw->Decrypt(*ct_soft);
+    ASSERT_TRUE(pt_a.ok());
+    ASSERT_TRUE(pt_b.ok());
+    ASSERT_EQ(*pt_a, plain);
+    ASSERT_EQ(*pt_b, plain);
+  }
+}
+
+// The interleaved batch path must produce exactly what the one-at-a-time
+// path produces: for every item of every batch, re-encrypting its
+// plaintext under the IV the batch chose yields the same ciphertext on
+// both backends.
+TEST(AesBackendCrossCheck, BatchEncryptMatchesSingleMessagePath) {
+  SecureRandom rng(7);
+  for (Aes::Backend backend : UsableBackends()) {
+    SCOPED_TRACE(BackendLabel(backend));
+    Bytes key = rng.RandomBytes(16);
+    auto cbc = AesCbc::Create(key, backend);
+    auto soft = AesCbc::Create(key, Aes::Backend::kSoftware);
+    ASSERT_TRUE(cbc.ok());
+    ASSERT_TRUE(soft.ok());
+    CbcBatchScratch scratch;
+    // Uneven lengths exercise the lockstep groups (8/4/2) and the serial
+    // tails together.
+    for (size_t round = 0; round < 50; ++round) {
+      const size_t n = 1 + rng.NextU64() % 37;
+      std::vector<Bytes> plains(n), outs(n);
+      std::vector<CbcBatchItem> items(n);
+      for (size_t i = 0; i < n; ++i) {
+        plains[i] = rng.RandomBytes(rng.NextU64() % 160);
+        items[i] = {plains[i].data(), plains[i].size(), &outs[i]};
+      }
+      Status st = cbc->EncryptBatch(
+          items.data(), n, [&](uint8_t* out, size_t len) { rng.Fill(out, len); },
+          &scratch);
+      ASSERT_TRUE(st.ok());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_GE(outs[i].size(), 32u);
+        Bytes iv(outs[i].begin(), outs[i].begin() + 16);
+        auto expect = soft->EncryptWithIv(plains[i], iv);
+        ASSERT_TRUE(expect.ok());
+        ASSERT_EQ(outs[i], *expect) << "round " << round << " item " << i;
+        auto back = soft->Decrypt(outs[i]);
+        ASSERT_TRUE(back.ok());
+        ASSERT_EQ(*back, plains[i]);
+      }
     }
   }
 }

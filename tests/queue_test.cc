@@ -3,6 +3,7 @@
 // scripts/tsan_tests.sh TSan run list).
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -145,6 +146,156 @@ TEST(QueueTest, MultiProducerMultiConsumerConservesItems) {
   EXPECT_EQ(q.rejected(), 0u);
   EXPECT_GE(q.high_watermark(), 1u);
   EXPECT_LE(q.high_watermark(), q.capacity());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch API: PushBatch / PopBatch.
+
+TEST(QueueTest, PushBatchLargerThanCapacityDeliversEverything) {
+  BoundedQueue<int> q(4);
+  std::vector<int> popped;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    // PopBatch returns at least one item per call until closed+drained.
+    while (q.PopBatch(&batch, 3) > 0) {
+      popped.insert(popped.end(), batch.begin(), batch.end());
+      batch.clear();
+    }
+  });
+  std::vector<int> items;
+  for (int i = 0; i < 100; ++i) items.push_back(i);
+  // Blocks on the full queue and keeps going as the consumer drains.
+  EXPECT_EQ(q.PushBatch(items.data(), items.size()), 100u);
+  q.Close();
+  consumer.join();
+  ASSERT_EQ(popped.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(popped[i], i);  // FIFO preserved
+  EXPECT_EQ(q.enqueued(), 100u);
+  EXPECT_EQ(q.rejected(), 0u);
+}
+
+TEST(QueueTest, PopBatchTakesUpToMaxAndAppends) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  std::vector<int> batch{-1};  // PopBatch appends, never clears
+  EXPECT_EQ(q.PopBatch(&batch, 3), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{-1, 0, 1, 2}));
+  EXPECT_EQ(q.PopBatch(&batch, 100), 2u);  // rest, not blocking for more
+  EXPECT_EQ(batch, (std::vector<int>{-1, 0, 1, 2, 3, 4}));
+}
+
+TEST(QueueTest, CloseMidPushBatchSplitsAcceptedFromRejected) {
+  BoundedQueue<int> q(2);
+  std::vector<int> items{1, 2, 3, 4, 5};
+  std::thread producer([&] {
+    // Accepts 2, blocks full, then Close() rejects the remaining 3.
+    EXPECT_EQ(q.PushBatch(items.data(), items.size()), 2u);
+  });
+  while (q.size() < 2) std::this_thread::yield();
+  q.Close();
+  producer.join();
+  EXPECT_EQ(q.enqueued(), 2u);
+  EXPECT_EQ(q.rejected_closed(), 3u);
+  EXPECT_EQ(q.rejected_full(), 0u);
+  // The accepted prefix is still poppable after close.
+  std::vector<int> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 10), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.PopBatch(&batch, 10), 0u);  // closed + drained: terminal
+}
+
+TEST(QueueTest, PushBatchOnClosedQueueRejectsAll) {
+  BoundedQueue<int> q(8);
+  q.Close();
+  std::vector<int> items{1, 2, 3};
+  EXPECT_EQ(q.PushBatch(items.data(), items.size()), 0u);
+  EXPECT_EQ(q.rejected_closed(), 3u);
+}
+
+TEST(QueueTest, PopBatchLingerIsBoundedWhenBatchStaysPartial) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.Push(42));
+  const auto linger = std::chrono::milliseconds(50);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<int> batch;
+  // One item, max 4: the pop lingers for stragglers but must return at
+  // the deadline — this bound is what keeps tail latency from regressing
+  // at low rates (linger only ever delays a *partial* batch).
+  EXPECT_EQ(q.PopBatch(&batch, 4, linger), 1u);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, linger);
+  EXPECT_LT(elapsed, 10 * linger);  // bounded, generous for CI jitter
+  EXPECT_EQ(batch, (std::vector<int>{42}));
+
+  // A full batch never waits: with max items already queued the linger
+  // deadline is irrelevant.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(i));
+  const auto start2 = std::chrono::steady_clock::now();
+  batch.clear();
+  EXPECT_EQ(q.PopBatch(&batch, 4, std::chrono::seconds(30)), 4u);
+  EXPECT_LT(std::chrono::steady_clock::now() - start2,
+            std::chrono::seconds(5));
+}
+
+TEST(QueueTest, PopBatchZeroLingerNeverWaitsForStragglers) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.Push(1));
+  std::vector<int> batch;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.PopBatch(&batch, 64), 1u);  // default linger = 0
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+// Batch-API MPMC stress twin of the per-item test above: mixed batch
+// sizes, every item delivered exactly once. In the TSan run list.
+TEST(QueueTest, BatchMultiProducerMultiConsumerConservesItems) {
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 3;
+  constexpr uint64_t kPerProducer = 4992;  // divisible by the batch mix
+
+  BoundedQueue<uint64_t> q(64);
+  std::atomic<uint64_t> popped{0};
+  std::atomic<uint64_t> sum{0};
+
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<uint64_t> batch;
+      while (q.PopBatch(&batch, 7) > 0) {
+        for (uint64_t v : batch) sum.fetch_add(v, std::memory_order_relaxed);
+        popped.fetch_add(batch.size(), std::memory_order_relaxed);
+        batch.clear();
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      uint64_t next = p * kPerProducer;
+      const uint64_t end = next + kPerProducer;
+      size_t batch_size = 1;
+      while (next < end) {
+        std::vector<uint64_t> batch;
+        for (size_t i = 0; i < batch_size && next < end; ++i) {
+          batch.push_back(next++);
+        }
+        ASSERT_EQ(q.PushBatch(batch.data(), batch.size()), batch.size());
+        batch_size = batch_size % 96 + 1;  // 1..96, crossing capacity
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(q.enqueued(), kTotal);
+  EXPECT_EQ(q.rejected(), 0u);
   EXPECT_EQ(q.size(), 0u);
 }
 
