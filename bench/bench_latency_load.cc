@@ -1,44 +1,297 @@
-// Supplementary: collector sojourn latency vs offered load (not a paper
-// figure — the paper reports throughput and publish times only — but the
-// natural SLO view of the same pipeline). Classic queueing behaviour:
-// latency is flat until utilization approaches 1, then explodes; Poisson
-// (bursty) sources pay more than a smooth clocked source at the same
-// rate.
+// Collector sojourn latency vs offered load, measured on the *real
+// threaded* pipeline (not the simulator — the simulator has no model of
+// batching, linger, or the adaptive controller, which is exactly what
+// this bench compares).
+//
+// Open-loop driver, coordinated-omission-free: arrival times are
+// precomputed (bench/arrivals.h), the sender paces against that schedule,
+// and every record's latency is measured from its *intended* arrival —
+// not from when the (possibly lagging) sender actually got around to
+// pushing it. A previous version of this bench timed each send from
+// "now", which is why its deterministic p99 sat at a constant ~80 µs
+// across loads: whenever the pipeline pushed back, the sender stalled,
+// the stall was excluded from every sample, and the tail it caused
+// vanished from the report.
+//
+// Two configurations per load point, identical ceilings (batch 64,
+// linger 200 µs — the static tuning the README used to recommend for
+// throughput):
+//   static:   knobs applied verbatim at every node
+//   adaptive: per-node controller (net::BatchOptions::Adaptive) — batch
+//             follows backlog, linger engages only under measured
+//             overload
+// plus burst/diurnal arrival shapes and a 120%-of-capacity sustained
+// overload row where admission control sheds (adaptive column) instead
+// of letting back-pressure stall the world (static column).
 
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/arrivals.h"
 #include "bench/bench_util.h"
-#include "sim/pipeline.h"
+#include "bench/drivers.h"
+#include "common/clock.h"
+#include "common/stats.h"
+#include "net/message.h"
+#include "net/node.h"
 
+using fresque::LatencyRecorder;
+using fresque::SystemClock;
+using fresque::bench::ArrivalShape;
+using fresque::bench::ArrivalShapeName;
 using fresque::bench::Fmt;
+using fresque::bench::MakeArrivalScheduleNs;
+using fresque::bench::MakeConfig;
 using fresque::bench::TableWriter;
+using fresque::bench::ValueOrExit;
+
+namespace {
+
+int64_t NowNs() { return SystemClock::Global()->NowNanos(); }
+
+struct LoadResult {
+  double mean_us = 0;
+  double p99_us = 0;
+  double shed_pct = 0;
+  uint64_t samples = 0;
+};
+
+/// One open-loop run: `n` records offered at `rate_rps` with the given
+/// arrival shape, latency measured from intended arrival to cloud-inbox
+/// delivery. A bench-side sink node stands in for the cloud so both
+/// configurations are measured at the same point.
+///
+/// Sampling stops before the interval-close flush: the randomer holds a
+/// uniformly random subset of records until the publication barrier *by
+/// design* (that holdback is the privacy mechanism, identical in both
+/// configurations, and proportional to experiment length — not a
+/// property of the batching under test). The run therefore drains the
+/// pipeline after the last send, then stops recording before Shutdown()
+/// publishes the interval. Records still resident in the randomer at
+/// that point simply contribute no sample.
+LoadResult RunLoad(fresque::engine::CollectorConfig cfg,
+                   const fresque::record::DatasetSpec& spec,
+                   ArrivalShape shape, size_t n, double rate_rps) {
+  // Sink: record (now - born_ns) for every record frame. Samples are
+  // collected into a plain vector on the sink thread and handed to the
+  // (single-owner) LatencyRecorder on this thread after the join.
+  std::vector<int64_t> sunk;
+  sunk.reserve(n + n / 4);
+  std::atomic<bool> recording{true};
+  std::atomic<uint64_t> arrived{0};
+  fresque::net::Node sink(
+      "bench-sink", fresque::net::MakeMailbox(cfg.mailbox_capacity),
+      [&sunk, &recording, &arrived](
+          std::vector<fresque::net::Message>& batch) {
+        for (auto& m : batch) {
+          if (m.type == fresque::net::MessageType::kShutdown) return false;
+          if ((m.type == fresque::net::MessageType::kCloudRecord ||
+               m.type == fresque::net::MessageType::kCloudTaggedRecord) &&
+              m.born_ns != 0) {
+            arrived.fetch_add(1, std::memory_order_relaxed);
+            if (recording.load(std::memory_order_relaxed)) {
+              sunk.push_back(NowNs() - m.born_ns);
+            }
+          }
+        }
+        return true;
+      },
+      fresque::net::BatchOptions::Adaptive(64, std::chrono::nanoseconds(0)));
+  sink.Start();
+
+  fresque::crypto::KeyManager keys(fresque::Bytes(32, 0x42));
+  fresque::engine::FresqueCollector collector(cfg, keys, sink.inbox());
+  auto st = collector.Start();
+  if (!st.ok()) {
+    std::cerr << "collector start failed: " << st.ToString() << "\n";
+    std::exit(1);
+  }
+
+  auto gen = fresque::record::MakeGenerator(spec, 99 + n);
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  for (size_t i = 0; i < n; ++i) lines.push_back((*gen)->NextLine());
+  const std::vector<int64_t> sched =
+      MakeArrivalScheduleNs(shape, n, rate_rps, /*seed=*/17);
+
+  const int64_t start = NowNs();
+  // Pace by sleeping, never spinning, and never more often than once per
+  // kMinSleepNs: a spinning sender competes with the pipeline threads
+  // for cores, and per-record sleeps at 100k+ records/s burn the core in
+  // nanosleep churn — either way the pipeline starves and every load
+  // point reads as saturated on a small host. Coarse wakes instead: each
+  // wake sends every record whose intended time has passed as one
+  // catch-up burst. Records are never sent early, and latency is stamped
+  // from *intended* time, so the bounded send lag this adds (~kMinSleepNs
+  // worst case, identical for both configurations) stays honest.
+  constexpr int64_t kMinSleepNs = 200000;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t intended = start + sched[i];
+    const int64_t ahead = intended - NowNs();
+    if (ahead > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(std::max(ahead, kMinSleepNs)));
+    }
+    if ((i & 1023) == 0) {
+      collector.SetIntervalProgress(static_cast<double>(i) /
+                                    static_cast<double>(n));
+    }
+    (void)collector.Ingest(lines[i], fresque::engine::IngestPriority::kNormal,
+                           intended);
+  }
+  // Drain: wait for cloud-inbox arrivals to plateau so every genuinely
+  // queued record is sampled (this is where a backlogged configuration
+  // honestly pays its tail), then stop recording before the interval
+  // publishes and the randomer flushes its residents.
+  const int64_t drain_deadline = NowNs() + 30ll * 1000 * 1000 * 1000;
+  uint64_t last_count = arrived.load(std::memory_order_relaxed);
+  int64_t last_change = NowNs();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const uint64_t now_count = arrived.load(std::memory_order_relaxed);
+    const int64_t now = NowNs();
+    if (now_count != last_count) {
+      last_count = now_count;
+      last_change = now;
+    } else if (now - last_change > 200 * 1000 * 1000) {
+      break;  // no arrivals for 200 ms: the streaming path is dry
+    }
+    if (now > drain_deadline) break;
+  }
+  recording.store(false, std::memory_order_relaxed);
+  const uint64_t shed = collector.shed_records();
+  (void)collector.Shutdown();  // publishes the open interval, drains
+  sink.Stop();
+  sink.Join();
+
+  LatencyRecorder rec;
+  for (int64_t s : sunk) rec.Add(static_cast<double>(s));
+  LoadResult r;
+  r.samples = rec.count();
+  if (r.samples > 0) {
+    r.mean_us = rec.Mean() / 1e3;
+    r.p99_us = rec.Quantile(0.99) / 1e3;
+  }
+  r.shed_pct = 100.0 * static_cast<double>(shed) / static_cast<double>(n);
+  return r;
+}
+
+/// Closed-loop capacity of the static-knob pipeline on this host: feed
+/// records as fast as Ingest accepts them and time the drain.
+double MeasureCapacity(fresque::engine::CollectorConfig cfg,
+                       const fresque::record::DatasetSpec& spec,
+                       uint64_t records) {
+  fresque::net::Node sink(
+      "bench-sink", fresque::net::MakeMailbox(cfg.mailbox_capacity),
+      [](std::vector<fresque::net::Message>& batch) {
+        for (auto& m : batch) {
+          if (m.type == fresque::net::MessageType::kShutdown) return false;
+        }
+        return true;
+      },
+      fresque::net::BatchOptions::Adaptive(64, std::chrono::nanoseconds(0)));
+  sink.Start();
+  fresque::crypto::KeyManager keys(fresque::Bytes(32, 0x42));
+  fresque::engine::FresqueCollector collector(cfg, keys, sink.inbox());
+  (void)collector.Start();
+  auto gen = fresque::record::MakeGenerator(spec, 555);
+  std::vector<std::string> lines;
+  lines.reserve(records);
+  for (uint64_t i = 0; i < records; ++i) lines.push_back((*gen)->NextLine());
+  fresque::Stopwatch watch;
+  for (auto& line : lines) (void)collector.Ingest(line);
+  (void)collector.Shutdown();
+  const double seconds = watch.ElapsedSeconds();
+  sink.Stop();
+  sink.Join();
+  return static_cast<double>(records) / seconds;
+}
+
+}  // namespace
 
 int main() {
-  fresque::bench::PrintEnvironmentHeader();
-  auto nasa = fresque::sim::PaperProfileNasa();
-  constexpr size_t kNodes = 12;
+  auto nasa = ValueOrExit(fresque::record::NasaDataset());
+  // 2 computing nodes: this bench measures latency, and every thread
+  // beyond the core count adds context-switch noise to the tail, not
+  // capacity (the paper's 4..12-node sweeps are throughput experiments).
+  constexpr size_t kNodes = 2;
 
-  fresque::sim::SimConfig base;
-  base.num_records = 500000;
+  // Coarse bins + a loose privacy budget keep the randomer buffer small
+  // (S = alpha * T scales with leaves * noise): with the defaults the
+  // privacy holdback alone is hundreds of milliseconds per record at
+  // these rates, burying the scheduling latency this bench isolates.
+  // Both columns share whatever randomer delay remains — same seed,
+  // same dummy schedule — so the comparison is unaffected.
+  auto bench_spec = nasa;
+  bench_spec.bin_width *= 64;
+  auto make_cfg = [&](bool adaptive) {
+    auto cfg = MakeConfig(bench_spec, kNodes);
+    cfg.epsilon = 4.0;
+    cfg.pipeline_batch_size = 64;
+    cfg.pipeline_linger_us = 200;  // the old static throughput tuning
+    cfg.adaptive_batching = adaptive;
+    return cfg;
+  };
 
-  // Capacity at 12 nodes ≈ 166k rec/s (Fig 9); sweep utilization.
-  auto capacity =
-      fresque::sim::SimulateFresque(nasa, kNodes, base).throughput_rps;
+  const double capacity = MeasureCapacity(make_cfg(false), nasa, 400000);
+  std::cout << "# closed-loop capacity (static knobs, k=" << kNodes
+            << "): " << Fmt(capacity, "%.0f") << " records/s\n";
 
   TableWriter table(
-      "Collector latency vs offered load (NASA paper profile, 12 nodes)",
-      {"load_pct", "det_mean_us", "det_p99_us", "poisson_mean_us",
-       "poisson_p99_us"});
-  for (double load : {0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99}) {
-    auto cfg = base;
-    cfg.offered_rate_rps = capacity * load;
-    auto det = fresque::sim::SimulateFresque(nasa, kNodes, cfg);
-    cfg.poisson_arrivals = true;
-    auto poi = fresque::sim::SimulateFresque(nasa, kNodes, cfg);
-    table.Row({Fmt(load * 100, "%.0f"),
-               Fmt(det.mean_latency_seconds * 1e6, "%.1f"),
-               Fmt(det.p99_latency_seconds * 1e6, "%.1f"),
-               Fmt(poi.mean_latency_seconds * 1e6, "%.1f"),
-               Fmt(poi.p99_latency_seconds * 1e6, "%.1f")});
+      "Live collector latency vs offered load, intended-arrival timing "
+      "(static batch=64/linger=200us vs adaptive, same ceilings)",
+      {"load_pct", "shape", "static_mean_us", "static_p99_us",
+       "adaptive_mean_us", "adaptive_p99_us", "adaptive_shed_pct"});
+
+  // Each cell is the median-of-3 (by p99) of independent runs: a single
+  // sub-second run on a loaded host can land on either side of a backlog
+  // excursion, and a p99 flip from scheduler luck would swamp the
+  // static/adaptive contrast this table exists to show.
+  auto run_median = [&](const fresque::engine::CollectorConfig& cfg,
+                        ArrivalShape shape, size_t n, double rate) {
+    std::vector<LoadResult> runs;
+    for (int rep = 0; rep < 3; ++rep) runs.push_back(RunLoad(cfg, nasa, shape, n, rate));
+    std::sort(runs.begin(), runs.end(),
+              [](const LoadResult& a, const LoadResult& b) {
+                return a.p99_us < b.p99_us;
+              });
+    return runs[1];
+  };
+
+  auto run_row = [&](double load, ArrivalShape shape, bool shed_at_120) {
+    const double rate = capacity * load;
+    // ~1 s of traffic per run, bounded so overload rows finish.
+    const size_t n = std::clamp<size_t>(
+        static_cast<size_t>(rate * 1.0), 20000, 1000000);
+    auto stat_cfg = make_cfg(false);
+    auto adap_cfg = make_cfg(true);
+    if (shed_at_120) {
+      // The overload row: admission keeps the adaptive pipeline inside
+      // its capacity; the static run takes the full brunt through
+      // back-pressure.
+      adap_cfg.admission.enabled = true;
+      adap_cfg.admission.shed_high_watermark = 0.5;
+      adap_cfg.admission.shed_low_watermark = 0.25;
+    }
+    LoadResult s = run_median(stat_cfg, shape, n, rate);
+    LoadResult a = run_median(adap_cfg, shape, n, rate);
+    table.Row({Fmt(load * 100, "%.0f"), ArrivalShapeName(shape),
+               Fmt(s.mean_us, "%.1f"), Fmt(s.p99_us, "%.1f"),
+               Fmt(a.mean_us, "%.1f"), Fmt(a.p99_us, "%.1f"),
+               Fmt(a.shed_pct, "%.1f")});
+  };
+
+  for (double load : {0.5, 0.8, 0.9, 0.95}) {
+    run_row(load, ArrivalShape::kDeterministic, false);
+    run_row(load, ArrivalShape::kPoisson, false);
   }
+  run_row(0.9, ArrivalShape::kPoissonBurst, false);
+  run_row(0.9, ArrivalShape::kDiurnal, false);
+  run_row(1.2, ArrivalShape::kPoisson, true);
+
   table.WriteCsv("latency_load");
   return 0;
 }

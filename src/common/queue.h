@@ -129,10 +129,20 @@ class BoundedQueue {
   /// means batches form only from natural queue depth under load and an
   /// idle-queue pop returns the moment one item arrives). Returns the
   /// number popped; 0 means closed-and-drained, the terminal state.
+  ///
+  /// `backlog_after`, when non-null, receives the queue depth left behind
+  /// by this pop, observed under the same lock acquisition — a free
+  /// congestion signal for adaptive consumers (net::Node's controller):
+  /// popping a full batch while a backlog remains means the consumer is
+  /// behind; an empty backlog with an underfilled batch means the queue
+  /// is short and batching should cost no latency.
   size_t PopBatch(std::vector<T>* out, size_t max,
-                  std::chrono::nanoseconds linger = std::chrono::nanoseconds(0))
-      FRESQUE_EXCLUDES(mu_) {
-    if (max == 0) return 0;
+                  std::chrono::nanoseconds linger = std::chrono::nanoseconds(0),
+                  size_t* backlog_after = nullptr) FRESQUE_EXCLUDES(mu_) {
+    if (max == 0) {
+      if (backlog_after != nullptr) *backlog_after = size();
+      return 0;
+    }
     size_t popped = 0;
     {
       MutexLock lock(mu_);
@@ -151,6 +161,7 @@ class BoundedQueue {
         StampPopLocked();
         ++popped;
       }
+      if (backlog_after != nullptr) *backlog_after = items_.size();
     }
     if (popped > 1) {
       not_full_.NotifyAll();

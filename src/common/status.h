@@ -21,6 +21,10 @@ enum class StatusCode {
   kUnimplemented = 10,
   kInternal = 11,
   kDeadlineExceeded = 12,
+  /// The system is shedding load: the request was rejected at admission
+  /// (queue watermarks or the token bucket), not failed mid-flight. The
+  /// caller may retry later or at a higher priority.
+  kOverloaded = 13,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -76,6 +80,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -96,6 +103,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

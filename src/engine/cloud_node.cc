@@ -6,11 +6,9 @@
 namespace fresque {
 namespace engine {
 
-CloudNode::CloudNode(cloud::CloudServer* server, size_t mailbox_capacity)
+CloudNode::CloudNode(cloud::CloudServer* server, size_t mailbox_capacity,
+                     net::BatchOptions batching)
     : server_(server),
-      // Batched pop: record floods drain with one mailbox lock/wakeup per
-      // batch instead of per frame. No linger — a lone frame is handled
-      // the moment it arrives.
       node_(
           "cloud", net::MakeMailbox(mailbox_capacity),
           [this](std::vector<net::Message>& batch) {
@@ -19,7 +17,7 @@ CloudNode::CloudNode(cloud::CloudServer* server, size_t mailbox_capacity)
             }
             return true;
           },
-          /*batch_size=*/64) {}
+          batching) {}
 
 void CloudNode::Shutdown() {
   node_.Stop();

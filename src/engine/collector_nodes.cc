@@ -106,6 +106,14 @@ uint64_t PublicationTracker::completed_failed() const {
   return n;
 }
 
+net::BatchOptions PipelineBatching(const CollectorConfig& config) {
+  const net::BatchOptions ceilings{
+      config.pipeline_batch_size,
+      std::chrono::microseconds(config.pipeline_linger_us),
+      config.adaptive_batching};
+  return ceilings;
+}
+
 net::Message MakeFailureAck(uint64_t pn, const std::string& reason) {
   net::Message ack;
   ack.type = net::MessageType::kPublicationAck;
@@ -130,8 +138,7 @@ ComputingNodeImpl::ComputingNodeImpl(size_t id, const CollectorConfig& config,
       node_("cn" + std::to_string(id),
             net::MakeMailbox(config.mailbox_capacity),
             [this](std::vector<net::Message>& b) { return HandleBatch(b); },
-            config.pipeline_batch_size,
-            std::chrono::microseconds(config.pipeline_linger_us)) {}
+            PipelineBatching(config)) {}
 
 bool ComputingNodeImpl::HandleBatch(std::vector<net::Message>& batch) {
   // Raw lines of the same publication are staged into one batch encrypt:
@@ -281,8 +288,7 @@ CheckingNodeImpl::CheckingNodeImpl(const CollectorConfig& config,
       rng_(config.seed ^ 0xC0FFEE),
       node_("checking", net::MakeMailbox(config.mailbox_capacity),
             [this](std::vector<net::Message>& b) { return HandleBatch(b); },
-            config.pipeline_batch_size,
-            std::chrono::microseconds(config.pipeline_linger_us)) {}
+            PipelineBatching(config)) {}
 
 bool CheckingNodeImpl::HandleBatch(std::vector<net::Message>& batch) {
   bool keep_going = true;
@@ -497,8 +503,7 @@ MergerImpl::MergerImpl(const CollectorConfig& config,
       rng_(config.seed ^ 0x4D455247),  // "MERG"
       node_("merger", net::MakeMailbox(config.mailbox_capacity),
             [this](std::vector<net::Message>& b) { return HandleBatch(b); },
-            config.pipeline_batch_size,
-            std::chrono::microseconds(config.pipeline_linger_us)) {}
+            PipelineBatching(config)) {}
 
 bool MergerImpl::HandleBatch(std::vector<net::Message>& batch) {
   bool keep_going = true;

@@ -5,11 +5,68 @@
 #include <cstddef>
 #include <string>
 
+#include "common/status.h"
 #include "durability/wal.h"
 #include "record/dataset.h"
 
 namespace fresque {
 namespace engine {
+
+/// Importance class a client attaches to an ingested record. Only
+/// admission control looks at it: once admitted, every record moves
+/// through the pipeline identically (reordering by priority would break
+/// the per-publication conservation accounting).
+enum class IngestPriority {
+  /// Sheddable background traffic: first to go when queues fill.
+  kLow = 0,
+  /// Default for all existing callers.
+  kNormal = 1,
+  /// Never shed by the queue-fill watermarks (back-pressure still
+  /// applies) and allowed to overdraw the token bucket.
+  kHigh = 2,
+};
+
+/// Admission control at the collector's ingest boundary. Off by default —
+/// all existing callers see unchanged behavior (blocking back-pressure).
+/// When enabled, Ingest() sheds load *before* a record enters the
+/// pipeline, returning StatusCode::kOverloaded instead of letting the
+/// client's offered rate convert into unbounded queueing delay: a shed
+/// request costs the client one retry; an admitted-then-queued request
+/// costs every subsequent record the queue wait.
+///
+/// Two independent gates, either of which sheds:
+///  - queue-fill watermarks over the pipeline's input mailboxes
+///    (computing-node, checking-node and merger inboxes, whichever is
+///    fullest — the merger inbox is where backlog pools when the
+///    bottleneck sits downstream of the collector).
+///    kLow records shed above `shed_low_watermark`, kNormal above
+///    `shed_high_watermark`, kHigh never (it blocks on back-pressure
+///    instead, preserving the lossless path for must-deliver traffic).
+///  - an optional token bucket capping the sustained admitted rate at
+///    `rate_records_per_sec` with burst capacity `burst_records`
+///    (0 disables the bucket). kHigh may overdraw the bucket.
+///
+/// Shed records are counted in `ingest.shed_records` (and per-priority
+/// shed counters) but never in `ingest.records_in`, so the pipeline's
+/// conservation ledger — records in + dummies == arrived + rejected +
+/// removed + dropped — continues to balance over *admitted* records.
+struct AdmissionConfig {
+  bool enabled = false;
+
+  /// Fill fraction of the fullest pipeline input mailbox above which
+  /// kLow records are shed. Must be in (0, 1] and <= shed_high_watermark.
+  double shed_low_watermark = 0.50;
+
+  /// Fill fraction above which kNormal records are shed.
+  double shed_high_watermark = 0.85;
+
+  /// Sustained admitted-records-per-second cap; 0 disables the bucket.
+  double rate_records_per_sec = 0;
+
+  /// Bucket depth: how far the admitted rate may burst above the
+  /// sustained cap. Ignored when the bucket is disabled.
+  double burst_records = 1024;
+};
 
 /// Shared configuration of every collector prototype (PINED-RQ,
 /// PINED-RQ++, parallel PINED-RQ++, FRESQUE). Defaults mirror the paper's
@@ -48,7 +105,20 @@ struct CollectorConfig {
   /// filled batch to grow before processing it. 0 (default) never waits:
   /// batching then adds no latency at low arrival rates. Positive values
   /// trade bounded per-hop latency for fuller batches on sparse traffic.
+  /// With `adaptive_batching` on this is a ceiling the per-node
+  /// controller engages only under measured overload.
   uint64_t pipeline_linger_us = 0;
+
+  /// Let each pipeline node adapt its effective batch size and linger at
+  /// runtime between 1/0 and the ceilings above, driven by observed
+  /// backlog and sampled queue-wait telemetry (see net::BatchOptions).
+  /// On (the default), the static knobs cost nothing at low load and
+  /// their full amortization under pressure; off reproduces the
+  /// pre-adaptive fixed-knob behavior exactly.
+  bool adaptive_batching = true;
+
+  /// Load shedding at the ingest boundary; see AdmissionConfig.
+  AdmissionConfig admission;
 
   /// Records the dispatcher buffers per computing node before flushing
   /// them downstream as one PushBatch. Buffers also flush at publication
@@ -70,6 +140,15 @@ struct CollectorConfig {
   /// Seed for all collector-side randomness; same seed => same noise,
   /// dummies and schedules (tests and reproducible experiments).
   uint64_t seed = 42;
+
+  /// Rejects nonsensical knob combinations before any thread spawns,
+  /// so a bad deployment fails at startup with a message naming the
+  /// offending knob instead of deadlocking (zero-capacity mailbox),
+  /// silently stalling (dispatch batches that can never fit a mailbox)
+  /// or quietly costing latency (linger configured while batching is
+  /// disabled). Called by FresqueCollector::Start(); standalone tools
+  /// may call it directly to fail fast before touching the pipeline.
+  Status Validate() const;
 };
 
 /// Cloud-side durability settings (WAL + snapshots). Durability is off

@@ -35,13 +35,11 @@ FresqueCollector::~FresqueCollector() {
 
 Status FresqueCollector::Start() {
   if (started_) return Status::FailedPrecondition("already started");
+  FRESQUE_RETURN_NOT_OK(config_.Validate());
   auto binning = index::DomainBinning::Create(config_.dataset.domain_min,
                                               config_.dataset.domain_max,
                                               config_.dataset.bin_width);
   if (!binning.ok()) return binning.status();
-  if (config_.num_computing_nodes == 0) {
-    return Status::InvalidArgument("need at least one computing node");
-  }
 
   reports_ = std::make_unique<internal::ReportSink>();
   merger_ = std::make_unique<internal::MergerImpl>(
@@ -83,7 +81,94 @@ Status FresqueCollector::Start() {
 
   started_ = true;
   pn_ = 0;
+  if (config_.admission.enabled && config_.admission.rate_records_per_sec > 0) {
+    bucket_tokens_ = config_.admission.burst_records;
+    bucket_refill_ns_ = SystemClock::Global()->NowNanos();
+  }
   return OpenInterval();
+}
+
+Status FresqueCollector::Admit(IngestPriority priority) {
+  const AdmissionConfig& adm = config_.admission;
+
+  // Gate 1: token bucket over the admitted rate. Refilled from the wall
+  // clock (the telemetry clock compiles out in FRESQUE_TELEMETRY=OFF
+  // builds); kHigh may overdraw — the bucket protects against sustained
+  // aggregate rate, not against must-deliver traffic.
+  if (adm.rate_records_per_sec > 0 && priority != IngestPriority::kHigh) {
+    const int64_t now = SystemClock::Global()->NowNanos();
+    const double elapsed_s =
+        static_cast<double>(now - bucket_refill_ns_) * 1e-9;
+    if (elapsed_s > 0) {
+      bucket_tokens_ = std::min(
+          adm.burst_records,
+          bucket_tokens_ + elapsed_s * adm.rate_records_per_sec);
+      bucket_refill_ns_ = now;
+    }
+    if (bucket_tokens_ < 1.0) {
+      return Status::Overloaded("admitted rate above " +
+                                std::to_string(adm.rate_records_per_sec) +
+                                " records/s");
+    }
+    bucket_tokens_ -= 1.0;
+  }
+
+  // Gate 2: queue-fill watermarks over the pipeline's input mailboxes.
+  // size() takes each queue's lock, so the fill fractions are sampled
+  // every kAdmissionSampleStride records rather than per record — a
+  // stride of 32 bounds the staleness to microseconds at overload rates
+  // while keeping the dispatcher off the nodes' locks.
+  if (admission_ticks_++ % kAdmissionSampleStride == 0) {
+    double fill = 0;
+    for (const auto& cn : computing_) {
+      const auto& q = *cn->inbox();
+      fill = std::max(fill, static_cast<double>(q.size()) /
+                                static_cast<double>(q.capacity()));
+    }
+    if (checking_) {
+      const auto& q = *checking_->inbox();
+      fill = std::max(fill, static_cast<double>(q.size()) /
+                                static_cast<double>(q.capacity()));
+    }
+    // The merger inbox is the last collector-owned queue before the cloud
+    // link: when the bottleneck is downstream (merger, socket, or the
+    // cloud node itself), backlog pools here first, so skipping it would
+    // blind the gate to exactly the overloads it exists for.
+    if (merger_) {
+      const auto& q = *merger_->inbox();
+      fill = std::max(fill, static_cast<double>(q.size()) /
+                                static_cast<double>(q.capacity()));
+    }
+    cached_fill_ = fill;
+  }
+  if (priority == IngestPriority::kLow && cached_fill_ > adm.shed_low_watermark) {
+    return Status::Overloaded("pipeline inboxes above low-priority watermark");
+  }
+  if (priority == IngestPriority::kNormal &&
+      cached_fill_ > adm.shed_high_watermark) {
+    return Status::Overloaded("pipeline inboxes above shed watermark");
+  }
+  // kHigh is never watermark-shed: it rides the blocking back-pressure
+  // path instead, so must-deliver traffic is delayed, not dropped.
+  return Status::OK();
+}
+
+uint64_t FresqueCollector::shed_records() const {
+  return shed_low_.load(std::memory_order_relaxed) +
+         shed_normal_.load(std::memory_order_relaxed) +
+         shed_high_.load(std::memory_order_relaxed);
+}
+
+uint64_t FresqueCollector::shed_records(IngestPriority priority) const {
+  switch (priority) {
+    case IngestPriority::kLow:
+      return shed_low_.load(std::memory_order_relaxed);
+    case IngestPriority::kNormal:
+      return shed_normal_.load(std::memory_order_relaxed);
+    case IngestPriority::kHigh:
+      return shed_high_.load(std::memory_order_relaxed);
+  }
+  return 0;
 }
 
 Status FresqueCollector::OpenInterval() {
@@ -91,11 +176,37 @@ Status FresqueCollector::OpenInterval() {
   return dispatcher_->OpenInterval(pn_);
 }
 
-Status FresqueCollector::Ingest(std::string_view line) {
+Status FresqueCollector::Ingest(std::string_view line, IngestPriority priority,
+                                int64_t intended_born_ns) {
   if (!started_ || shut_down_) {
     return Status::FailedPrecondition("collector not running");
   }
-  const int64_t now_ns = FRESQUE_TELEMETRY_NOW_NS();
+  if (config_.admission.enabled) {
+    Status admitted = Admit(priority);
+    if (!admitted.ok()) {
+      // Shed before anything enters the pipeline: counted separately
+      // from records_in so the conservation ledger still balances over
+      // admitted records.
+      switch (priority) {
+        case IngestPriority::kLow:
+          shed_low_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case IngestPriority::kNormal:
+          shed_normal_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case IngestPriority::kHigh:
+          shed_high_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      FRESQUE_COUNTER_ADD("ingest.shed_records", 1);
+      return admitted;
+    }
+  }
+  // Honest-latency stamp: open-loop drivers pass the record's *scheduled*
+  // arrival so pipeline.record_e2e_ns includes the delay a lagging sender
+  // caused (coordinated-omission-free); 0 falls back to "now".
+  const int64_t now_ns = intended_born_ns != 0 ? intended_born_ns
+                                               : FRESQUE_TELEMETRY_NOW_NS();
   // Release dummies whose scheduled point has passed.
   if (auto* sched = dispatcher_->schedule()) {
     for (uint32_t leaf : sched->Due(dispatcher_->progress())) {
@@ -235,6 +346,8 @@ CollectorMetrics FresqueCollector::Metrics() const {
     nm.inbox.rejected_full = q.rejected_full();
     nm.inbox.rejected_closed = q.rejected_closed();
     nm.inbox.high_watermark = q.high_watermark();
+    nm.effective_batch = n.effective_batch();
+    nm.effective_linger_ns = n.effective_linger_ns();
     out.nodes.push_back(std::move(nm));
   };
   for (const auto& cn : computing_) add_node(cn->node());
@@ -245,6 +358,10 @@ CollectorMetrics FresqueCollector::Metrics() const {
   out.codec_failures = codec_failures();
   out.pending_dropped = pending_dropped();
   out.overflow_drops = overflow_drops();
+  out.shed_low = shed_low_.load(std::memory_order_relaxed);
+  out.shed_normal = shed_normal_.load(std::memory_order_relaxed);
+  out.shed_high = shed_high_.load(std::memory_order_relaxed);
+  out.shed_records = out.shed_low + out.shed_normal + out.shed_high;
   out.publications_completed = tracker_->completed_ok();
   out.publications_failed = tracker_->completed_failed();
   return out;

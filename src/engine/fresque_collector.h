@@ -1,7 +1,9 @@
 #ifndef FRESQUE_ENGINE_FRESQUE_COLLECTOR_H_
 #define FRESQUE_ENGINE_FRESQUE_COLLECTOR_H_
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -67,13 +69,38 @@ class FresqueCollector {
   FresqueCollector(const FresqueCollector&) = delete;
   FresqueCollector& operator=(const FresqueCollector&) = delete;
 
-  /// Spawns all nodes and opens publication 0 (samples its template,
-  /// schedules its dummies). Call once.
+  /// Validates the config (CollectorConfig::Validate — a bad knob
+  /// combination fails here, before any thread spawns), then spawns all
+  /// nodes and opens publication 0 (samples its template, schedules its
+  /// dummies). Call once.
   Status Start();
 
   /// Dispatcher ingest path: forwards one raw line, releasing any dummy
   /// records whose scheduled point has passed.
-  Status Ingest(std::string_view line);
+  ///
+  /// With admission control enabled (config.admission), the record may
+  /// instead be shed *before* entering the pipeline: the call returns
+  /// StatusCode::kOverloaded, nothing is enqueued, and the shed is
+  /// counted in `ingest.shed_records` (never in `ingest.records_in`, so
+  /// the conservation ledger keeps balancing over admitted records).
+  /// `priority` picks the shedding tier (see IngestPriority); kHigh is
+  /// never watermark-shed and may overdraw the token bucket.
+  ///
+  /// `intended_born_ns` optionally overrides the record's birth stamp
+  /// with the *scheduled* arrival time (telemetry clock domain,
+  /// FRESQUE_TELEMETRY_NOW_NS). Open-loop drivers pass the time the
+  /// record was supposed to arrive, so `pipeline.record_e2e_ns` measures
+  /// latency free of coordinated omission — a sender that falls behind
+  /// no longer hides the queueing delay its backlog caused. 0 (default)
+  /// stamps the actual ingest time.
+  Status Ingest(std::string_view line,
+                IngestPriority priority = IngestPriority::kNormal,
+                int64_t intended_born_ns = 0);
+
+  /// Records shed at admission since Start(), total and by priority.
+  /// Safe from any thread.
+  uint64_t shed_records() const;
+  uint64_t shed_records(IngestPriority priority) const;
 
   /// Informs the dummy schedule how far the current interval has
   /// progressed, in [0, 1]. Optional; anything unreleased flushes at
@@ -137,6 +164,13 @@ class FresqueCollector {
 
  private:
   Status OpenInterval();
+  /// Admission decision for one record (dispatcher thread). OK admits;
+  /// kOverloaded sheds — the caller must not enqueue. Samples the
+  /// pipeline-inbox fill fractions every kAdmissionSampleStride records
+  /// (mailbox size() takes the queue lock; per-record sampling would
+  /// serialize the dispatcher against every node) and refills the token
+  /// bucket from the wall clock.
+  Status Admit(IngestPriority priority);
   /// Flushes unreleased dummies and fans the kPublish barrier out to the
   /// computing nodes for the current interval, without opening the next.
   void PublishCurrentInterval();
@@ -170,6 +204,18 @@ class FresqueCollector {
   uint64_t pn_ = 0;
   uint64_t open_interval_lines_ = 0;  // Ingest() calls since OpenInterval
   size_t rr_ = 0;  // round-robin cursor over computing nodes
+
+  // Admission state. The gate runs on the dispatcher thread (like the
+  // round-robin cursor); only the shed counters are atomics, for
+  // Metrics() readers on other threads.
+  static constexpr uint64_t kAdmissionSampleStride = 32;
+  uint64_t admission_ticks_ = 0;      // records seen since Start
+  double cached_fill_ = 0;            // last sampled max inbox fill
+  double bucket_tokens_ = 0;          // token bucket level
+  int64_t bucket_refill_ns_ = 0;      // last refill stamp (SystemClock)
+  std::atomic<uint64_t> shed_low_{0};
+  std::atomic<uint64_t> shed_normal_{0};
+  std::atomic<uint64_t> shed_high_{0};
   /// Per-computing-node dispatch buffers (dispatcher-thread state):
   /// frames accumulate here and enter the node's mailbox in one PushBatch
   /// of config_.dispatch_batch_size, amortizing the mailbox lock/wakeup.

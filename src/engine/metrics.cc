@@ -29,7 +29,14 @@ void ExportToRegistry(const CollectorMetrics& m) {
         static_cast<int64_t>(n.inbox.rejected_closed));
     set(p + "queue_high_watermark",
         static_cast<int64_t>(n.inbox.high_watermark));
+    set(p + "effective_batch", static_cast<int64_t>(n.effective_batch));
+    set(p + "effective_linger_ns", n.effective_linger_ns);
   }
+  set("collector.snapshot.shed_records",
+      static_cast<int64_t>(m.shed_records));
+  set("collector.snapshot.shed_low", static_cast<int64_t>(m.shed_low));
+  set("collector.snapshot.shed_normal", static_cast<int64_t>(m.shed_normal));
+  set("collector.snapshot.shed_high", static_cast<int64_t>(m.shed_high));
   set("collector.snapshot.parse_errors",
       static_cast<int64_t>(m.parse_errors));
   set("collector.snapshot.codec_failures",

@@ -60,6 +60,12 @@ struct NodeMetrics {
   bool running = false;
   uint64_t frames_processed = 0;
   QueueMetrics inbox;
+  /// Batching knobs the adaptive controller currently applies (== the
+  /// configured ceilings when adaptive batching is off). A node sitting
+  /// at batch 1 / linger 0 is in latency-first mode; at the ceilings it
+  /// is absorbing sustained pressure.
+  size_t effective_batch = 1;
+  int64_t effective_linger_ns = 0;
 };
 
 /// Whole-collector health snapshot, cheap enough to poll while ingesting.
@@ -84,6 +90,15 @@ struct CollectorMetrics {
   uint64_t pending_dropped = 0;
   /// Removed records that no longer fit their overflow array.
   uint64_t overflow_drops = 0;
+
+  /// Records shed at the ingest boundary by admission control
+  /// (Status kOverloaded). *Not* a drop: a shed record never entered the
+  /// pipeline, so it is excluded from the conservation ledger and from
+  /// TotalDrops(). Split by the priority the client offered.
+  uint64_t shed_records = 0;
+  uint64_t shed_low = 0;
+  uint64_t shed_normal = 0;
+  uint64_t shed_high = 0;
 
   /// Publications acked as installed at the cloud (kPublicationAck with
   /// success; requires CloudNode ack routing).

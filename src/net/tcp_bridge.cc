@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace fresque {
 namespace net {
@@ -54,7 +55,22 @@ void TcpEgress::Pump() {
         FRESQUE_LOG(Warn) << "tcp egress: " << st.ToString();
       }
     }
-    if (is_shutdown) return;
+    if (is_shutdown) {
+      // Frames behind the kShutdown — the batch remainder plus whatever
+      // is still in the mailbox — can never be delivered. Count them
+      // instead of discarding silently: a nonzero count means someone
+      // pushed after initiating shutdown.
+      uint64_t dropped = batch.size() - n;
+      while (mailbox_->TryPop().has_value()) ++dropped;
+      if (dropped > 0) {
+        dropped_after_shutdown_.fetch_add(dropped, std::memory_order_relaxed);
+        FRESQUE_COUNTER_ADD("net.egress.dropped_after_shutdown",
+                            static_cast<int64_t>(dropped));
+        FRESQUE_LOG(Warn) << "tcp egress: dropped " << dropped
+                          << " frame(s) queued after kShutdown";
+      }
+      return;
+    }
   }
 }
 

@@ -1,6 +1,8 @@
 #ifndef FRESQUE_NET_TCP_BRIDGE_H_
 #define FRESQUE_NET_TCP_BRIDGE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <thread>
 
@@ -34,6 +36,16 @@ class TcpEgress {
   /// producers do not block forever).
   Status first_error() const FRESQUE_EXCLUDES(mu_);
 
+  /// Frames that were already in the mailbox behind a kShutdown frame
+  /// when the pump stopped. They never reach the peer (nothing after
+  /// kShutdown may, and the receiving pump stops at it anyway); a
+  /// nonzero value means a producer kept pushing after initiating
+  /// shutdown — a protocol bug upstream, previously discarded silently.
+  /// Also exported as counter "net.egress.dropped_after_shutdown".
+  uint64_t dropped_after_shutdown() const {
+    return dropped_after_shutdown_.load(std::memory_order_relaxed);
+  }
+
   /// Closes the mailbox and joins the pump thread.
   void Shutdown();
 
@@ -45,6 +57,7 @@ class TcpEgress {
   MailboxPtr mailbox_;
   mutable Mutex mu_;
   Status first_error_ FRESQUE_GUARDED_BY(mu_);
+  std::atomic<uint64_t> dropped_after_shutdown_{0};
   std::thread thread_;
 };
 

@@ -43,6 +43,60 @@ TEST(TcpBridgeTest, FramesCrossTheSocket) {
   EXPECT_TRUE((*ingress)->first_error().ok());
 }
 
+TEST(TcpBridgeTest, CountsFramesDroppedBehindShutdown) {
+  auto sink = net::MakeMailbox(128);
+  auto ingress = net::TcpIngress::Listen(sink);
+  ASSERT_TRUE(ingress.ok());
+  (*ingress)->Start();
+  auto egress = net::TcpEgress::Connect((*ingress)->port());
+  ASSERT_TRUE(egress.ok());
+
+  // 60 records, then kShutdown, then 39 more frames that can never be
+  // delivered. One PushBatch inserts all 100 under a single lock
+  // acquisition while the pump is parked in PopBatch, so the pump
+  // observes them together: its first 64-frame pop holds the shutdown
+  // (truncation remainder), the rest sit in the mailbox (drain path).
+  std::vector<net::Message> frames(100);
+  for (uint64_t i = 0; i < frames.size(); ++i) {
+    frames[i].type = i == 60 ? net::MessageType::kShutdown
+                             : net::MessageType::kCloudRecord;
+    frames[i].pn = i;
+  }
+  ASSERT_EQ((*egress)->mailbox()->PushBatch(frames.data(), frames.size()),
+            frames.size());
+  (*ingress)->Join();
+  (*egress)->Shutdown();  // joins the pump; the counter is final
+
+  EXPECT_EQ((*egress)->dropped_after_shutdown(), 39u);
+  // The peer saw exactly the frames ahead of (and including) kShutdown.
+  for (uint64_t i = 0; i < 60; ++i) {
+    auto m = sink->Pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->pn, i);
+    EXPECT_EQ(m->type, net::MessageType::kCloudRecord);
+  }
+  auto last = sink->Pop();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->type, net::MessageType::kShutdown);
+  EXPECT_TRUE((*egress)->first_error().ok());
+  EXPECT_TRUE((*ingress)->first_error().ok());
+}
+
+TEST(TcpBridgeTest, CleanShutdownDropsNothing) {
+  auto sink = net::MakeMailbox(64);
+  auto ingress = net::TcpIngress::Listen(sink);
+  ASSERT_TRUE(ingress.ok());
+  (*ingress)->Start();
+  auto egress = net::TcpEgress::Connect((*ingress)->port());
+  ASSERT_TRUE(egress.ok());
+  net::Message m;
+  m.type = net::MessageType::kShutdown;
+  ASSERT_TRUE((*egress)->mailbox()->Push(std::move(m)));
+  (*ingress)->Join();
+  (*egress)->Shutdown();
+  EXPECT_EQ((*egress)->dropped_after_shutdown(), 0u);
+}
+
 // The headline use: a FRESQUE collector whose "cloud link" is a real TCP
 // socket, as it would be in a two-process deployment.
 TEST(TcpBridgeTest, FresquePipelineOverRealSocket) {

@@ -32,6 +32,18 @@
 //   --trace-out=<file>          capture spans and write a Chrome
 //                               trace_event JSON; open in chrome://tracing
 //                               or https://ui.perfetto.dev
+//
+// Overload-control flags (apply to `ingest`, see DESIGN.md §13):
+//   --static-batching           disable the per-node adaptive batching
+//                               controller and apply the batch/linger
+//                               knobs verbatim (the pre-adaptive behavior)
+//   --admission-rps=<rate>      enable admission control with a token
+//                               bucket capping the admitted rate; shed
+//                               lines are skipped and counted, not fatal
+//   --shed-watermarks=<lo>:<hi> queue-fill fractions above which kLow /
+//                               kNormal records are shed (default
+//                               0.50:0.85; only meaningful with
+//                               --admission-rps, which enables the gate)
 
 #include <chrono>
 #include <condition_variable>
@@ -112,6 +124,15 @@ struct TelemetryOptions {
   bool any() const { return !metrics_out.empty() || !trace_out.empty(); }
 };
 
+/// Overload-control options parsed from --static-batching /
+/// --admission-rps / --shed-watermarks.
+struct OverloadOptions {
+  bool static_batching = false;
+  double admission_rps = 0;  // > 0 enables admission control
+  double shed_low_watermark = 0.50;
+  double shed_high_watermark = 0.85;
+};
+
 #if FRESQUE_TELEMETRY_ENABLED
 
 /// Background thread dumping the registry to `path` every interval, plus
@@ -176,7 +197,7 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
               const std::string& snap_path, double epsilon, size_t nodes,
               size_t interval, const std::string& key_hex,
               const engine::DurabilityConfig& dur,
-              const TelemetryOptions& tel) {
+              const TelemetryOptions& tel, const OverloadOptions& ovl) {
   auto spec = SpecByName(dataset);
   if (!spec.ok()) return Fail(spec.status().ToString());
   std::ifstream in(in_path);
@@ -238,6 +259,13 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
   cfg.dataset = *spec;
   cfg.epsilon = epsilon;
   cfg.num_computing_nodes = nodes;
+  cfg.adaptive_batching = !ovl.static_batching;
+  if (ovl.admission_rps > 0) {
+    cfg.admission.enabled = true;
+    cfg.admission.rate_records_per_sec = ovl.admission_rps;
+    cfg.admission.shed_low_watermark = ovl.shed_low_watermark;
+    cfg.admission.shed_high_watermark = ovl.shed_high_watermark;
+  }
   engine::FresqueCollector collector(cfg, KeysFromHex(key_hex),
                                      cloud_node.inbox());
   cloud_node.RouteAcksTo(collector.publication_acks());
@@ -249,6 +277,9 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
     collector.SetIntervalProgress(static_cast<double>(in_interval) /
                                   static_cast<double>(interval));
     if (auto st = collector.Ingest(line); !st.ok()) {
+      // A shed line is the admission gate doing its job, not a failure:
+      // skip it (the count is reported below) and keep ingesting.
+      if (st.IsOverloaded()) continue;
       return Fail(st.ToString());
     }
     ++total;
@@ -310,7 +341,12 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
   }
 #endif
   std::cout << "ingested " << total << " lines ("
-            << collector.parse_errors() << " parse errors), published "
+            << collector.parse_errors() << " parse errors"
+            << (cfg.admission.enabled
+                    ? ", " + std::to_string(collector.shed_records()) +
+                          " shed at admission"
+                    : "")
+            << "), published "
             << publications << " publication(s), snapshot " << snap_path
             << " (" << server.total_bytes() << " payload bytes)\n"
             << "collector drops: " << metrics.TotalDrops()
@@ -514,6 +550,8 @@ int Usage() {
          " [--snapshot-every=<n>]\n"
       << "      [--metrics-out=<file>] [--metrics-interval-ms=<n>]"
          " [--trace-out=<file>]\n"
+      << "      [--static-batching] [--admission-rps=<rate>]"
+         " [--shed-watermarks=<low>:<high>]\n"
       << "  fresque_cli query <nasa|gowalla> <snapshot.bin> <lo> <hi>"
          " [key_hex]\n"
       << "  fresque_cli verify <nasa|gowalla> <snapshot.bin> [key_hex]\n"
@@ -530,6 +568,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   fresque::engine::DurabilityConfig dur;
   TelemetryOptions tel;
+  OverloadOptions ovl;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--data-dir=", 0) == 0) {
@@ -557,6 +596,28 @@ int main(int argc, char** argv) {
       } catch (const std::exception&) {
         return Fail("bad --snapshot-every value: " + arg.substr(17));
       }
+    } else if (arg == "--static-batching") {
+      ovl.static_batching = true;
+    } else if (arg.rfind("--admission-rps=", 0) == 0) {
+      try {
+        ovl.admission_rps = std::stod(arg.substr(16));
+      } catch (const std::exception&) {
+        return Fail("bad --admission-rps value: " + arg.substr(16));
+      }
+      if (ovl.admission_rps <= 0) {
+        return Fail("--admission-rps wants a positive rate");
+      }
+    } else if (arg.rfind("--shed-watermarks=", 0) == 0) {
+      const std::string pair = arg.substr(18);
+      const size_t colon = pair.find(':');
+      try {
+        if (colon == std::string::npos) throw std::invalid_argument(pair);
+        ovl.shed_low_watermark = std::stod(pair.substr(0, colon));
+        ovl.shed_high_watermark = std::stod(pair.substr(colon + 1));
+      } catch (const std::exception&) {
+        return Fail("bad --shed-watermarks value (want <low>:<high>): " +
+                    pair);
+      }
     } else if (arg.rfind("--", 0) == 0) {
       return Fail("unknown flag " + arg);
     } else {
@@ -575,7 +636,7 @@ int main(int argc, char** argv) {
       size_t interval = args.size() > 6 ? std::stoul(args[6]) : 100000;
       std::string key = args.size() > 7 ? args[7] : kDefaultKeyHex;
       return CmdIngest(args[1], args[2], args[3], epsilon, nodes, interval,
-                       key, dur, tel);
+                       key, dur, tel, ovl);
     }
     if (cmd == "wal-dump" && args.size() == 2) {
       return CmdWalDump(args[1]);
