@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Include hygiene over src/** headers:
+#   1. every .h must carry an include guard (#ifndef/#define pair) or
+#      #pragma once;
+#   2. the quoted-include graph among src/ files must be acyclic (an
+#      include cycle compiles or not depending on which file the TU
+#      entered through — it is always latent breakage).
+#
+# Wired into the fresque-lint CI job and the fresque_include_check ctest
+# entry. Exits nonzero with the offending file / cycle printed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - "$@" <<'PY'
+import os
+import re
+import sys
+
+failures = 0
+
+headers = []
+sources = []
+for dirpath, _, files in os.walk("src"):
+    for name in sorted(files):
+        path = os.path.join(dirpath, name)
+        if name.endswith(".h"):
+            headers.append(path)
+        if name.endswith((".h", ".cc")):
+            sources.append(path)
+
+# --- 1. include guards ------------------------------------------------
+GUARD_RE = re.compile(
+    r"^\s*#\s*ifndef\s+(\w+)\s*\n\s*#\s*define\s+\1\b", re.MULTILINE
+)
+for h in sorted(headers):
+    text = open(h, encoding="utf-8", errors="replace").read()
+    if "#pragma once" in text or GUARD_RE.search(text):
+        continue
+    print(f"{h}:1: missing include guard (#ifndef/#define) or #pragma once")
+    failures += 1
+
+# --- 2. include cycles ------------------------------------------------
+INC_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+graph = {}
+for path in sources:
+    text = open(path, encoding="utf-8", errors="replace").read()
+    deps = []
+    for target in INC_RE.findall(text):
+        resolved = os.path.join("src", target)
+        if os.path.exists(resolved):
+            deps.append(resolved)
+    graph[path] = deps
+
+WHITE, GRAY, BLACK = 0, 1, 2
+color = {n: WHITE for n in graph}
+cycles = []
+
+def dfs(node, stack):
+    color[node] = GRAY
+    stack.append(node)
+    for dep in graph.get(node, ()):
+        if color.get(dep, WHITE) == GRAY:
+            cycles.append(stack[stack.index(dep):] + [dep])
+        elif color.get(dep, WHITE) == WHITE:
+            dfs(dep, stack)
+    stack.pop()
+    color[node] = BLACK
+
+sys.setrecursionlimit(10000)
+for n in sorted(graph):
+    if color[n] == WHITE:
+        dfs(n, [])
+
+for cyc in cycles:
+    print("include cycle: " + " -> ".join(cyc))
+    failures += len(cycles)
+
+if failures:
+    print(f"include_check: {failures} problem(s)", file=sys.stderr)
+    sys.exit(1)
+print(f"include_check: clean ({len(headers)} headers, "
+      f"{len(graph)} files scanned)")
+PY

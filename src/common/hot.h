@@ -1,0 +1,41 @@
+#ifndef FRESQUE_COMMON_HOT_H_
+#define FRESQUE_COMMON_HOT_H_
+
+/// FRESQUE_HOT marks a function as part of the steady-state ingestion hot
+/// path: the per-record / per-batch surfaces that PR 5's zero-allocation
+/// overhaul made allocation-free (codec batch encrypt, queue push/pop
+/// batch, the dispatcher/CN/checker/merger batch handlers).
+///
+/// The tag has two consumers:
+///
+///  1. The compiler: it expands to `__attribute__((hot))` on GCC/Clang,
+///     biasing inlining and code layout toward these functions.
+///  2. tools/fresque_lint's `hot-alloc` check: a FRESQUE_HOT function —
+///     and everything it transitively calls inside src/ — must not
+///     allocate (no new/malloc/make_unique/make_shared, no heap-backed
+///     locals constructed per call). Member scratch buffers are the
+///     sanctioned pattern: they amortize to zero once warmed up, and the
+///     runtime side of the contract (tests/alloc_regression_test.cc
+///     counting operator new in steady state) keeps that honest.
+///
+/// Allocations that are genuinely off the steady-state path (cold error
+/// handling, once-per-publication setup) are suppressed per site with
+///   // fresque-lint: allow(hot-alloc) <reason>
+/// on the offending line or the line above it. See DESIGN.md
+/// "Static analysis layer".
+///
+/// Place the macro at the start of the declaration:
+///   FRESQUE_HOT bool HandleBatch(std::vector<net::Message>& batch);
+/// Tag the in-class declaration (not the out-of-line definition); the
+/// lint associates the tag with the definition by qualified name.
+#if defined(__clang__)
+// The annotate attribute makes the tag visible to libclang AST consumers
+// (fresque_lint's clang frontend) without relying on token inspection.
+#define FRESQUE_HOT __attribute__((hot, annotate("fresque_hot")))
+#elif defined(__GNUC__)
+#define FRESQUE_HOT __attribute__((hot))
+#else
+#define FRESQUE_HOT
+#endif
+
+#endif  // FRESQUE_COMMON_HOT_H_

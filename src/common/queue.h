@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hot.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -33,7 +34,7 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while the queue is full. Returns false iff the queue is closed.
-  bool Push(T item) FRESQUE_EXCLUDES(mu_) {
+  FRESQUE_HOT bool Push(T item) FRESQUE_EXCLUDES(mu_) {
     {
       MutexLock lock(mu_);
       while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
@@ -56,7 +57,7 @@ class BoundedQueue {
   /// the consumer frees space. Returns how many items were accepted —
   /// `n`, or fewer iff the queue was closed mid-batch (the rest are
   /// counted as rejected-closed and left in a valid moved-from state).
-  size_t PushBatch(T* items, size_t n) FRESQUE_EXCLUDES(mu_) {
+  FRESQUE_HOT size_t PushBatch(T* items, size_t n) FRESQUE_EXCLUDES(mu_) {
     size_t accepted = 0;
     while (accepted < n) {
       size_t chunk = 0;
@@ -86,7 +87,7 @@ class BoundedQueue {
   }
 
   /// Non-blocking push. Returns false if full (back-pressure) or closed.
-  bool TryPush(T item) FRESQUE_EXCLUDES(mu_) {
+  FRESQUE_HOT bool TryPush(T item) FRESQUE_EXCLUDES(mu_) {
     {
       MutexLock lock(mu_);
       if (closed_) {
@@ -107,7 +108,7 @@ class BoundedQueue {
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> Pop() FRESQUE_EXCLUDES(mu_) {
+  FRESQUE_HOT std::optional<T> Pop() FRESQUE_EXCLUDES(mu_) {
     std::optional<T> item;
     {
       MutexLock lock(mu_);
@@ -136,9 +137,10 @@ class BoundedQueue {
   /// popping a full batch while a backlog remains means the consumer is
   /// behind; an empty backlog with an underfilled batch means the queue
   /// is short and batching should cost no latency.
-  size_t PopBatch(std::vector<T>* out, size_t max,
-                  std::chrono::nanoseconds linger = std::chrono::nanoseconds(0),
-                  size_t* backlog_after = nullptr) FRESQUE_EXCLUDES(mu_) {
+  FRESQUE_HOT size_t PopBatch(
+      std::vector<T>* out, size_t max,
+      std::chrono::nanoseconds linger = std::chrono::nanoseconds(0),
+      size_t* backlog_after = nullptr) FRESQUE_EXCLUDES(mu_) {
     if (max == 0) {
       if (backlog_after != nullptr) *backlog_after = size();
       return 0;

@@ -14,7 +14,7 @@ namespace fresque {
 /// A default-constructed Result is in the error state (Internal). Use
 /// `ok()` before dereferencing; `ValueOrDie()` asserts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Error state; deliberately not OK so an unset Result is never mistaken
   /// for a value.

@@ -38,6 +38,7 @@ const char* StatusCodeToString(StatusCode code) {
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
+  // fresque-lint: allow(hot-alloc) error-path formatting; ok() case allocates nothing
   std::string out = StatusCodeToString(code_);
   out += ": ";
   out += message_;

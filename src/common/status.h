@@ -35,7 +35,14 @@ const char* StatusCodeToString(StatusCode code);
 /// FRESQUE ingestion paths do not throw; fallible operations return Status
 /// (or Result<T> for value-producing ones). The OK status carries no
 /// allocation; error statuses carry a message describing the failure.
-class Status {
+///
+/// [[nodiscard]] on the class makes the compiler reject silently dropped
+/// failures at every call site returning Status by value; helpers that
+/// hand a Status out by pointer/reference are backstopped by
+/// tools/fresque_lint (discarded-status check). Intentional discards are
+/// spelled `(void)Expr();` with a comment saying why the failure is
+/// ignorable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

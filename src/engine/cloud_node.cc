@@ -77,6 +77,7 @@ void CloudNode::Ack(uint64_t pn, const Status& st) {
   ack.pn = pn;
   ack.leaf = st.ok() ? 0 : 1;
   if (!st.ok()) {
+    // fresque-lint: allow(hot-alloc) nack detail built only for failed publications
     std::string reason = st.ToString();
     ack.payload.assign(reason.begin(), reason.end());
   }

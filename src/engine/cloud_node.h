@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cloud/server.h"
+#include "common/hot.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -76,7 +77,7 @@ class CloudNode {
       FRESQUE_EXCLUDES(mu_);
 
  private:
-  bool Handle(net::Message&& m) FRESQUE_EXCLUDES(mu_);
+  FRESQUE_HOT bool Handle(net::Message&& m) FRESQUE_EXCLUDES(mu_);
   void NoteError(const Status& st) FRESQUE_EXCLUDES(mu_);
   /// Attempts the deferred PINED-RQ++ publish; returns its outcome once
   /// both halves (index + table) are present. On success, when a WAL is
@@ -100,7 +101,9 @@ class CloudNode {
   cloud::CloudServer* server_;
   // Set once by AttachDurability before Start(); read by the handler
   // thread afterwards (the Start() thread creation orders the write).
+  // fresque-lint: allow(guarded-by) set once by AttachDurability before Start()
   durability::Wal* wal_ = nullptr;
+  // fresque-lint: allow(guarded-by) same set-once contract as wal_
   durability::SnapshotManager* snapshots_ = nullptr;
   mutable Mutex mu_;
   net::MailboxPtr ack_outbox_ FRESQUE_GUARDED_BY(mu_);

@@ -434,6 +434,7 @@ void CheckingNodeImpl::HandlePublish(net::Message&& m) {
 
   auto it = states_.find(pn);
   if (it == states_.end()) {
+    // fresque-lint: allow(hot-alloc) publication-failure path
     FailPublication(pn, "publication " + std::to_string(pn) +
                             ": barrier completed with no interval state "
                             "(template lost or undecodable)");
@@ -560,9 +561,10 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
     // here); the AL snapshot is the publication's last frame, so release
     // whatever state accumulated and ack the failure.
     if (it != pending_.end()) pending_.erase(it);
-    FailPublication(snap.pn, "merger: AL snapshot for publication " +
-                                 std::to_string(snap.pn) +
-                                 " without a template");
+    FailPublication(snap.pn,
+                    "merger: AL snapshot for publication " +
+                        // fresque-lint: allow(hot-alloc) failure path
+                        std::to_string(snap.pn) + " without a template");
     return;
   }
   auto al = net::DecodeAlSnapshot(snap.payload);
@@ -581,6 +583,7 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
   auto true_index = index::HistogramIndex::FromLeafCounts(
       pending.tmpl->layout(), pending.tmpl->binning(), *al);
   if (!true_index.ok()) {
+    // fresque-lint: allow(hot-alloc) publication-failure path
     std::string reason =
         "merger: AL shape mismatch " + true_index.status().ToString();
     pending_.erase(it);
@@ -589,6 +592,7 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
   }
   auto merged = pending.tmpl->Plus(*true_index);
   if (!merged.ok()) {
+    // fresque-lint: allow(hot-alloc) publication-failure path
     std::string reason = "merger: merge failed " + merged.status().ToString();
     pending_.erase(it);
     FailPublication(snap.pn, reason);
@@ -615,6 +619,7 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
   auto codec = record::SecureRecordCodec::Create(
       keys_->RecordKey(snap.pn), &config_.dataset.parser->schema(), &rng_);
   if (!codec.ok()) {
+    // fresque-lint: allow(hot-alloc) publication-failure path
     std::string reason = "merger: codec " + codec.status().ToString();
     pending_.erase(it);
     FailPublication(snap.pn, reason);
@@ -633,6 +638,7 @@ void MergerImpl::FinishPublication(net::Message&& snap) {
     if (!padded.ok()) {
       codec_failures_.fetch_add(1, std::memory_order_relaxed);
       FRESQUE_COUNTER_ADD("collector.codec_failures", 1);
+      // fresque-lint: allow(hot-alloc) publication-failure path
       std::string reason =
           "merger: overflow dummy encrypt " + padded.ToString();
       pending_.erase(it);

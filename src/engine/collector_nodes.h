@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hot.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -109,15 +110,16 @@ class ComputingNodeImpl {
   }
 
  private:
-  bool HandleBatch(std::vector<net::Message>& batch);
+  FRESQUE_HOT bool HandleBatch(std::vector<net::Message>& batch);
 
   /// Parses/stages one raw line (or dummy directive) into the pending
   /// encrypt batch; the ciphertext lands in `out_` at FlushStaged().
-  void StageLine(net::Message&& m, record::SecureRecordCodec* codec);
+  FRESQUE_HOT void StageLine(net::Message&& m,
+                             record::SecureRecordCodec* codec);
 
   /// Encrypts everything staged in one batch call and hands the resulting
   /// kTaggedRecord frames to the checking node with one PushBatch.
-  void FlushStaged();
+  FRESQUE_HOT void FlushStaged();
 
   /// Per-publication record codec, rebuilt when the publication turns
   /// over (each publication has its own derived AES key).
@@ -187,11 +189,11 @@ class CheckingNodeImpl {
         : leaves(noise), randomer(buffer_size, rng) {}
   };
 
-  bool HandleBatch(std::vector<net::Message>& batch);
-  bool Handle(net::Message&& m);
+  FRESQUE_HOT bool HandleBatch(std::vector<net::Message>& batch);
+  FRESQUE_HOT bool Handle(net::Message&& m);
   void HandleTemplate(net::Message&& m);
-  void HandleRecord(net::Message&& m);
-  void Dispatch(IntervalState& state, net::Message&& m);
+  FRESQUE_HOT void HandleRecord(net::Message&& m);
+  FRESQUE_HOT void Dispatch(IntervalState& state, net::Message&& m);
   void HandlePublish(net::Message&& m);
   void FailPublication(uint64_t pn, const std::string& reason);
   void EvictStalePending(uint64_t closed_pn);
@@ -201,7 +203,7 @@ class CheckingNodeImpl {
   /// kIndexPublication for a publication must enter the cloud inbox
   /// behind all of that publication's kCloudRecord frames, and the
   /// merger cannot see the AL snapshot before this cloud flush lands.
-  void FlushOutputs();
+  FRESQUE_HOT void FlushOutputs();
 
   const CollectorConfig& config_;
   net::MailboxPtr merger_;
@@ -262,8 +264,8 @@ class MergerImpl {
     std::vector<net::Message> removed;
   };
 
-  bool HandleBatch(std::vector<net::Message>& batch);
-  bool Handle(net::Message&& m);
+  FRESQUE_HOT bool HandleBatch(std::vector<net::Message>& batch);
+  FRESQUE_HOT bool Handle(net::Message&& m);
   void FinishPublication(net::Message&& snap);
   void FailPublication(uint64_t pn, const std::string& reason);
   void FlushOutputs();

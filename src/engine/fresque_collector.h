@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hot.h"
 #include "common/result.h"
 #include "crypto/key_manager.h"
 #include "engine/config.h"
@@ -93,9 +94,10 @@ class FresqueCollector {
   /// latency free of coordinated omission — a sender that falls behind
   /// no longer hides the queueing delay its backlog caused. 0 (default)
   /// stamps the actual ingest time.
-  Status Ingest(std::string_view line,
-                IngestPriority priority = IngestPriority::kNormal,
-                int64_t intended_born_ns = 0);
+  FRESQUE_HOT Status Ingest(
+      std::string_view line,
+      IngestPriority priority = IngestPriority::kNormal,
+      int64_t intended_born_ns = 0);
 
   /// Records shed at admission since Start(), total and by priority.
   /// Safe from any thread.
@@ -178,7 +180,7 @@ class FresqueCollector {
   /// Buffers one raw-line/dummy frame for its round-robin computing node,
   /// flushing that node's buffer as one PushBatch when it reaches
   /// config_.dispatch_batch_size.
-  void DispatchBuffered(net::Message&& m);
+  FRESQUE_HOT void DispatchBuffered(net::Message&& m);
   /// Hands every buffered frame to its computing node. Must run before
   /// any barrier frame (kPublish/kShutdown) so per-link FIFO keeps
   /// records ahead of the barrier.

@@ -91,6 +91,7 @@ class TcpIngress {
   MailboxPtr sink_;
   mutable Mutex mu_;
   Status first_error_ FRESQUE_GUARDED_BY(mu_);
+  // fresque-lint: allow(guarded-by) written only by Start()/Join() on the owner thread
   std::thread thread_;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/bytes.h"
+#include "common/hot.h"
 #include "common/result.h"
 #include "crypto/cbc.h"
 #include "crypto/chacha20.h"
@@ -58,19 +59,19 @@ class SecureRecordCodec {
 
     /// Serializes and stages a real record. Serialization errors surface
     /// here (the record is not staged); crypto errors surface at Flush.
-    Status StageRecord(const Record& rec, Bytes* out);
+    FRESQUE_HOT Status StageRecord(const Record& rec, Bytes* out);
 
     /// Stages an already-serialized real record body.
-    void StageSerializedRecord(const Bytes& body, Bytes* out);
+    FRESQUE_HOT void StageSerializedRecord(const Bytes& body, Bytes* out);
 
     /// Stages a dummy of `padding_len` random bytes.
-    void StageDummy(size_t padding_len, Bytes* out);
+    FRESQUE_HOT void StageDummy(size_t padding_len, Bytes* out);
 
     /// Records currently staged and not yet flushed.
     size_t staged() const { return outs_.size(); }
 
     /// Encrypts everything staged (no-op when empty) and resets.
-    Status Flush();
+    FRESQUE_HOT Status Flush();
 
    private:
     SecureRecordCodec* codec_;

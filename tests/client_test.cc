@@ -68,7 +68,9 @@ class ClientTestFixture : public ::testing::Test {
     auto idx = index::HistogramIndex::FromLeafCounts(
         std::move(layout).ValueOrDie(), binning_, counts);
     index::OverflowArrays ovf(binning_.num_bins(), 1);
-    ovf.PadWithDummies([&] { return codec->EncryptDummy(24).ValueOrDie(); });
+    ASSERT_TRUE(
+        ovf.PadWithDummies([&] { return codec->EncryptDummy(24).ValueOrDie(); })
+            .ok());
     ASSERT_TRUE(server_
                     .PublishIndexed(pn, net::IndexPublication(
                                             std::move(idx).ValueOrDie(),

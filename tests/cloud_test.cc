@@ -184,7 +184,7 @@ TEST(CloudServerTest, OverflowSlotsReturnedForTouchedLeaves) {
       std::move(layout).ValueOrDie(), server.binning(), counts);
   index::OverflowArrays ovf(10, 2);
   (void)ovf.Insert(3, Bytes{0xEE}, &rng);
-  ovf.PadWithDummies([&] { return rng.RandomBytes(4); });
+  ASSERT_TRUE(ovf.PadWithDummies([&] { return rng.RandomBytes(4); }).ok());
   auto stats = server.PublishIndexed(
       0, net::IndexPublication(std::move(idx).ValueOrDie(), std::move(ovf)));
   ASSERT_TRUE(stats.ok());

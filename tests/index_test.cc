@@ -450,10 +450,12 @@ TEST(OverflowTest, InsertThenPadFillsEverySlot) {
   EXPECT_TRUE(ovf.Insert(1, Bytes{4, 5}, &rng).ok());
   EXPECT_EQ(ovf.used(1), 2u);
   int dummy_count = 0;
-  ovf.PadWithDummies([&] {
-    ++dummy_count;
-    return Bytes{0xFF};
-  });
+  ASSERT_TRUE(ovf
+                  .PadWithDummies([&] {
+                    ++dummy_count;
+                    return Bytes{0xFF};
+                  })
+                  .ok());
   EXPECT_EQ(dummy_count, 4 * 3 - 2);
   for (size_t leaf = 0; leaf < 4; ++leaf) {
     for (const auto& slot : ovf.leaf(leaf)) EXPECT_FALSE(slot.empty());
@@ -473,7 +475,7 @@ TEST(OverflowTest, SerializeRoundTrip) {
   crypto::SecureRandom rng(3);
   OverflowArrays ovf(3, 2);
   (void)ovf.Insert(0, Bytes{9, 9}, &rng);
-  ovf.PadWithDummies([&] { return rng.RandomBytes(8); });
+  ASSERT_TRUE(ovf.PadWithDummies([&] { return rng.RandomBytes(8); }).ok());
   Bytes bytes = ovf.Serialize();
   auto back = OverflowArrays::Deserialize(bytes);
   ASSERT_TRUE(back.ok());

@@ -129,7 +129,7 @@ TEST(PayloadsTest, IndexPublicationRoundTrip) {
                                            4, 1.0, &rng);
   index::OverflowArrays ovf(50, 2);
   (void)ovf.Insert(3, Bytes{1, 2, 3}, &rng);
-  ovf.PadWithDummies([&] { return rng.RandomBytes(4); });
+  ASSERT_TRUE(ovf.PadWithDummies([&] { return rng.RandomBytes(4); }).ok());
   IndexPublication pub(tmpl->noise_index(), std::move(ovf));
   auto bytes = EncodeIndexPublication(pub);
   auto back = DecodeIndexPublication(bytes);

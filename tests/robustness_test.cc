@@ -84,7 +84,7 @@ TEST(RobustnessTest, IndexDeserializeNeverCrashes) {
 TEST(RobustnessTest, OverflowDeserializeNeverCrashes) {
   crypto::SecureRandom rng(6);
   index::OverflowArrays ovf(8, 2);
-  ovf.PadWithDummies([&] { return rng.RandomBytes(8); });
+  ASSERT_TRUE(ovf.PadWithDummies([&] { return rng.RandomBytes(8); }).ok());
   Bytes valid = ovf.Serialize();
   for (const auto& input : Mutations(valid, 7)) {
     (void)index::OverflowArrays::Deserialize(input);

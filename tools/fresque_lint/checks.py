@@ -1,0 +1,555 @@
+"""The five FRESQUE-specific checks, over the srcmodel IR.
+
+Each check returns a list of Finding. Suppression filtering happens in
+the driver (fresque_lint.py), so checks report everything they see.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+import srcmodel
+from srcmodel import (
+    CHECK_DISCARDED_STATUS,
+    CHECK_GUARDED_BY,
+    CHECK_HOT_ALLOC,
+    CHECK_LOCK_ORDER,
+    CHECK_RAW_SYNC,
+    Call,
+    Function,
+    Model,
+)
+
+
+@dataclasses.dataclass
+class Finding:
+    check: str
+    file: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"
+
+
+# ---------------------------------------------------------------------
+# Lock identity resolution
+# ---------------------------------------------------------------------
+
+
+def resolve_lock_expr(expr: str, fn: Function, model: Model) -> str:
+    """Normalizes a MutexLock argument spelling to a stable lock id,
+    `Class::member` where resolvable."""
+    e = expr.strip()
+    # Strip a leading dereference.
+    while e.startswith("*"):
+        e = e[1:].strip()
+    for sep in ("->", "."):
+        if sep in e:
+            head, _, tail = e.partition(sep)
+            head = head.strip()
+            tail = tail.split("->")[-1].split(".")[-1].strip()
+            if head == "this":
+                if fn.class_name:
+                    return f"{fn.class_name}::{tail}"
+            rtype = fn.var_types.get(head)
+            if rtype is None and fn.class_name:
+                cls = model.classes.get(fn.class_name)
+                if cls:
+                    fld = cls.field(head)
+                    if fld:
+                        rtype = fld.type_name
+            if rtype:
+                return f"{rtype.split('::')[-1]}::{tail}"
+            return f"<{head}>::{tail}"
+    if "::" in e:
+        return e  # already qualified (global / static member)
+    if fn.class_name:
+        cls = model.classes.get(fn.class_name)
+        if cls is None or cls.field(e) is not None or e.endswith("_"):
+            return f"{fn.class_name}::{e}"
+    stem = fn.file.rsplit("/", 1)[-1].split(".")[0]
+    return f"{stem}::{e}"
+
+
+# ---------------------------------------------------------------------
+# Check 1: lock-order DAG extraction + cycle detection
+# ---------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class LockGraph:
+    nodes: Set[str] = dataclasses.field(default_factory=set)
+    # (from, to) -> list of human-readable example sites
+    edges: Dict[Tuple[str, str], List[str]] = dataclasses.field(
+        default_factory=dict
+    )
+    # lock id -> declaration site "file:line" when known
+    decls: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def add_edge(self, a: str, b: str, site: str) -> None:
+        self.nodes.add(a)
+        self.nodes.add(b)
+        self.edges.setdefault((a, b), []).append(site)
+
+
+def build_lock_graph(model: Model) -> LockGraph:
+    graph = LockGraph()
+    defs = [f for f in model.functions if f.is_definition]
+
+    # Resolve every acquisition's lock id once.
+    for fn in defs:
+        for acq in fn.acquires:
+            acq.lock_id = resolve_lock_expr(acq.expr, fn, model)
+            graph.nodes.add(acq.lock_id)
+
+    # Mutex declaration sites, for the generated inventory.
+    for cls in model.classes.values():
+        for fld in cls.fields:
+            if fld.type_name in ("Mutex", "fresque::Mutex"):
+                graph.decls[f"{cls.name}::{fld.name}"] = (
+                    f"{cls.file}:{fld.line}"
+                )
+
+    # Transitive acquire sets via a call-graph fixpoint.
+    direct: Dict[int, Set[str]] = {}
+    callees: Dict[int, Set[int]] = {}
+    index = {id(f): i for i, f in enumerate(defs)}
+    for i, fn in enumerate(defs):
+        direct[i] = {a.lock_id for a in fn.acquires}
+        outs: Set[int] = set()
+        for call in fn.calls:
+            for g in model.resolve_call(call, fn):
+                j = index.get(id(g))
+                if j is not None:
+                    outs.add(j)
+        callees[i] = outs
+    acq: Dict[int, Set[str]] = {i: set(s) for i, s in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(defs)):
+            before = len(acq[i])
+            for j in callees[i]:
+                acq[i] |= acq[j]
+            if len(acq[i]) != before:
+                changed = True
+
+    # Edges: a lock held while another is acquired (directly or through
+    # a call).
+    for fn in defs:
+        for a in fn.acquires:
+            for held_expr in a.held:
+                h = resolve_lock_expr(held_expr, fn, model)
+                graph.add_edge(
+                    h, a.lock_id,
+                    f"{fn.qual_name} ({fn.file}:{a.line})",
+                )
+        for call in fn.calls:
+            if not call.held:
+                continue
+            for g in model.resolve_call(call, fn):
+                j = index.get(id(g))
+                if j is None:
+                    continue
+                for lock in acq[j]:
+                    for held_expr in call.held:
+                        h = resolve_lock_expr(held_expr, fn, model)
+                        graph.add_edge(
+                            h, lock,
+                            f"{fn.qual_name} -> {g.qual_name} "
+                            f"({fn.file}:{call.line})",
+                        )
+    return graph
+
+
+def _find_cycles(graph: LockGraph) -> List[List[str]]:
+    """Returns one representative cycle per strongly-connected component
+    with more than one node, plus self-loops."""
+    adj: Dict[str, List[str]] = {n: [] for n in graph.nodes}
+    for (a, b) in graph.edges:
+        adj[a].append(b)
+    for k in adj:
+        adj[k].sort()
+
+    # Tarjan SCC, iterative.
+    idx: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                idx[v] = low[v] = counter[0]
+                counter[0] += 1
+                stack.append(v)
+                on_stack.add(v)
+            recurse = False
+            for i in range(pi, len(adj[v])):
+                w = adj[v][i]
+                if w not in idx:
+                    work[-1] = (v, i + 1)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], idx[w])
+            if recurse:
+                continue
+            if low[v] == idx[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                sccs.append(scc)
+            work.pop()
+            if work:
+                u = work[-1][0]
+                low[u] = min(low[u], low[v])
+
+    for n in sorted(graph.nodes):
+        if n not in idx:
+            strongconnect(n)
+
+    cycles = [sorted(s) for s in sccs if len(s) > 1]
+    for n in sorted(graph.nodes):
+        if (n, n) in graph.edges:
+            cycles.append([n])
+    return cycles
+
+
+def run_lock_order(model: Model) -> Tuple[List[Finding], LockGraph]:
+    graph = build_lock_graph(model)
+    findings: List[Finding] = []
+    for cycle in _find_cycles(graph):
+        if len(cycle) == 1:
+            n = cycle[0]
+            site = graph.edges[(n, n)][0]
+            findings.append(Finding(
+                CHECK_LOCK_ORDER, _site_file(site), _site_line(site),
+                f"lock {n} can be re-acquired while already held "
+                f"(self-deadlock); via {site}",
+            ))
+            continue
+        # Report each edge participating in the cycle once, at its site.
+        cyc_set = set(cycle)
+        edges = sorted(
+            (a, b) for (a, b) in graph.edges
+            if a in cyc_set and b in cyc_set
+        )
+        desc = " -> ".join(cycle + [cycle[0]])
+        for (a, b) in edges:
+            site = graph.edges[(a, b)][0]
+            findings.append(Finding(
+                CHECK_LOCK_ORDER, _site_file(site), _site_line(site),
+                f"lock-order cycle {desc}: edge {a} -> {b} via {site}",
+            ))
+    return findings, graph
+
+
+def _site_file(site: str) -> str:
+    # site format: "name (file:line)"
+    inner = site.rsplit("(", 1)[-1].rstrip(")")
+    return inner.rsplit(":", 1)[0]
+
+
+def _site_line(site: str) -> int:
+    inner = site.rsplit("(", 1)[-1].rstrip(")")
+    try:
+        return int(inner.rsplit(":", 1)[1])
+    except (IndexError, ValueError):
+        return 1
+
+
+def topological_order(graph: LockGraph) -> Optional[List[str]]:
+    indeg = {n: 0 for n in graph.nodes}
+    for (_, b) in graph.edges:
+        indeg[b] += 1
+    ready = sorted(n for n, d in indeg.items() if d == 0)
+    order: List[str] = []
+    indeg = dict(indeg)
+    while ready:
+        n = ready.pop(0)
+        order.append(n)
+        for (a, b) in graph.edges:
+            if a == n:
+                indeg[b] -= 1
+                if indeg[b] == 0:
+                    ready.append(b)
+        ready.sort()
+    if len(order) != len(graph.nodes):
+        return None
+    return order
+
+
+def render_lock_dag(graph: LockGraph, repo_rev: str = "") -> str:
+    """Renders docs/lock_order.md (deterministic, sorted)."""
+    lines: List[str] = []
+    lines.append("# Lock-order DAG")
+    lines.append("")
+    lines.append(
+        "<!-- GENERATED by tools/fresque_lint — do not edit by hand."
+    )
+    lines.append(
+        "     Regenerate: python3 tools/fresque_lint/fresque_lint.py"
+        " --emit-lock-dag docs/lock_order.md -->"
+    )
+    lines.append("")
+    lines.append(
+        "Extracted from every `MutexLock` acquisition in `src/` by the"
+        " `lock-order`"
+    )
+    lines.append(
+        "check: an edge `A -> B` means some thread acquires `B` while"
+        " holding `A`"
+    )
+    lines.append(
+        "(directly, or through a call chain). The check fails CI if this"
+        " graph ever"
+    )
+    lines.append("acquires a cycle.")
+    lines.append("")
+    lines.append("## Mutex inventory")
+    lines.append("")
+    lines.append("| Lock | Declared at |")
+    lines.append("|------|-------------|")
+    for n in sorted(graph.nodes):
+        lines.append(f"| `{n}` | {graph.decls.get(n, '(unresolved)')} |")
+    lines.append("")
+    lines.append("## Held-while-acquiring edges")
+    lines.append("")
+    if graph.edges:
+        lines.append("| Held | Acquires | Example site |")
+        lines.append("|------|----------|--------------|")
+        for (a, b) in sorted(graph.edges):
+            site = sorted(graph.edges[(a, b)])[0]
+            lines.append(f"| `{a}` | `{b}` | `{site}` |")
+    else:
+        lines.append(
+            "*(none — every lock in the pipeline is a leaf lock; no lock"
+            " is ever held while taking another)*"
+        )
+    lines.append("")
+    lines.append("## Allowed acquisition order")
+    lines.append("")
+    order = topological_order(graph)
+    if order is None:
+        lines.append("**CYCLE DETECTED — this graph is not a DAG.**")
+    elif graph.edges:
+        lines.append(
+            " -> ".join(f"`{n}`" for n in order)
+        )
+        lines.append("")
+        lines.append(
+            "Locks earlier in this order may be held while acquiring"
+            " later ones;"
+        )
+        lines.append("the reverse direction is a lint error.")
+    else:
+        lines.append(
+            "Any single lock at a time; nesting is currently never"
+            " needed."
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# Check 2: no raw std:: synchronization outside src/common/
+# ---------------------------------------------------------------------
+
+_RAW_SYNC_NAMES = {
+    "mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex",
+    "shared_mutex", "shared_timed_mutex", "condition_variable",
+    "condition_variable_any", "lock_guard", "unique_lock", "scoped_lock",
+    "shared_lock",
+}
+_RAW_SYNC_HEADERS = {"mutex", "condition_variable", "shared_mutex"}
+
+
+def run_raw_sync(model: Model, exempt_prefix: str = "src/common/"
+                 ) -> List[Finding]:
+    findings: List[Finding] = []
+    for path, sf in sorted(model.files.items()):
+        if not path.startswith("src/") or path.startswith(exempt_prefix):
+            continue
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if (
+                t.text in _RAW_SYNC_NAMES
+                and i >= 2
+                and toks[i - 1].text == "::"
+                and toks[i - 2].text == "std"
+            ):
+                findings.append(Finding(
+                    CHECK_RAW_SYNC, path, t.line,
+                    f"raw std::{t.text} outside src/common/ — use the"
+                    " annotated fresque::Mutex/MutexLock/CondVar wrappers"
+                    " (common/mutex.h) so the thread-safety analysis and"
+                    " the lock-order check can see it",
+                ))
+        for (target, is_system, line) in sf.includes:
+            if is_system and target in _RAW_SYNC_HEADERS:
+                findings.append(Finding(
+                    CHECK_RAW_SYNC, path, line,
+                    f"#include <{target}> outside src/common/ — include"
+                    ' "common/mutex.h" instead',
+                ))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Check 3: hot-path allocation lint
+# ---------------------------------------------------------------------
+
+_MAX_CHAIN_DEPTH = 12
+
+
+def run_hot_alloc(model: Model) -> List[Finding]:
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, int, str]] = set()
+    hot_roots = [
+        f for f in model.functions if f.is_hot and f.is_definition
+    ]
+
+    def report(fn: Function, line: int, what: str,
+               chain: List[str]) -> None:
+        key = (fn.file, line, what)
+        if key in reported:
+            return
+        reported.add(key)
+        via = " -> ".join(chain)
+        findings.append(Finding(
+            CHECK_HOT_ALLOC, fn.file, line,
+            f"{what} in FRESQUE_HOT path {via} — the steady-state hot"
+            " path must stay allocation-free (PR 5 contract); hoist to a"
+            " reused member/scratch buffer, or suppress with"
+            " `// fresque-lint: allow(hot-alloc) <reason>` if this is a"
+            " cold error/setup path",
+        ))
+
+    def visit(fn: Function, chain: List[str],
+              visited: Set[int]) -> None:
+        if id(fn) in visited or len(chain) > _MAX_CHAIN_DEPTH:
+            return
+        visited.add(id(fn))
+        chain = chain + [fn.qual_name]
+        for (what, line) in fn.alloc_tokens:
+            report(fn, line, f"`{what}` allocation", chain)
+        for loc in fn.locals:
+            if loc.is_static or loc.is_ref_or_ptr:
+                continue
+            # Default construction of the tracked containers is free, and
+            # move construction steals instead of copying.
+            if not loc.has_init or loc.is_move_init:
+                continue
+            if loc.type_name in _ALLOC_TYPES:
+                report(
+                    fn, loc.line,
+                    f"local `{loc.type_name} {loc.var}` constructed per"
+                    " call", chain,
+                )
+        for call in fn.calls:
+            for g in model.resolve_call(call, fn):
+                if g.file.startswith("src/") or g.file == fn.file:
+                    visit(g, chain, visited)
+
+    for root in hot_roots:
+        visit(root, [], set())
+    return findings
+
+
+_ALLOC_TYPES = {
+    "std::string", "std::vector", "std::deque", "std::list", "std::map",
+    "std::set", "std::multimap", "std::multiset", "std::unordered_map",
+    "std::unordered_set", "std::function", "std::stringstream",
+    "std::ostringstream", "std::istringstream", "std::basic_string",
+    "Bytes", "fresque::Bytes",
+}
+
+
+# ---------------------------------------------------------------------
+# Check 4: discarded Status / Result
+# ---------------------------------------------------------------------
+
+
+def run_discarded_status(model: Model) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in model.functions:
+        if not fn.is_definition or not fn.file.startswith("src/"):
+            continue
+        for call in fn.calls:
+            if not call.is_statement or call.void_cast:
+                continue
+            if model.status_like(call, fn) is True:
+                recv = call.receiver
+                findings.append(Finding(
+                    CHECK_DISCARDED_STATUS, fn.file, call.line,
+                    f"result of `{recv}{call.name}(...)` (Status/Result)"
+                    " is discarded — handle it, propagate it, or discard"
+                    " explicitly with `(void)` and a comment",
+                ))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Check 5: GUARDED_BY completeness heuristic
+# ---------------------------------------------------------------------
+
+_GUARDED_EXEMPT_TYPES = {
+    "Mutex", "fresque::Mutex", "CondVar", "fresque::CondVar",
+    "std::atomic", "atomic",
+}
+
+
+def run_guarded_by(model: Model) -> List[Finding]:
+    findings: List[Finding] = []
+    # Collect member-function mutations per class.
+    mutations: Dict[str, Dict[str, List[Tuple[str, int, str]]]] = {}
+    for fn in model.functions:
+        if not fn.is_definition or not fn.class_name:
+            continue
+        if fn.is_ctor or fn.is_dtor:
+            continue
+        for (name, line, kind) in fn.mutations:
+            if name in fn.var_types:
+                continue  # shadowed by a local/param
+            mutations.setdefault(fn.class_name, {}).setdefault(
+                name, []
+            ).append((fn.file, line, f"{fn.qual_name} ({kind})"))
+
+    for cls_name in sorted(model.classes):
+        cls = model.classes[cls_name]
+        if not cls.owns_mutex():
+            continue
+        cls_muts = mutations.get(cls.name, {})
+        for fld in cls.fields:
+            if (
+                fld.is_const or fld.is_static or fld.is_atomic
+                or fld.type_name in _GUARDED_EXEMPT_TYPES
+                or fld.guarded_by is not None
+                or fld.pt_guarded_by is not None
+            ):
+                continue
+            sites = cls_muts.get(fld.name)
+            if not sites:
+                continue
+            file, line, where = sorted(sites)[0]
+            findings.append(Finding(
+                CHECK_GUARDED_BY, cls.file, fld.line,
+                f"field `{cls.name}::{fld.name}` of mutex-owning class is"
+                f" mutated outside the constructor (e.g. {where},"
+                f" {file}:{line}) but carries no FRESQUE_GUARDED_BY —"
+                " annotate it, or suppress with a reason if it is"
+                " confined to one thread by construction",
+            ))
+    return findings

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""fresque_lint — FRESQUE-specific static checks over the C++ sources.
+
+Checks (see DESIGN.md "Static analysis layer"):
+  lock-order        lock-order DAG extraction + cycle detection
+  raw-sync          no raw std:: synchronization outside src/common/
+  hot-alloc         FRESQUE_HOT paths must not (transitively) allocate
+  discarded-status  Status/Result results must not be silently dropped
+  guarded-by        mutated members of mutex-owning classes need
+                    FRESQUE_GUARDED_BY
+
+Frontends:
+  lite   dependency-free tokenizer frontend (always available; the
+         reference engine the fixture tests pin down)
+  clang  libclang AST frontend (higher precision; used in CI where the
+         python `clang` bindings are installed)
+  auto   clang if importable, else lite
+
+With `--frontend clang` and no usable libclang, the tool prints a skip
+notice and exits 0 — same contract as scripts/lint.sh when clang-tidy is
+absent.
+
+Per-site suppressions:
+  // fresque-lint: allow(check-a,check-b) reason text
+on the finding's line or the line above. The reason is mandatory.
+
+Exit codes: 0 clean (or skipped), 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks as checks_mod
+import srcmodel
+from srcmodel import ALL_CHECKS, Model
+
+
+def _collect_sources(root: str, paths: List[str]) -> List[str]:
+    """Default file set: every .h/.cc under src/, repo-relative, sorted."""
+    if paths:
+        out = []
+        for p in paths:
+            rel = os.path.relpath(os.path.abspath(p), root)
+            out.append(rel)
+        return sorted(out)
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(src):
+        for name in filenames:
+            if name.endswith((".h", ".cc")):
+                out.append(
+                    os.path.relpath(os.path.join(dirpath, name), root)
+                )
+    return sorted(out)
+
+
+def _load_frontend(kind: str):
+    """Returns (frontend, label) or (None, reason-to-skip)."""
+    if kind in ("clang", "auto"):
+        try:
+            import frontend_clang  # noqa: PLC0415
+
+            fe = frontend_clang.ClangFrontend.create()
+            if fe is not None:
+                return fe, "clang"
+            if kind == "clang":
+                return None, "libclang not usable on this machine"
+        except ImportError:
+            if kind == "clang":
+                return None, "python clang bindings not installed"
+    import frontend_lite  # noqa: PLC0415
+
+    return frontend_lite.LiteFrontend(), "lite"
+
+
+def _validate_suppressions(model: Model) -> List[checks_mod.Finding]:
+    """A suppression naming an unknown check, or lacking a reason, is
+    itself a finding — suppressions are documented contracts."""
+    out: List[checks_mod.Finding] = []
+    for path, sf in sorted(model.files.items()):
+        for line, sup in sorted(sf.suppressions.items()):
+            unknown = sorted(sup.checks - set(ALL_CHECKS))
+            if unknown:
+                out.append(checks_mod.Finding(
+                    "bad-suppression", path, line,
+                    f"suppression names unknown check(s): "
+                    f"{', '.join(unknown)} (known: {', '.join(ALL_CHECKS)})",
+                ))
+            if not sup.reason:
+                out.append(checks_mod.Finding(
+                    "bad-suppression", path, line,
+                    "suppression has no reason — "
+                    "`// fresque-lint: allow(check) <why this is safe>`",
+                ))
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="fresque_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument(
+        "--root", default=".",
+        help="repository root (default: cwd)",
+    )
+    ap.add_argument(
+        "--frontend", choices=("auto", "lite", "clang"), default="auto",
+    )
+    ap.add_argument(
+        "--checks", default=",".join(ALL_CHECKS),
+        help="comma-separated subset of checks to run",
+    )
+    ap.add_argument(
+        "--emit-lock-dag", metavar="PATH",
+        help="write the lock-order DAG markdown to PATH and exit",
+    )
+    ap.add_argument(
+        "--check-lock-dag", metavar="PATH",
+        help="fail if PATH differs from the freshly generated DAG doc",
+    )
+    ap.add_argument(
+        "--stats", action="store_true",
+        help="print model statistics (files/functions/classes parsed)",
+    )
+    ap.add_argument(
+        "paths", nargs="*",
+        help="files to analyze (default: src/**/*.{h,cc})",
+    )
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    selected = [c.strip() for c in args.checks.split(",") if c.strip()]
+    bad = [c for c in selected if c not in ALL_CHECKS]
+    if bad:
+        print(
+            f"fresque_lint: unknown check(s): {', '.join(bad)} "
+            f"(known: {', '.join(ALL_CHECKS)})", file=sys.stderr,
+        )
+        return 2
+
+    frontend, label = _load_frontend(args.frontend)
+    if frontend is None:
+        print(f"fresque_lint: SKIPPED — {label}")
+        return 0
+
+    rel_paths = _collect_sources(root, args.paths)
+    try:
+        model = frontend.parse_files(root, rel_paths)
+    except Exception as exc:  # noqa: BLE001 — degrade, don't die
+        if label != "clang":
+            raise
+        print(
+            f"fresque_lint: clang frontend failed ({exc!r}); "
+            "falling back to lite", file=sys.stderr,
+        )
+        import frontend_lite  # noqa: PLC0415
+
+        frontend, label = frontend_lite.LiteFrontend(), "lite"
+        model = frontend.parse_files(root, rel_paths)
+    model.finalize()
+
+    if args.stats:
+        ndefs = sum(1 for f in model.functions if f.is_definition)
+        nhot = sum(
+            1 for f in model.functions if f.is_hot and f.is_definition
+        )
+        nacq = sum(len(f.acquires) for f in model.functions)
+        print(
+            f"fresque_lint [{label}]: {len(model.files)} files, "
+            f"{len(model.functions)} functions ({ndefs} definitions, "
+            f"{nhot} hot), {len(model.classes)} classes, "
+            f"{nacq} lock acquisitions"
+        )
+
+    findings: List[checks_mod.Finding] = []
+    graph = None
+    if srcmodel.CHECK_LOCK_ORDER in selected or args.emit_lock_dag \
+            or args.check_lock_dag:
+        lo_findings, graph = checks_mod.run_lock_order(model)
+        if srcmodel.CHECK_LOCK_ORDER in selected:
+            findings.extend(lo_findings)
+    if srcmodel.CHECK_RAW_SYNC in selected:
+        findings.extend(checks_mod.run_raw_sync(model))
+    if srcmodel.CHECK_HOT_ALLOC in selected:
+        findings.extend(checks_mod.run_hot_alloc(model))
+    if srcmodel.CHECK_DISCARDED_STATUS in selected:
+        findings.extend(checks_mod.run_discarded_status(model))
+    if srcmodel.CHECK_GUARDED_BY in selected:
+        findings.extend(checks_mod.run_guarded_by(model))
+
+    findings.extend(_validate_suppressions(model))
+
+    # Apply per-site suppressions.
+    kept: List[checks_mod.Finding] = []
+    suppressed = 0
+    for f in findings:
+        sf = model.files.get(f.file)
+        if sf is not None and f.check != "bad-suppression" \
+                and sf.suppressed(f.check, f.line):
+            suppressed += 1
+            continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.file, f.line, f.check, f.message))
+
+    if args.emit_lock_dag:
+        doc = checks_mod.render_lock_dag(graph)
+        out_path = os.path.join(root, args.emit_lock_dag) \
+            if not os.path.isabs(args.emit_lock_dag) else args.emit_lock_dag
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(doc)
+        print(f"fresque_lint: wrote {args.emit_lock_dag} "
+              f"({len(graph.nodes)} locks, {len(graph.edges)} edges)")
+
+    if args.check_lock_dag:
+        doc = checks_mod.render_lock_dag(graph)
+        dag_path = os.path.join(root, args.check_lock_dag) \
+            if not os.path.isabs(args.check_lock_dag) \
+            else args.check_lock_dag
+        try:
+            with open(dag_path, "r", encoding="utf-8") as fh:
+                current = fh.read()
+        except OSError:
+            current = ""
+        if current != doc:
+            kept.append(checks_mod.Finding(
+                srcmodel.CHECK_LOCK_ORDER, args.check_lock_dag, 1,
+                "lock-order DAG doc is stale — regenerate with "
+                "`python3 tools/fresque_lint/fresque_lint.py "
+                f"--emit-lock-dag {args.check_lock_dag}`",
+            ))
+
+    for f in kept:
+        print(f)
+    note = f" ({suppressed} suppressed)" if suppressed else ""
+    if kept:
+        print(
+            f"fresque_lint [{label}]: {len(kept)} finding(s){note}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"fresque_lint [{label}]: clean{note}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

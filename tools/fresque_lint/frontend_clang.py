@@ -1,0 +1,312 @@
+"""libclang frontend for fresque_lint.
+
+Produces the same srcmodel.Model as frontend_lite, but from a real AST:
+receiver types, out-of-line definitions and FRESQUE_HOT tags (via the
+`annotate("fresque_hot")` attribute common/hot.h emits under clang) come
+from semantic information instead of token heuristics.
+
+Availability is probed by ClangFrontend.create(): it returns None when
+the python `clang` bindings or a loadable libclang are missing, and the
+driver degrades to the lite frontend (or to a clean skip when the user
+asked for `--frontend clang` explicitly) — the same contract as
+scripts/lint.sh without clang-tidy.
+
+File-level artifacts (token stream for raw-sync, include list,
+suppression comments) still come from frontend_lite's tokenizer: those
+are lexical by nature, and sharing the code keeps the two frontends'
+suppression semantics identical.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import frontend_lite
+from srcmodel import (
+    Call,
+    ClassInfo,
+    Field,
+    Function,
+    LocalDecl,
+    LockAcquire,
+    Model,
+)
+
+_ALLOC_CALLS = frontend_lite._ALLOC_FUNCS
+_ALLOC_TYPE_HEADS = {
+    "std::basic_string", "std::string", "std::vector", "std::deque",
+    "std::list", "std::map", "std::set", "std::multimap", "std::multiset",
+    "std::unordered_map", "std::unordered_set", "std::function",
+    "std::basic_stringstream", "std::basic_ostringstream",
+    "std::basic_istringstream", "fresque::Bytes",
+}
+_MUTATING_METHODS = frontend_lite._MUTATING_METHODS
+
+
+def _type_head(type_spelling: str) -> str:
+    """`std::vector<int>` -> `std::vector`; strips cv/ref noise."""
+    s = type_spelling.replace("const ", "").replace("&", "").strip()
+    return s.split("<")[0].strip()
+
+
+class ClangFrontend:
+    def __init__(self, cindex) -> None:
+        self._cx = cindex
+        self._index = cindex.Index.create()
+        self.model = Model()
+
+    @classmethod
+    def create(cls) -> Optional["ClangFrontend"]:
+        try:
+            from clang import cindex  # noqa: PLC0415
+        except ImportError:
+            return None
+        try:
+            cindex.Index.create()
+        except Exception:  # libclang.so not loadable / version mismatch
+            return None
+        return cls(cindex)
+
+    # -- driver API ---------------------------------------------------
+
+    def parse_files(self, root: str, rel_paths: List[str]) -> Model:
+        args = ["-std=c++20", "-x", "c++", f"-I{os.path.join(root, 'src')}"]
+        for rel in rel_paths:
+            path = os.path.join(root, rel)
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+            # Lexical layer (tokens, includes, suppressions) via the
+            # shared tokenizer so suppression semantics never diverge.
+            self.model.files[rel] = frontend_lite.tokenize(text, rel)
+            tu = self._index.parse(
+                path, args=args,
+                options=self._cx.TranslationUnit
+                .PARSE_DETAILED_PROCESSING_RECORD,
+            )
+            self._walk(tu.cursor, root, rel)
+        return self.model
+
+    # -- AST walking --------------------------------------------------
+
+    def _rel(self, cursor, root: str) -> Optional[str]:
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        return os.path.relpath(os.path.abspath(loc.file.name), root)
+
+    def _walk(self, cursor, root: str, rel: str) -> None:
+        K = self._cx.CursorKind
+        for c in cursor.get_children():
+            crel = self._rel(c, root)
+            if crel is None or crel != rel:
+                # Only record entities from the file being parsed; the
+                # driver feeds us every file, so headers get their turn.
+                if c.kind in (K.NAMESPACE,):
+                    self._walk(c, root, rel)
+                continue
+            if c.kind in (K.NAMESPACE, K.LINKAGE_SPEC):
+                self._walk(c, root, rel)
+            elif c.kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                self._class(c, root, rel)
+            elif c.kind in (
+                K.CXX_METHOD, K.FUNCTION_DECL, K.CONSTRUCTOR,
+                K.DESTRUCTOR, K.FUNCTION_TEMPLATE,
+            ):
+                self._function(c, rel)
+
+    def _class(self, cursor, root: str, rel: str) -> None:
+        K = self._cx.CursorKind
+        cls = ClassInfo(
+            name=cursor.spelling,
+            qual_name=self._qual(cursor),
+            file=rel,
+            line=cursor.location.line,
+        )
+        for c in cursor.get_children():
+            if c.kind == K.FIELD_DECL:
+                cls.fields.append(self._field(c))
+            elif c.kind in (K.CLASS_DECL, K.STRUCT_DECL):
+                self._class(c, root, rel)
+            elif c.kind in (
+                K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR,
+                K.FUNCTION_TEMPLATE,
+            ):
+                self._function(c, rel, class_name=cursor.spelling)
+        if cls.fields or cursor.spelling:
+            self.model.classes.setdefault(cls.name, cls)
+
+    def _field(self, cursor) -> Field:
+        type_spelling = cursor.type.spelling
+        head = _type_head(type_spelling)
+        guarded = pt_guarded = None
+        for a in cursor.get_children():
+            if a.kind == self._cx.CursorKind.UNEXPOSED_ATTR:
+                toks = [t.spelling for t in a.get_tokens()]
+                blob = "".join(toks)
+                if "guarded_by" in blob or "GUARDED_BY" in blob:
+                    if "pt_guarded_by" in blob or "PT_GUARDED" in blob:
+                        pt_guarded = blob
+                    else:
+                        guarded = blob
+        simple_head = head.split("::")[-1]
+        return Field(
+            name=cursor.spelling,
+            type_name="Mutex" if simple_head == "Mutex" else (
+                "CondVar" if simple_head == "CondVar" else head
+            ),
+            line=cursor.location.line,
+            is_const=cursor.type.is_const_qualified(),
+            is_static=False,
+            is_mutable=cursor.is_mutable_field(),
+            is_atomic="std::atomic" in type_spelling
+            or "atomic<" in type_spelling,
+            is_ref_or_ptr=cursor.type.kind in (
+                self._cx.TypeKind.POINTER, self._cx.TypeKind.LVALUEREFERENCE,
+            ),
+            guarded_by=guarded,
+            pt_guarded_by=pt_guarded,
+        )
+
+    def _qual(self, cursor) -> str:
+        parts = []
+        c = cursor
+        while c is not None and c.spelling and c.kind != \
+                self._cx.CursorKind.TRANSLATION_UNIT:
+            parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _function(self, cursor, rel: str, class_name: str = "") -> None:
+        K = self._cx.CursorKind
+        parent = cursor.semantic_parent
+        if not class_name and parent is not None and parent.kind in (
+            K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE,
+        ):
+            class_name = parent.spelling
+        is_hot = any(
+            a.kind == K.ANNOTATE_ATTR and a.spelling == "fresque_hot"
+            for a in cursor.get_children()
+        )
+        ret = ""
+        if cursor.kind not in (K.CONSTRUCTOR, K.DESTRUCTOR):
+            ret = cursor.result_type.spelling
+        fn = Function(
+            qual_name=self._qual(cursor),
+            simple_name=cursor.spelling,
+            class_name=class_name,
+            file=rel,
+            line=cursor.location.line,
+            return_type=ret,
+            is_hot=is_hot,
+            is_definition=cursor.is_definition(),
+            is_ctor=cursor.kind == K.CONSTRUCTOR,
+            is_dtor=cursor.kind == K.DESTRUCTOR,
+        )
+        for p in cursor.get_arguments():
+            fn.var_types.setdefault(p.spelling, _type_head(p.type.spelling))
+        if fn.is_definition:
+            self._body(cursor, fn, held=[])
+        self.model.functions.append(fn)
+
+    def _body(self, cursor, fn: Function, held: List[str]) -> None:
+        K = self._cx.CursorKind
+        for c in cursor.get_children():
+            kind = c.kind
+            if kind == K.VAR_DECL:
+                head = _type_head(c.type.spelling)
+                simple = head.split("::")[-1]
+                if simple == "MutexLock":
+                    toks = [t.spelling for t in c.get_tokens()]
+                    expr = ""
+                    if "(" in toks:
+                        expr = "".join(
+                            toks[toks.index("(") + 1:-1]
+                        ).rstrip(")")
+                    fn.acquires.append(LockAcquire(
+                        lock_id="", expr=expr, line=c.location.line,
+                        held=tuple(held),
+                    ))
+                    # libclang gives no easy lexical scope; approximate
+                    # with "held for the rest of this compound stmt",
+                    # which matches the dominant RAII usage.
+                    held = held + [expr]
+                else:
+                    init = list(c.get_children())
+                    fn.locals.append(LocalDecl(
+                        type_name="Bytes" if simple == "Bytes" else head,
+                        var=c.spelling,
+                        line=c.location.line,
+                        is_static=c.storage_class ==
+                        self._cx.StorageClass.STATIC,
+                        is_ref_or_ptr=c.type.kind in (
+                            self._cx.TypeKind.POINTER,
+                            self._cx.TypeKind.LVALUEREFERENCE,
+                        ),
+                        has_init=bool(init),
+                        is_move_init=any(
+                            "move" in (ch.spelling or "") for ch in init
+                        ),
+                    ))
+                    fn.var_types.setdefault(c.spelling, head)
+                self._body(c, fn, held)
+            elif kind == K.CXX_NEW_EXPR:
+                fn.alloc_tokens.append(("new", c.location.line))
+                self._body(c, fn, held)
+            elif kind == K.CALL_EXPR:
+                name = c.spelling
+                ref = c.referenced
+                receiver = ""
+                if ref is not None and ref.semantic_parent is not None \
+                        and ref.semantic_parent.kind in (
+                            self._cx.CursorKind.CLASS_DECL,
+                            self._cx.CursorKind.STRUCT_DECL,
+                            self._cx.CursorKind.CLASS_TEMPLATE,
+                        ):
+                    receiver = ref.semantic_parent.spelling + "::"
+                if name in _ALLOC_CALLS:
+                    fn.alloc_tokens.append((name, c.location.line))
+                if name:
+                    fn.calls.append(Call(
+                        name=name,
+                        receiver=receiver,
+                        line=c.location.line,
+                        held=tuple(held),
+                        # Statement-ness is judged lexically by the shared
+                        # discarded-status pass; with a real AST we can do
+                        # better: an unused return shows up as the call
+                        # being a direct child of a compound statement.
+                        is_statement=cursor.kind ==
+                        self._cx.CursorKind.COMPOUND_STMT,
+                        void_cast=False,
+                    ))
+                if name in _MUTATING_METHODS:
+                    toks = [t.spelling for t in c.get_tokens()][:8]
+                    if toks and toks[0] not in ("(", ")"):
+                        base = toks[0] if toks[0] != "this" else (
+                            toks[2] if len(toks) > 2 else ""
+                        )
+                        if base:
+                            fn.mutations.append(
+                                (base, c.location.line, "call:" + name)
+                            )
+                self._body(c, fn, held)
+            elif kind in (
+                self._cx.CursorKind.BINARY_OPERATOR,
+                self._cx.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR,
+                self._cx.CursorKind.UNARY_OPERATOR,
+            ):
+                toks = [t.spelling for t in c.get_tokens()]
+                ops = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                       "^=", "<<=", ">>=", "++", "--"}
+                if any(t in ops for t in toks):
+                    base = toks[0] if toks else ""
+                    if base == "this" and len(toks) > 2:
+                        base = toks[2]
+                    if base and base.isidentifier():
+                        fn.mutations.append(
+                            (base, c.location.line, "assign")
+                        )
+                self._body(c, fn, held)
+            else:
+                self._body(c, fn, held)

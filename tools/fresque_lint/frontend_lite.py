@@ -1,0 +1,1112 @@
+"""Dependency-free C++ frontend for fresque_lint.
+
+A tokenizer plus a structural scanner calibrated to this repo's code
+style (clang-formatted, Google-ish C++20, `MutexLock lock(mu_);`
+acquisitions, FRESQUE_* annotation macros). It produces the same IR
+(srcmodel.Model) as the libclang frontend, so every check runs even on
+machines with no clang installed — CI additionally runs the clang
+frontend for precision.
+
+Known, deliberate approximations (see DESIGN.md "Static analysis layer"):
+ - functions are matched by (class, name); overload sets merge,
+ - `auto` locals are invisible to the hot-alloc local-declaration rule,
+ - calls that cannot be resolved to a unique definition produce no call
+   edge (the checks under-approximate rather than guess).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+import srcmodel
+from srcmodel import (
+    Call,
+    ClassInfo,
+    Field,
+    Function,
+    LocalDecl,
+    LockAcquire,
+    Model,
+    SourceFile,
+    Suppression,
+    Token,
+)
+
+_KEYWORDS = {
+    "if", "else", "while", "for", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "sizeof", "alignof", "alignas",
+    "new", "delete", "this", "true", "false", "nullptr", "const",
+    "constexpr", "consteval", "constinit", "static", "inline", "virtual",
+    "override", "final", "explicit", "friend", "mutable", "volatile",
+    "register", "thread_local", "extern", "typedef", "using", "namespace",
+    "class", "struct", "union", "enum", "template", "typename", "public",
+    "private", "protected", "operator", "noexcept", "throw", "try",
+    "catch", "co_await", "co_return", "co_yield", "static_cast",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "static_assert",
+    "decltype", "auto", "void", "bool", "char", "short", "int", "long",
+    "float", "double", "signed", "unsigned", "wchar_t", "char8_t",
+    "char16_t", "char32_t", "requires", "concept", "and", "or", "not",
+}
+
+_CONTROL = {"if", "while", "for", "switch", "catch", "return"}
+
+# Declaration-specifier noise stripped when classifying declarations.
+_SPECIFIERS = {
+    "inline", "static", "virtual", "explicit", "constexpr", "consteval",
+    "friend", "extern", "mutable", "typename",
+}
+
+# Annotation-style macros that may prefix a declaration.
+_ANNOTATION_MACROS = {
+    "FRESQUE_HOT",
+}
+# Annotation macros that take arguments and may trail a declaration.
+_TRAILING_MACRO_RE = re.compile(r"^FRESQUE_[A-Z_]+$")
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*", "<=>")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+
+def tokenize(text: str, path: str) -> SourceFile:
+    """Tokenizes C++ source, recording includes and lint suppressions."""
+    sf = SourceFile(path=path)
+    i, n, line = 0, len(text), 1
+    tokens = sf.tokens
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            comment = text[i:j]
+            m = srcmodel.SUPPRESS_RE.search(comment)
+            if m:
+                checks = {
+                    s.strip() for s in m.group(1).split(",") if s.strip()
+                }
+                sf.suppressions[line] = Suppression(
+                    checks=checks, reason=(m.group(2) or "").strip(),
+                    line=line,
+                )
+            i = j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            if j < 0:
+                j = n
+            else:
+                j += 2
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        if c == "#":
+            # Preprocessor directive: record #include, skip the rest
+            # (honoring line continuations).
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k < 0:
+                    k = n
+                    break
+                if text[k - 1] == "\\" if k > 0 else False:
+                    j = k + 1
+                    continue
+                break
+            directive = text[i:k]
+            m = re.match(r'#\s*include\s*([<"])([^>"]+)[>"]', directive)
+            if m:
+                sf.includes.append(
+                    (m.group(2), m.group(1) == "<", line)
+                )
+            line += directive.count("\n") + (1 if k < n else 0)
+            i = k + 1
+            continue
+        if text.startswith('R"', i):
+            # Raw string literal R"delim( ... )delim".
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m:
+                endmark = ")" + m.group(1) + '"'
+                j = text.find(endmark, i)
+                if j < 0:
+                    j = n
+                else:
+                    j += len(endmark)
+                line += text.count("\n", i, j)
+                tokens.append(Token("str", '""', line))
+                i = j
+                continue
+        if c == '"' or (
+            c in "uUL" and i + 1 < n and text[i + 1] == '"'
+        ):
+            if c != '"':
+                i += 1
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token("str", '""', line))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token("chr", "''", line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        if c.isdigit() or (
+            c == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            while j < n and (
+                text[j].isalnum() or text[j] in "._'"
+                or (
+                    text[j] in "+-"
+                    and j > i
+                    and text[j - 1] in "eEpP"
+                )
+            ):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        for p in _PUNCT3:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += 3
+                break
+        else:
+            for p in _PUNCT2:
+                if text.startswith(p, i):
+                    tokens.append(Token("punct", p, line))
+                    i += 2
+                    break
+            else:
+                tokens.append(Token("punct", c, line))
+                i += 1
+    return sf
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Token]):
+        self.toks = tokens
+        self.i = 0
+
+    def eof(self) -> bool:
+        return self.i >= len(self.toks)
+
+    def peek(self, k: int = 0) -> Optional[Token]:
+        j = self.i + k
+        return self.toks[j] if j < len(self.toks) else None
+
+    def next(self) -> Token:
+        t = self.toks[self.i]
+        self.i += 1
+        return t
+
+
+def _match_balanced(toks: List[Token], i: int, open_c: str,
+                    close_c: str) -> int:
+    """toks[i] is `open_c`; returns index just past the matching close."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == open_c:
+            depth += 1
+        elif t == close_c:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _match_angle(toks: List[Token], i: int) -> Optional[int]:
+    """toks[i] is '<'; returns index past matching '>' or None if this
+    does not look like a template argument list."""
+    depth = 0
+    n = len(toks)
+    j = i
+    while j < n and j < i + 400:
+        t = toks[j].text
+        if t == "<":
+            depth += 1
+        elif t in (">", ">>"):
+            depth -= 2 if t == ">>" else 1
+            if depth <= 0:
+                return j + 1
+        elif t in (";", "{", "}") or t in ("&&", "||"):
+            return None
+        j += 1
+    return None
+
+
+def _strip_decl_noise(toks: List[Token]) -> Tuple[List[Token], bool]:
+    """Removes template prefixes, attributes, specifiers and annotation
+    macros from a declaration head. Returns (rest, saw_fresque_hot)."""
+    out: List[Token] = []
+    is_hot = False
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.text == "template" and i + 1 < n and toks[i + 1].text == "<":
+            j = _match_angle(toks, i + 1)
+            i = j if j else i + 2
+            continue
+        if (
+            t.text == "["
+            and i + 1 < n
+            and toks[i + 1].text == "["
+        ):
+            j = i
+            depth = 0
+            while j < n:
+                if toks[j].text == "[":
+                    depth += 1
+                elif toks[j].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            i = j + 1
+            continue
+        if t.text in _SPECIFIERS:
+            i += 1
+            continue
+        if t.text in _ANNOTATION_MACROS:
+            if t.text == "FRESQUE_HOT":
+                is_hot = True
+            i += 1
+            continue
+        if (
+            _TRAILING_MACRO_RE.match(t.text)
+            and i + 1 < n
+            and toks[i + 1].text == "("
+        ):
+            i = _match_balanced(toks, i + 1, "(", ")")
+            continue
+        out.append(t)
+        i += 1
+    return out, is_hot
+
+
+def _cut_at_init_list(toks: List[Token]) -> List[Token]:
+    """Cuts a declaration head at a ctor init list's top-level ':' (a
+    single-colon token at paren/angle depth 0 that follows a ')'), so
+    `Foo() : member_(x)` classifies by `Foo()` alone."""
+    depth = 0
+    seen_close = False
+    for i, t in enumerate(toks):
+        if t.text == "(":
+            depth += 1
+        elif t.text == ")":
+            depth -= 1
+            seen_close = True
+        elif t.text == "<" and depth == 0:
+            j = _match_angle(toks, i)
+            if j is not None:
+                continue
+        elif t.text == ":" and depth == 0 and seen_close:
+            return toks[:i]
+    return toks
+
+
+def _find_param_group(toks: List[Token]) -> Optional[Tuple[int, int]]:
+    """Finds the parameter-list parens of a function declarator: the
+    last top-level '('-group that directly follows an identifier (or an
+    operator spelling). Returns (open_idx, past_close_idx)."""
+    best = None
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == "(":
+            j = _match_balanced(toks, i, "(", ")")
+            prev = toks[i - 1] if i > 0 else None
+            if prev is not None and (
+                prev.kind == "id" and prev.text not in _CONTROL
+                or prev.text in (">", "]")  # operator>] etc.
+                or prev.text == "operator"
+            ):
+                best = (i, j)
+            i = j
+            continue
+        if t == "<":
+            j = _match_angle(toks, i)
+            i = j if j else i + 1
+            continue
+        i += 1
+    return best
+
+
+def _declarator_name(toks: List[Token], popen: int) -> Tuple[str, str, int]:
+    """Extracts (simple_name, class_qualifier, name_start_idx) for the
+    declarator whose parameter list opens at `popen`."""
+    i = popen - 1
+    if i < 0:
+        return "", "", popen
+    # operator spelling: "operator" followed by punct token(s) or id.
+    name = toks[i].text
+    start = i
+    if i >= 1 and toks[i - 1].text == "operator":
+        name = "operator" + name
+        start = i - 1
+    elif toks[i].kind == "id":
+        if i >= 1 and toks[i - 1].text == "~":
+            name = "~" + name
+            start = i - 1
+    # Walk back over Class:: qualifiers.
+    quals: List[str] = []
+    j = start
+    while j >= 2 and toks[j - 1].text == "::" and toks[j - 2].kind == "id":
+        quals.insert(0, toks[j - 2].text)
+        j -= 2
+    return name, "::".join(quals), j
+
+
+def _looks_like_function_def(after: List[Token]) -> bool:
+    """Classifies the tokens between a declarator's `)` and the `{`:
+    qualifiers, trailing return, or a ctor init list."""
+    i = 0
+    n = len(after)
+    while i < n:
+        t = after[i].text
+        if t in ("const", "noexcept", "override", "final", "mutable",
+                 "volatile", "&", "&&", "throw", "try"):
+            i += 1
+            continue
+        if t == "(":  # noexcept(...)
+            i = _match_balanced(after, i, "(", ")")
+            continue
+        if t == "->":  # trailing return type
+            i += 1
+            continue
+        if t == ":":  # ctor init list: rest is initializers
+            return True
+        if after[i].kind == "id" or t in ("::", "<", ">", ",", "*"):
+            i += 1
+            continue
+        return False
+    return True
+
+
+def _type_head(toks: List[Token]) -> str:
+    """Normalizes a type spelling's head: `std :: vector < T >` ->
+    "std::vector", `const Bytes &` -> "Bytes"."""
+    parts: List[str] = []
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.text in ("const", "volatile", "struct", "class", "typename"):
+            i += 1
+            continue
+        if t.kind == "id":
+            parts.append(t.text)
+            i += 1
+            if i < n and toks[i].text == "::":
+                parts.append("::")
+                i += 1
+                continue
+            break
+        i += 1
+    return "".join(parts)
+
+
+def _spelling(toks: List[Token]) -> str:
+    out = []
+    for t in toks:
+        if out and (
+            (t.kind in ("id", "num") and out[-1][-1].isalnum())
+            or (t.kind == "id" and out[-1][-1] == "_")
+        ):
+            out.append(" ")
+        out.append(t.text)
+    return "".join(out)
+
+
+_ALLOC_FUNCS = {
+    "malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+    "make_unique", "make_shared", "to_string",
+}
+
+_MUTATING_METHODS = {
+    "push_back", "pop_back", "push_front", "pop_front", "emplace",
+    "emplace_back", "emplace_front", "insert", "erase", "clear",
+    "assign", "resize", "reserve", "swap", "reset", "append",
+    "push", "pop", "store", "fetch_add", "fetch_sub", "merge",
+    "extract", "splice", "remove", "shrink_to_fit",
+}
+
+
+class LiteFrontend:
+    """Parses files into a srcmodel.Model."""
+
+    def __init__(self, alloc_types: Optional[set] = None):
+        self.model = Model()
+        # Heap-backed types whose per-call local construction the
+        # hot-alloc check flags.
+        self.alloc_types = alloc_types or {
+            "std::string", "std::vector", "std::deque", "std::list",
+            "std::map", "std::set", "std::multimap", "std::multiset",
+            "std::unordered_map", "std::unordered_set", "std::function",
+            "std::stringstream", "std::ostringstream",
+            "std::istringstream", "std::basic_string", "Bytes",
+            "fresque::Bytes",
+        }
+
+    # -- public API ---------------------------------------------------
+
+    def parse_file(self, path: str, text: str) -> None:
+        sf = tokenize(text, path)
+        self.model.files[path] = sf
+        cur = _Cursor(sf.tokens)
+        self._parse_scope(cur, sf, namespaces=[], class_stack=[])
+
+    def parse_files(self, root: str, rel_paths: List[str]) -> Model:
+        """Driver entry point: parses repo-relative paths under root."""
+        import os
+        for rel in rel_paths:
+            with open(os.path.join(root, rel), encoding="utf-8",
+                      errors="replace") as fh:
+                self.parse_file(rel, fh.read())
+        return self.model
+
+    def finish(self) -> Model:
+        self.model.finalize()
+        return self.model
+
+    # -- scope scanning -----------------------------------------------
+
+    def _parse_scope(self, cur: _Cursor, sf: SourceFile,
+                     namespaces: List[str],
+                     class_stack: List[ClassInfo]) -> None:
+        pending: List[Token] = []
+        while not cur.eof():
+            t = cur.next()
+            if t.text == ";":
+                self._handle_decl_statement(pending, sf, class_stack)
+                pending = []
+                continue
+            if t.text == "}":
+                return
+            if t.text == ":" and pending and pending[-1].text in (
+                "public", "private", "protected",
+            ):
+                pending = []
+                continue
+            if t.text == "=":
+                # `= default` / `= delete` / field initializers: keep.
+                pending.append(t)
+                continue
+            if t.text == "{":
+                self._handle_open_brace(cur, sf, pending, namespaces,
+                                        class_stack)
+                pending = []
+                continue
+            pending.append(t)
+
+    def _handle_open_brace(self, cur: _Cursor, sf: SourceFile,
+                           pending: List[Token],
+                           namespaces: List[str],
+                           class_stack: List[ClassInfo]) -> None:
+        stripped, is_hot = _strip_decl_noise(pending)
+        texts = [t.text for t in stripped]
+        if not stripped:
+            self._skip_braces(cur)  # stray block at decl scope
+            return
+        if texts[0] == "namespace":
+            name = texts[-1] if len(texts) > 1 else ""
+            self._parse_scope(cur, sf, namespaces + ([name] if name else []),
+                              class_stack)
+            return
+        if texts[0] == "extern":  # extern "C" { ... }
+            self._parse_scope(cur, sf, namespaces, class_stack)
+            return
+        if texts[0] == "enum":
+            self._skip_braces(cur)
+            return
+        if texts[0] in ("class", "struct", "union"):
+            # Name: identifier after class/struct, skipping attributes
+            # (already stripped) and FRESQUE_CAPABILITY-style macros
+            # (stripped too). Stop before base-clause ':'.
+            name = ""
+            for tok in stripped[1:]:
+                if tok.kind == "id":
+                    name = tok.text
+                elif tok.text in (":", "<"):
+                    break
+                if name:
+                    break
+            qual = "::".join(
+                [n for n in namespaces]
+                + [c.name for c in class_stack]
+                + ([name] if name else [])
+            )
+            cls = ClassInfo(name=name or "<anon>", qual_name=qual,
+                            file=sf.path,
+                            line=stripped[0].line)
+            # Inner classes shadow same-name outer ones deliberately.
+            self.model.classes[cls.name] = cls
+            self._parse_scope(cur, sf, namespaces, class_stack + [cls])
+            return
+        if "=" in texts:
+            # Namespace/class-scope initializer braces: consume.
+            self._skip_braces(cur)
+            return
+        declarator = _cut_at_init_list(stripped)
+        pg = _find_param_group(declarator)
+        if pg is not None and _looks_like_function_def(declarator[pg[1]:]):
+            self._parse_function(cur, sf, declarator, is_hot, pg,
+                                 namespaces, class_stack)
+            return
+        # Unrecognized (e.g. `struct {` anonymous member): skip block.
+        self._skip_braces(cur)
+
+    def _skip_braces(self, cur: _Cursor) -> None:
+        depth = 1
+        while not cur.eof():
+            t = cur.next()
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return
+
+    # -- declarations -------------------------------------------------
+
+    def _handle_decl_statement(self, pending: List[Token], sf: SourceFile,
+                               class_stack: List[ClassInfo]) -> None:
+        stripped, is_hot = _strip_decl_noise(pending)
+        if not stripped:
+            return
+        texts = [t.text for t in stripped]
+        if texts[0] in ("using", "typedef", "friend", "namespace",
+                        "public", "private", "protected", "enum",
+                        "class", "struct", "union", "concept"):
+            return
+        pg = _find_param_group(stripped)
+        if pg is not None:
+            # Method/function declaration (or `Type name(init);` —
+            # indistinguishable; both are fine to record, unknown names
+            # simply never resolve).
+            self._record_function_decl(stripped, is_hot, pg, sf,
+                                       class_stack)
+            return
+        if class_stack:
+            self._record_field(stripped, pending, sf, class_stack[-1])
+
+    def _record_function_decl(self, toks: List[Token], is_hot: bool,
+                              pg: Tuple[int, int], sf: SourceFile,
+                              class_stack: List[ClassInfo]) -> None:
+        name, qual, name_start = _declarator_name(toks, pg[0])
+        if not name or name in _KEYWORDS:
+            return
+        class_name = qual.split("::")[-1] if qual else (
+            class_stack[-1].name if class_stack else ""
+        )
+        ret = _spelling(toks[:name_start])
+        is_ctor = name == class_name and not ret
+        is_dtor = name.startswith("~")
+        fn = Function(
+            qual_name=(class_name + "::" + name) if class_name else name,
+            simple_name=name,
+            class_name=class_name,
+            file=sf.path,
+            line=toks[name_start].line if name_start < len(toks)
+            else toks[0].line,
+            return_type="" if (is_ctor or is_dtor) else ret,
+            is_hot=is_hot,
+            is_definition=False,
+            is_ctor=is_ctor,
+            is_dtor=is_dtor,
+        )
+        self.model.functions.append(fn)
+
+    def _record_field(self, toks: List[Token], raw: List[Token],
+                      sf: SourceFile, cls: ClassInfo) -> None:
+        texts = [t.text for t in raw]
+        is_static = "static" in texts
+        is_const = "const" in texts or "constexpr" in texts
+        is_mutable = "mutable" in texts
+        # Annotations live in the *raw* tokens (stripped as macros).
+        guarded = self._macro_arg(raw, "FRESQUE_GUARDED_BY")
+        pt_guarded = self._macro_arg(raw, "FRESQUE_PT_GUARDED_BY")
+        # Cut at '=' or '{' initializer.
+        cut = len(toks)
+        depth = 0
+        for i, t in enumerate(toks):
+            if t.text == "<":
+                depth += 1
+            elif t.text in (">", ">>"):
+                depth -= 2 if t.text == ">>" else 1
+            elif depth <= 0 and t.text in ("=", "{"):
+                cut = i
+                break
+        decl = toks[:cut]
+        if len(decl) < 2:
+            return
+        # Var name: last identifier; array suffix `name[N]` allowed.
+        var_idx = None
+        for i in range(len(decl) - 1, -1, -1):
+            if decl[i].kind == "id":
+                var_idx = i
+                break
+            if decl[i].text not in ("]", "[") and decl[i].kind != "num":
+                break
+        if var_idx is None or var_idx == 0:
+            return
+        var = decl[var_idx].text
+        type_toks = decl[:var_idx]
+        head = _type_head(type_toks)
+        if not head:
+            return
+        is_atomic = head in ("std::atomic", "atomic")
+        is_ref_or_ptr = any(t.text in ("*", "&") for t in type_toks)
+        cls.fields.append(Field(
+            name=var,
+            type_name=head,
+            line=decl[var_idx].line,
+            is_const=is_const,
+            is_static=is_static,
+            is_mutable=is_mutable,
+            is_atomic=is_atomic,
+            is_ref_or_ptr=is_ref_or_ptr,
+            guarded_by=guarded,
+            pt_guarded_by=pt_guarded,
+        ))
+
+    @staticmethod
+    def _macro_arg(toks: List[Token], macro: str) -> Optional[str]:
+        for i, t in enumerate(toks):
+            if t.text == macro and i + 1 < len(toks) \
+                    and toks[i + 1].text == "(":
+                j = _match_balanced(toks, i + 1, "(", ")")
+                return _spelling(toks[i + 2:j - 1])
+        return None
+
+    # -- function bodies ----------------------------------------------
+
+    def _parse_function(self, cur: _Cursor, sf: SourceFile,
+                        decl: List[Token], is_hot: bool,
+                        pg: Tuple[int, int], namespaces: List[str],
+                        class_stack: List[ClassInfo]) -> None:
+        name, qual, name_start = _declarator_name(decl, pg[0])
+        class_name = qual.split("::")[-1] if qual else (
+            class_stack[-1].name if class_stack else ""
+        )
+        ret = _spelling(decl[:name_start])
+        is_ctor = name == class_name and not ret
+        is_dtor = name.startswith("~")
+        fn = Function(
+            qual_name=(class_name + "::" + name) if class_name else name,
+            simple_name=name,
+            class_name=class_name,
+            file=sf.path,
+            line=decl[name_start].line if name_start < len(decl)
+            else decl[0].line,
+            return_type="" if (is_ctor or is_dtor) else ret,
+            is_hot=is_hot,
+            is_definition=True,
+            is_ctor=is_ctor,
+            is_dtor=is_dtor,
+        )
+        # Parameter types for receiver resolution.
+        params = decl[pg[0] + 1:pg[1] - 1]
+        for group in self._split_top_commas(params):
+            if len(group) >= 2 and group[-1].kind == "id":
+                head = _type_head(group[:-1])
+                if head:
+                    fn.var_types[group[-1].text] = head
+        # Capture body tokens (ctor init lists included — harmless).
+        body: List[Token] = []
+        depth = 1
+        while not cur.eof():
+            t = cur.next()
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            body.append(t)
+        fn.end_line = body[-1].line if body else fn.line
+        self._scan_body(fn, body)
+        self.model.functions.append(fn)
+
+    @staticmethod
+    def _split_top_commas(toks: List[Token]) -> List[List[Token]]:
+        out: List[List[Token]] = [[]]
+        depth = 0
+        for t in toks:
+            if t.text in ("(", "[", "{", "<"):
+                depth += 1
+            elif t.text in (")", "]", "}", ">"):
+                depth -= 1
+            if t.text == "," and depth <= 0:
+                out.append([])
+            else:
+                out[-1].append(t)
+        return [g for g in out if g]
+
+    def _scan_body(self, fn: Function, body: List[Token]) -> None:
+        n = len(body)
+        brace_depth = 0
+        # Active lock scopes: (lock_id, depth_acquired_at).
+        lock_stack: List[Tuple[str, int]] = []
+        stmt_start = True  # at a statement boundary
+        ternary_depth = 0  # open `?`s in the current statement
+        stmt_static = False  # statement started with `static` (once-ever
+        # initializers: their allocations run a single time, not per call)
+        # Allocations feeding an error-Status construction are cold by
+        # definition — the steady-state path constructs no errors. Token
+        # indices below this bound sit inside `Status::Factory(...)` args.
+        cold_args_until = -1
+        i = 0
+        while i < n:
+            t = body[i]
+            txt = t.text
+            if txt == "{":
+                brace_depth += 1
+                stmt_start = True
+                ternary_depth = 0
+                stmt_static = False
+                i += 1
+                continue
+            if txt == "}":
+                brace_depth -= 1
+                while lock_stack and lock_stack[-1][1] > brace_depth:
+                    lock_stack.pop()
+                # (locks acquired at the depth we just left are gone too)
+                while lock_stack and lock_stack[-1][1] == brace_depth + 1:
+                    lock_stack.pop()
+                stmt_start = True
+                ternary_depth = 0
+                stmt_static = False
+                i += 1
+                continue
+            if txt == ";":
+                stmt_start = True
+                ternary_depth = 0
+                stmt_static = False
+                i += 1
+                continue
+            if txt == "?":
+                ternary_depth += 1
+                i += 1
+                continue
+            if txt == "static" and t.kind == "id":
+                stmt_static = True
+                i += 1
+                continue
+            if txt == "new" and t.kind == "id":
+                if not stmt_static and i >= cold_args_until:
+                    fn.alloc_tokens.append(("new", t.line))
+                stmt_start = False
+                i += 1
+                continue
+            if (
+                txt == "Status"
+                and t.kind == "id"
+                and i + 3 < n
+                and body[i + 1].text == "::"
+                and body[i + 2].kind == "id"
+                and body[i + 3].text == "("
+            ):
+                close = _match_balanced(body, i + 3, "(", ")")
+                cold_args_until = max(cold_args_until, close)
+            # (alloc-function calls are recorded by _try_decl_or_call,
+            # which owns call-chain scanning.)
+            # MutexLock acquisition: `MutexLock name ( expr )`.
+            if (
+                txt == "MutexLock"
+                and i + 2 < n
+                and body[i + 1].kind == "id"
+                and body[i + 2].text == "("
+            ):
+                j = _match_balanced(body, i + 2, "(", ")")
+                expr = _spelling(body[i + 3:j - 1])
+                held = tuple(lid for lid, _ in lock_stack)
+                fn.acquires.append(LockAcquire(
+                    lock_id="",  # resolved later (needs class context)
+                    expr=expr, line=t.line, held=held,
+                ))
+                # The RAII object lives until the block it was declared
+                # in closes: pop when brace_depth drops below the depth
+                # at acquisition.
+                lock_stack.append((expr, brace_depth))
+                i = j
+                stmt_start = False
+                continue
+            # `auto x = std::make_unique<T>(...)` and friends: a local
+            # decl whose head is a keyword, still wanted for receiver
+            # type resolution.
+            if txt == "auto" and stmt_start:
+                consumed = self._try_local_decl(fn, body, i)
+                if consumed:
+                    i = consumed
+                    stmt_start = False
+                    continue
+            # Field mutations (for guarded-by) + local decls + calls.
+            if t.kind == "id" and txt not in _KEYWORDS:
+                consumed = self._try_decl_or_call(
+                    fn, body, i, stmt_start,
+                    tuple(lid for lid, _ in lock_stack),
+                    stmt_static=stmt_static or i < cold_args_until)
+                if consumed:
+                    i = consumed
+                    stmt_start = False
+                    continue
+                self._try_mutation(fn, body, i)
+            if txt == ":" and ternary_depth > 0:
+                # Ternary continuation, not a label: `x = c ? a : b;`.
+                ternary_depth -= 1
+                stmt_start = False
+            else:
+                stmt_start = txt in ("else", ":", "do")
+            i += 1
+
+    def _try_mutation(self, fn: Function, body: List[Token],
+                      i: int) -> None:
+        t = body[i]
+        nxt = body[i + 1] if i + 1 < len(body) else None
+        prev = body[i - 1] if i > 0 else None
+        # member_ = ..., member_ += ..., member_++ / ++member_
+        if prev is not None and prev.text in (".", "->", "::"):
+            if not (prev.text == "->" and i >= 2
+                    and body[i - 2].text == "this"):
+                return  # x.field: not our own member access
+        if nxt is None:
+            return
+        if nxt.text in ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                        "^=", "<<=", ">>=", "++", "--"):
+            fn.mutations.append((t.text, t.line, "assign"))
+            return
+        if prev is not None and prev.text in ("++", "--"):
+            fn.mutations.append((t.text, t.line, "incdec"))
+            return
+        if nxt.text in (".", "->") and i + 3 < len(body):
+            meth = body[i + 2]
+            if (
+                meth.kind == "id"
+                and meth.text in _MUTATING_METHODS
+                and body[i + 3].text == "("
+            ):
+                fn.mutations.append(
+                    (t.text, t.line, "call:" + meth.text))
+        if nxt.text == "[":
+            j = _match_balanced(body, i + 1, "[", "]")
+            if j < len(body) and body[j].text in (
+                "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+            ):
+                fn.mutations.append((t.text, t.line, "assign"))
+
+    def _try_decl_or_call(self, fn: Function, body: List[Token], i: int,
+                          stmt_start: bool,
+                          held: Tuple[str, ...],
+                          stmt_static: bool = False) -> Optional[int]:
+        """At an identifier, recognizes either a local declaration
+        `Type name...` or a call `chain(...)`. Returns the index to
+        resume at, or None."""
+        n = len(body)
+        # --- local declaration: Type [<...>] [*&]* name (terminator) --
+        if stmt_start:
+            consumed = self._try_local_decl(fn, body, i)
+            if consumed:
+                return consumed
+        # --- call: chain ( ... ) --------------------------------------
+        # Walk the chain forward from i: id (:: id | . id | -> id)* '('
+        j = i
+        chain_start = i
+        prev = body[i - 1] if i > 0 else None
+        if prev is not None and prev.text in (".", "->", "::"):
+            return None  # middle of a chain; the head already handled it
+        receiver_parts: List[str] = []
+        while True:
+            if j >= n or body[j].kind != "id":
+                return None
+            name_tok = body[j]
+            j += 1
+            # Skip template args on the segment: Foo<...>(
+            if j < n and body[j].text == "<":
+                k = _match_angle(body, j)
+                if k is not None and k < n and body[k].text in (
+                    "(", "::", ".", "->",
+                ):
+                    j = k
+            if j < n and body[j].text in ("::", ".", "->"):
+                receiver_parts.append(name_tok.text)
+                receiver_parts.append(body[j].text)
+                j += 1
+                continue
+            break
+        if j >= n or body[j].text != "(":
+            return None
+        if name_tok.text in _KEYWORDS:
+            return None
+        # `Type name(args);` declarations at statement start were already
+        # tried above; what remains is a call.
+        close = _match_balanced(body, j, "(", ")")
+        receiver = "".join(receiver_parts)
+        is_stmt = stmt_start and close < n and body[close].text == ";"
+        void_cast = False
+        if stmt_start and chain_start >= 3:
+            if (
+                body[chain_start - 1].text == ")"
+                and body[chain_start - 2].text == "void"
+                and body[chain_start - 3].text == "("
+            ):
+                void_cast = True
+                is_stmt = close < n and body[close].text == ";"
+        if name_tok.text in _ALLOC_FUNCS and not stmt_static:
+            fn.alloc_tokens.append((name_tok.text, name_tok.line))
+        fn.calls.append(Call(
+            name=name_tok.text,
+            receiver=receiver,
+            line=name_tok.line,
+            held=held,
+            is_statement=is_stmt,
+            void_cast=void_cast,
+        ))
+        # `field_.push_back(...)` / `this->field_.clear()` are mutations
+        # of the receiver head as well as calls.
+        if name_tok.text in _MUTATING_METHODS and receiver_parts:
+            parts = receiver_parts
+            if len(parts) >= 4 and parts[0] == "this":
+                parts = parts[2:]
+            if len(parts) == 2 and parts[1] in (".", "->"):
+                fn.mutations.append(
+                    (parts[0], name_tok.line, "call:" + name_tok.text))
+        # Don't consume the arguments: nested calls inside must be seen.
+        return j + 1
+
+    def _try_local_decl(self, fn: Function, body: List[Token],
+                        i: int) -> Optional[int]:
+        """Matches `[static] Type[<..>] [*&]* name (';' | '=' | '(' | '{')`
+        at a statement start. Records allocating locals; returns resume
+        index (just past the declarator name) or None."""
+        n = len(body)
+        j = i
+        is_static = False
+        prev = body[i - 1] if i > 0 else None
+        if prev is not None and prev.kind == "id" and prev.text in (
+            "static", "constexpr", "thread_local",
+        ):
+            is_static = True
+        # Parse type chain.
+        type_toks: List[Token] = []
+        while j < n and body[j].kind == "id":
+            if body[j].text in ("const", "typename"):
+                j += 1
+                continue
+            type_toks.append(body[j])
+            j += 1
+            if j < n and body[j].text == "::":
+                type_toks.append(body[j])
+                j += 1
+                continue
+            break
+        if not type_toks or j >= n:
+            return None
+        pointee = ""  # smart pointers: the template argument's head
+        if body[j].text == "<":
+            k = _match_angle(body, j)
+            if k is None:
+                return None
+            inner: List[Token] = []
+            for tok in body[j + 1:k - 1]:
+                if tok.kind == "id" or tok.text == "::":
+                    inner.append(tok)
+                else:
+                    break
+            if inner:
+                pointee = _type_head(inner)
+            j = k
+        ref_ptr = False
+        while j < n and body[j].text in ("*", "&", "&&", "const"):
+            if body[j].text in ("*", "&", "&&"):
+                ref_ptr = True
+            j += 1
+        if j >= n or body[j].kind != "id" or body[j].text in _KEYWORDS:
+            return None
+        var = body[j]
+        if j + 1 >= n or body[j + 1].text not in (";", "=", "(", "{"):
+            return None
+        head = _type_head(type_toks)
+        if head in ("return", "else"):
+            return None
+        has_init = body[j + 1].text != ";"
+        move_init = (
+            j + 5 < n
+            and body[j + 1].text in ("=", "(", "{")
+            and body[j + 2].text == "std"
+            and body[j + 3].text == "::"
+            and body[j + 4].text == "move"
+            and body[j + 5].text == "("
+        )
+        fn.locals.append(LocalDecl(
+            has_init=has_init,
+            is_move_init=move_init,
+            type_name=head,
+            var=var.text,
+            line=var.line,
+            is_static=is_static,
+            is_ref_or_ptr=ref_ptr,
+        ))
+        # Receiver resolution wants the logical type: see through smart
+        # pointers and `auto x = std::make_unique<T>(...)`.
+        recv_type = head
+        if head in ("std::unique_ptr", "std::shared_ptr") and pointee:
+            recv_type = pointee
+        elif head == "auto" and body[j + 1].text == "=":
+            k = j + 2
+            parts: List[Token] = []
+            while k < n and (body[k].kind == "id" or body[k].text == "::"):
+                parts.append(body[k])
+                k += 1
+            maker = _type_head(parts)
+            if maker in ("std::make_unique", "std::make_shared") \
+                    and k < n and body[k].text == "<":
+                inner2: List[Token] = []
+                for tok in body[k + 1:]:
+                    if tok.kind == "id" or tok.text == "::":
+                        inner2.append(tok)
+                    else:
+                        break
+                if inner2:
+                    recv_type = _type_head(inner2)
+        fn.var_types.setdefault(var.text, recv_type)
+        return j + 1
+
+
+def parse_files(paths: List[str], read=None) -> Model:
+    fe = LiteFrontend()
+    for p in paths:
+        text = read(p) if read else open(p, encoding="utf-8",
+                                         errors="replace").read()
+        fe.parse_file(p, text)
+    return fe.finish()

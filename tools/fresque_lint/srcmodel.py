@@ -1,0 +1,319 @@
+"""Source model (IR) shared by fresque_lint's frontends and checks.
+
+A frontend (frontend_lite or frontend_clang) parses C++ sources into this
+IR; the checks in checks.py consume only the IR, so they are oblivious to
+which frontend produced it. The IR is deliberately coarse: it models only
+what the five FRESQUE checks need — functions with their call/acquire/
+local-declaration events, class fields with their annotations, and raw
+token streams for the pattern checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+# Check identifiers (the names used in findings and suppressions).
+CHECK_LOCK_ORDER = "lock-order"
+CHECK_RAW_SYNC = "raw-sync"
+CHECK_HOT_ALLOC = "hot-alloc"
+CHECK_DISCARDED_STATUS = "discarded-status"
+CHECK_GUARDED_BY = "guarded-by"
+ALL_CHECKS = (
+    CHECK_LOCK_ORDER,
+    CHECK_RAW_SYNC,
+    CHECK_HOT_ALLOC,
+    CHECK_DISCARDED_STATUS,
+    CHECK_GUARDED_BY,
+)
+
+# Per-site suppression:   // fresque-lint: allow(check-a,check-b) reason
+# on the finding's line or the line directly above it. The reason is
+# mandatory: a suppression is a documented contract, not an off switch.
+SUPPRESS_RE = re.compile(
+    r"//\s*fresque-lint:\s*allow\(([a-z\-,\s]+)\)\s*(\S.*)?$"
+)
+
+
+@dataclasses.dataclass
+class Suppression:
+    checks: Set[str]
+    reason: str
+    line: int
+
+
+@dataclasses.dataclass
+class Token:
+    kind: str  # "id" | "num" | "str" | "chr" | "punct"
+    text: str
+    line: int
+
+
+@dataclasses.dataclass
+class LockAcquire:
+    """One `MutexLock lock(<expr>);` site."""
+
+    lock_id: str  # normalized, e.g. "CloudNode::mu_"
+    expr: str  # source spelling, e.g. "wal->mu_"
+    line: int
+    # Lock ids already held (lexically) when this acquisition runs.
+    held: Tuple[str, ...] = ()
+
+
+@dataclasses.dataclass
+class Call:
+    """A call expression inside a function body."""
+
+    name: str  # simple callee name, e.g. "PublishIndexed"
+    receiver: str  # receiver chain spelling ("server_->", "Class::", "")
+    line: int
+    held: Tuple[str, ...] = ()  # lock ids held at the call site
+    is_statement: bool = False  # full-expression statement `foo(...);`
+    void_cast: bool = False  # spelled `(void)foo(...);`
+
+
+@dataclasses.dataclass
+class LocalDecl:
+    """A local variable declaration `Type name...;` in a function body."""
+
+    type_name: str  # normalized head, e.g. "std::vector", "Bytes"
+    var: str
+    line: int
+    is_static: bool = False
+    is_ref_or_ptr: bool = False
+    # `Type name;` — default construction of the heap-backed containers we
+    # track is allocation-free, so hot-alloc skips these.
+    has_init: bool = True
+    # `Type name = std::move(x);` — move construction never allocates.
+    is_move_init: bool = False
+
+
+@dataclasses.dataclass
+class Function:
+    qual_name: str  # "ns::Class::Name" (namespaces best-effort)
+    simple_name: str
+    class_name: str  # enclosing (or declaration-qualified) class, or ""
+    file: str
+    line: int
+    end_line: int = 0
+    return_type: str = ""  # normalized spelling, "" for ctors/dtors
+    is_hot: bool = False  # FRESQUE_HOT on decl or def
+    is_definition: bool = False
+    is_ctor: bool = False
+    is_dtor: bool = False
+    acquires: List[LockAcquire] = dataclasses.field(default_factory=list)
+    calls: List[Call] = dataclasses.field(default_factory=list)
+    locals: List[LocalDecl] = dataclasses.field(default_factory=list)
+    # Raw allocation tokens found directly in the body: (what, line).
+    alloc_tokens: List[Tuple[str, int]] = dataclasses.field(
+        default_factory=list
+    )
+    # var -> type head, for receiver resolution (params + locals).
+    var_types: Dict[str, str] = dataclasses.field(default_factory=dict)
+    # Field mutations: (field_name, line, kind) where kind is "assign",
+    # "incdec" or "call:<method>".
+    mutations: List[Tuple[str, int, str]] = dataclasses.field(
+        default_factory=list
+    )
+
+
+@dataclasses.dataclass
+class Field:
+    name: str
+    type_name: str  # normalized head, e.g. "std::map", "Mutex"
+    line: int
+    is_const: bool = False
+    is_static: bool = False
+    is_mutable: bool = False
+    is_atomic: bool = False
+    is_ref_or_ptr: bool = False
+    guarded_by: Optional[str] = None  # FRESQUE_GUARDED_BY argument
+    pt_guarded_by: Optional[str] = None
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    name: str  # simple name
+    qual_name: str
+    file: str
+    line: int
+    fields: List[Field] = dataclasses.field(default_factory=list)
+
+    def field(self, name: str) -> Optional[Field]:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def owns_mutex(self) -> bool:
+        return any(
+            f.type_name in ("Mutex", "fresque::Mutex") for f in self.fields
+        )
+
+
+@dataclasses.dataclass
+class SourceFile:
+    path: str  # repo-relative
+    tokens: List[Token] = dataclasses.field(default_factory=list)
+    includes: List[Tuple[str, bool, int]] = dataclasses.field(
+        default_factory=list
+    )  # (target, is_system, line)
+    suppressions: Dict[int, Suppression] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def suppressed(self, check: str, line: int) -> bool:
+        """True if `check` is suppressed at `line` (same line or the one
+        above carries the allow comment)."""
+        for cand in (line, line - 1):
+            sup = self.suppressions.get(cand)
+            if sup and check in sup.checks and sup.reason:
+                return True
+        return False
+
+
+@dataclasses.dataclass
+class Model:
+    """Whole-program model: all parsed files, functions and classes."""
+
+    files: Dict[str, SourceFile] = dataclasses.field(default_factory=dict)
+    functions: List[Function] = dataclasses.field(default_factory=list)
+    classes: Dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+
+    # Derived indices (built by finalize()).
+    by_simple_name: Dict[str, List[Function]] = dataclasses.field(
+        default_factory=dict
+    )
+    by_class_and_name: Dict[Tuple[str, str], List[Function]] = (
+        dataclasses.field(default_factory=dict)
+    )
+
+    def finalize(self) -> None:
+        """Builds lookup indices and merges declaration-site attributes
+        (FRESQUE_HOT, return types) into the matching definitions."""
+        self.by_simple_name = {}
+        self.by_class_and_name = {}
+        for fn in self.functions:
+            self.by_simple_name.setdefault(fn.simple_name, []).append(fn)
+            self.by_class_and_name.setdefault(
+                (fn.class_name, fn.simple_name), []
+            ).append(fn)
+        # Propagate decl-site FRESQUE_HOT / return types onto definitions
+        # (out-of-line definitions usually repeat neither).
+        for group in self.by_class_and_name.values():
+            is_hot = any(f.is_hot for f in group)
+            ret = next((f.return_type for f in group if f.return_type), "")
+            for f in group:
+                f.is_hot = f.is_hot or is_hot
+                if not f.return_type:
+                    f.return_type = ret
+
+    def resolve_call(
+        self, call: Call, caller: Function
+    ) -> List[Function]:
+        """Best-effort resolution of a call to definitions in the model.
+
+        Returns candidate *definitions*. Ambiguous simple-name matches
+        across different classes resolve to [] (the checks deliberately
+        under-approximate rather than invent call edges)."""
+        recv = call.receiver.rstrip(":->. ")
+        # Explicit Class:: qualification.
+        if call.receiver.endswith("::") and recv:
+            cls = recv.split("::")[-1]
+            return [
+                f
+                for f in self.by_class_and_name.get((cls, call.name), [])
+                if f.is_definition
+            ]
+        # this-> or unqualified: same class first.
+        if caller.class_name and (not recv or recv == "this"):
+            own = [
+                f
+                for f in self.by_class_and_name.get(
+                    (caller.class_name, call.name), []
+                )
+                if f.is_definition
+            ]
+            if own:
+                return own
+        # Receiver variable with a known type.
+        if recv and recv != "this":
+            head = recv.split("->")[0].split(".")[0].strip()
+            rtype = caller.var_types.get(head)
+            if rtype is None and caller.class_name:
+                cls = self.classes.get(caller.class_name)
+                if cls:
+                    fld = cls.field(head)
+                    if fld:
+                        rtype = fld.type_name
+            if rtype:
+                cls_simple = rtype.split("::")[-1]
+                return [
+                    f
+                    for f in self.by_class_and_name.get(
+                        (cls_simple, call.name), []
+                    )
+                    if f.is_definition
+                ]
+            return []  # unknown receiver: don't guess
+        # Free call: unique global match only.
+        cands = [
+            f
+            for f in self.by_simple_name.get(call.name, [])
+            if f.is_definition
+        ]
+        classes = {f.class_name for f in cands}
+        if len(classes) == 1:
+            return cands
+        return []
+
+    def status_like(self, call: Call, caller: Function) -> Optional[bool]:
+        """Whether `call` returns Status/Result (by value, ref or pointer).
+
+        None = unknown callee; False = known non-status; True = status."""
+        recv = call.receiver.rstrip(":->. ")
+        groups: List[Function] = []
+        if call.receiver.endswith("::") and recv:
+            cls = recv.split("::")[-1]
+            groups = self.by_class_and_name.get((cls, call.name), [])
+        elif caller.class_name and (not recv or recv == "this"):
+            groups = self.by_class_and_name.get(
+                (caller.class_name, call.name), []
+            )
+        if not groups and recv and recv != "this":
+            head = recv.split("->")[0].split(".")[0].strip()
+            rtype = caller.var_types.get(head)
+            if rtype is None and caller.class_name:
+                cls = self.classes.get(caller.class_name)
+                if cls:
+                    fld = cls.field(head)
+                    if fld:
+                        rtype = fld.type_name
+            if rtype:
+                groups = self.by_class_and_name.get(
+                    (rtype.split("::")[-1], call.name), []
+                )
+        if not groups:
+            cands = self.by_simple_name.get(call.name, [])
+            if len({f.class_name for f in cands}) == 1:
+                groups = cands
+        if not groups:
+            return None
+        rets = {f.return_type for f in groups if f.return_type}
+        if not rets:
+            return None
+        verdicts = {ret_is_status_like(r) for r in rets}
+        if verdicts == {True}:
+            return True
+        if verdicts == {False}:
+            return False
+        return None  # mixed overloads: don't guess
+
+
+def ret_is_status_like(ret: str) -> bool:
+    """True for Status / Result<...> returns, including by ref/pointer."""
+    head = ret.replace("const", " ").strip()
+    return bool(
+        re.match(r"^(fresque\s*::\s*)?(Status|Result)\b(?!\s*Code)", head)
+    )

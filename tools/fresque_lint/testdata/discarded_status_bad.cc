@@ -1,0 +1,26 @@
+// Fixture: discarded-status POSITIVE — Status/Result returns dropped on
+// the floor, including through a reference-returning helper (which
+// [[nodiscard]] on the class does NOT catch: the discarded expression is
+// a reference, so the compiler stays silent and the lint must not).
+#include "common/status.h"
+
+namespace fresque {
+
+class Store {
+ public:
+  Status Put(int key);
+  Status& LastError();
+  Result<int> Get(int key);
+  void Use();
+
+ private:
+  Status last_;
+};
+
+void Store::Use() {
+  Put(1);        // discarded Status (value)
+  LastError();   // discarded Status& — invisible to [[nodiscard]]
+  Get(2);        // discarded Result<int>
+}
+
+}  // namespace fresque

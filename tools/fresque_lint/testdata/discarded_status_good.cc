@@ -1,0 +1,29 @@
+// Fixture: discarded-status NEGATIVE — consumed, propagated, or
+// explicitly (void)-discarded results; ternary continuations must not be
+// mistaken for expression statements.
+#include "common/status.h"
+
+namespace fresque {
+
+class Store {
+ public:
+  Status Put(int key);
+  Result<int> Get(int key);
+  void Use(bool flag);
+  int Size();
+
+ private:
+  Status last_;
+};
+
+void Store::Use(bool flag) {
+  Status st = Put(1);          // consumed
+  last_ = flag ? Put(2)        // ternary arms are not statements
+               : Put(3);
+  (void)Put(4);                // explicit discard
+  auto got = Get(5);           // consumed
+  if (!got.ok() || !st.ok()) return;
+  Size();                      // non-Status return: nothing to discard
+}
+
+}  // namespace fresque

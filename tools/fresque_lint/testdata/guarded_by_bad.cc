@@ -1,0 +1,30 @@
+// Fixture: guarded-by POSITIVE — a mutex-owning class with unannotated
+// members mutated outside the constructor (plain assignment and a
+// mutating container method).
+#include "common/mutex.h"
+
+namespace fresque {
+
+class Counter {
+ public:
+  Counter() : hits_(0) {}
+  void Bump();
+  void Record(int v);
+
+ private:
+  Mutex mu_;
+  int hits_;                 // mutated by Bump, no FRESQUE_GUARDED_BY
+  std::vector<int> values_;  // mutated by Record, no FRESQUE_GUARDED_BY
+};
+
+void Counter::Bump() {
+  MutexLock lock(mu_);
+  ++hits_;
+}
+
+void Counter::Record(int v) {
+  MutexLock lock(mu_);
+  values_.push_back(v);
+}
+
+}  // namespace fresque

@@ -1,0 +1,28 @@
+// Fixture: guarded-by NEGATIVE — annotated members, const/atomic
+// members, and constructor-only writes need no annotation.
+#include <atomic>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fresque {
+
+class Counter {
+ public:
+  explicit Counter(int seed) { hits_ = seed; }  // ctor writes are fine
+  void Bump();
+
+ private:
+  Mutex mu_;
+  int hits_ FRESQUE_GUARDED_BY(mu_) = 0;
+  std::atomic<int> fast_hits_{0};  // atomics guard themselves
+  const int limit_ = 10;           // const: never mutated
+};
+
+void Counter::Bump() {
+  MutexLock lock(mu_);
+  ++hits_;
+  fast_hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fresque

@@ -1,0 +1,28 @@
+// Fixture: hot-alloc POSITIVE — a FRESQUE_HOT function allocating
+// directly (new, make_unique, per-call std::string) and transitively
+// through a callee.
+#include "common/hot.h"
+
+namespace fresque {
+
+class Widget {
+ public:
+  FRESQUE_HOT void Handle(int n);
+  void Helper();
+
+ private:
+  int* scratch_ = nullptr;
+};
+
+void Widget::Handle(int n) {
+  scratch_ = new int[n];                  // direct new
+  std::string label = std::to_string(n);  // per-call heap local
+  Helper();                               // transitive allocation
+}
+
+void Widget::Helper() {
+  auto owned = std::make_unique<int>(7);  // reached from a hot root
+  (void)owned;
+}
+
+}  // namespace fresque

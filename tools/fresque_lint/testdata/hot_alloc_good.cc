@@ -1,0 +1,41 @@
+// Fixture: hot-alloc NEGATIVE — the sanctioned zero-alloc patterns:
+// member scratch buffers, default-constructed locals, move construction,
+// once-ever static initializers, and allocations in functions that are
+// not reachable from any FRESQUE_HOT root.
+#include "common/hot.h"
+
+namespace fresque {
+
+class Tables {
+ public:
+  static const Tables& Global() {
+    static const Tables* const kTables = new Tables();  // once, not per call
+    return *kTables;
+  }
+};
+
+class Widget {
+ public:
+  FRESQUE_HOT void Handle(int n);
+  void ColdSetup();
+
+ private:
+  std::vector<int> scratch_;  // member buffer: amortizes to zero
+};
+
+void Widget::Handle(int n) {
+  scratch_.clear();
+  for (int i = 0; i < n; ++i) scratch_.push_back(i);
+  std::vector<int> taken = std::move(scratch_);  // move: steals, no alloc
+  Bytes empty;                                   // default-construct: free
+  (void)Tables::Global();
+  scratch_ = std::move(taken);
+}
+
+void Widget::ColdSetup() {
+  // Allocates freely: not FRESQUE_HOT and not called from a hot root.
+  std::string config = std::to_string(42);
+  (void)config;
+}
+
+}  // namespace fresque

@@ -1,0 +1,37 @@
+// Fixture: lock-order POSITIVE — A::mu_ -> B::mu_ and B::mu_ -> A::mu_
+// form a cycle (the classic ABBA deadlock), one edge direct and one
+// through a call.
+#include "common/mutex.h"
+
+namespace fresque {
+
+class B;
+
+class A {
+ public:
+  void Foo();
+  void Leaf();
+  B* b_;
+  Mutex mu_;
+};
+
+class B {
+ public:
+  void Bar();
+  A* a_;
+  Mutex mu_;
+};
+
+void A::Foo() {
+  MutexLock lock(mu_);
+  b_->Bar();  // holds A::mu_, Bar takes B::mu_
+}
+
+void A::Leaf() { MutexLock lock(mu_); }
+
+void B::Bar() {
+  MutexLock lock(mu_);
+  a_->Leaf();  // holds B::mu_, Leaf takes A::mu_ — cycle closed
+}
+
+}  // namespace fresque

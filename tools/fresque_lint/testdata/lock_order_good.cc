@@ -1,0 +1,33 @@
+// Fixture: lock-order NEGATIVE — nested acquisition in one consistent
+// direction (A::mu_ before B::mu_, everywhere) is a DAG, not a cycle.
+#include "common/mutex.h"
+
+namespace fresque {
+
+class B {
+ public:
+  void Bar();
+  Mutex mu_;
+};
+
+class A {
+ public:
+  void Foo();
+  void Baz();
+  B* b_;
+  Mutex mu_;
+};
+
+void B::Bar() { MutexLock lock(mu_); }
+
+void A::Foo() {
+  MutexLock lock(mu_);
+  b_->Bar();
+}
+
+void A::Baz() {
+  MutexLock lock(mu_);
+  b_->Bar();  // same direction as Foo: fine
+}
+
+}  // namespace fresque

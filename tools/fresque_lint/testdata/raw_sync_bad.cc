@@ -1,0 +1,20 @@
+// Fixture: raw-sync POSITIVE — std::mutex / std::lock_guard and the
+// <mutex> include outside src/common/ must be flagged (the runner feeds
+// this file in as src/engine/raw_sync_bad.cc).
+#include <mutex>
+
+namespace fresque {
+
+class Unwrapped {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace fresque

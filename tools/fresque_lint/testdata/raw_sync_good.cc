@@ -1,0 +1,19 @@
+// Fixture: raw-sync NEGATIVE — the annotated wrappers from
+// common/mutex.h are the sanctioned synchronization outside src/common/.
+#include "common/mutex.h"
+
+namespace fresque {
+
+class Wrapped {
+ public:
+  void Touch() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ FRESQUE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fresque

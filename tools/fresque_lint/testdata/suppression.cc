@@ -1,0 +1,32 @@
+// Fixture: suppression semantics — a finding silenced by a documented
+// allow comment (same line and line-above forms), a suppression with no
+// reason (invalid: the finding survives), and an allow naming an unknown
+// check (reported as bad-suppression).
+#include "common/hot.h"
+#include "common/status.h"
+
+namespace fresque {
+
+class Svc {
+ public:
+  Status Ping();
+  FRESQUE_HOT void Handle();
+  void Other();
+};
+
+void Svc::Handle() {
+  // fresque-lint: allow(hot-alloc) cold path exercised once at startup
+  std::string banner = std::to_string(1);
+  std::string tag = std::to_string(2);  // fresque-lint: allow(hot-alloc) same cold path
+  (void)banner;
+  (void)tag;
+}
+
+void Svc::Other() {
+  // fresque-lint: allow(discarded-status)
+  Ping();  // reasonless allow above does NOT suppress this
+  // fresque-lint: allow(no-such-check) typo'd check name
+  (void)Ping();
+}
+
+}  // namespace fresque
