@@ -45,11 +45,23 @@ Result<std::vector<record::Record>> Client::Query(
     const cloud::CloudServer& server, const index::RangeQuery& q) {
   auto result = server.ExecuteQuery(q);
   if (!result.ok()) return result.status();
+  return Decrypt(*result, q);
+}
 
+Result<std::vector<record::Record>> Client::Query(
+    const cloud::CloudServer& server, const index::RangeQuery& q,
+    const query::QueryContext& ctx) {
+  auto result = server.ExecuteQuery(q, ctx);
+  if (!result.ok()) return result.status();
+  return Decrypt(*result, q);
+}
+
+Result<std::vector<record::Record>> Client::Decrypt(
+    const cloud::QueryResult& result, const index::RangeQuery& q) {
   std::vector<record::Record> records;
-  FRESQUE_RETURN_NOT_OK(DecryptInto(result->indexed_records, q, &records));
-  FRESQUE_RETURN_NOT_OK(DecryptInto(result->overflow_records, q, &records));
-  FRESQUE_RETURN_NOT_OK(DecryptInto(result->unindexed_records, q, &records));
+  FRESQUE_RETURN_NOT_OK(DecryptInto(result.indexed_records, q, &records));
+  FRESQUE_RETURN_NOT_OK(DecryptInto(result.overflow_records, q, &records));
+  FRESQUE_RETURN_NOT_OK(DecryptInto(result.unindexed_records, q, &records));
   return records;
 }
 

@@ -45,6 +45,18 @@ class Client {
   Result<std::vector<record::Record>> Query(const cloud::CloudServer& server,
                                             const index::RangeQuery& q);
 
+  /// Deadline/cancellation-aware variant: the cloud-side scan honors
+  /// `ctx` (DeadlineExceeded / Cancelled surface as the query's status).
+  Result<std::vector<record::Record>> Query(const cloud::CloudServer& server,
+                                            const index::RangeQuery& q,
+                                            const query::QueryContext& ctx);
+
+  /// Decrypts a ciphertext result obtained elsewhere — e.g. from a
+  /// query::QueryExecutor ticket — applying the same dummy filtering and
+  /// exact predicate post-filter as Query.
+  Result<std::vector<record::Record>> Decrypt(const cloud::QueryResult& result,
+                                              const index::RangeQuery& q);
+
   /// Union of several ranges (disjunctive predicate), deduplicated: a
   /// record touched by overlapping ranges is decrypted and returned
   /// once. Dedup keys on the ciphertext — every e-record is unique

@@ -1,10 +1,16 @@
 #include "cloud/server.h"
 
+#include "query/scan.h"
+#include "telemetry/telemetry.h"
+
 namespace fresque {
 namespace cloud {
 
-CloudServer::CloudServer(index::DomainBinning binning, const Clock* clock)
-    : binning_(std::move(binning)), clock_(clock) {}
+CloudServer::CloudServer(index::DomainBinning binning, const Clock* clock,
+                         size_t leaf_cache_capacity)
+    : binning_(std::move(binning)),
+      clock_(clock),
+      leaf_cache_(leaf_cache_capacity) {}
 
 Status CloudServer::StartPublication(uint64_t pn) {
   MutexLock lock(mu_);
@@ -30,7 +36,7 @@ Status CloudServer::IngestRecord(uint64_t pn, uint32_t leaf,
   MutexLock lock(mu_);
   auto pub = Find(pn);
   if (!pub.ok()) return pub.status();
-  if ((*pub)->published) {
+  if ((*pub)->published()) {
     return Status::FailedPrecondition("publication already published");
   }
   PhysicalAddress addr = (*pub)->storage.Append(e_record);
@@ -43,7 +49,7 @@ Status CloudServer::IngestTagged(uint64_t pn, uint64_t tag,
   MutexLock lock(mu_);
   auto pub = Find(pn);
   if (!pub.ok()) return pub.status();
-  if ((*pub)->published) {
+  if ((*pub)->published()) {
     return Status::FailedPrecondition("publication already published");
   }
   PhysicalAddress addr = (*pub)->storage.Append(e_record);
@@ -56,10 +62,12 @@ Result<MatchingStats> CloudServer::InstallPublication(
     const index::MatchingTable* table, Bytes raw_payload) {
   Stopwatch watch(clock_);
   const size_t num_leaves = publication.index.layout().num_leaves();
-  pub->postings.assign(num_leaves, {});
+  // fresque-lint: allow(hot-alloc) install runs once per publication epoch, not per record
+  std::vector<std::vector<PhysicalAddress>> postings(num_leaves);
 
   MatchingStats stats;
   stats.pn = pn;
+  query::TagFilter filter;
 
   if (table == nullptr) {
     // FRESQUE matching: the metadata cache already groups addresses by
@@ -67,31 +75,47 @@ Result<MatchingStats> CloudServer::InstallPublication(
     for (auto& [leaf, addrs] : pub->metadata) {
       if (leaf < num_leaves) {
         stats.records_matched += addrs.size();
-        auto& posting = pub->postings[leaf];
+        auto& posting = postings[leaf];
         posting.insert(posting.end(), addrs.begin(), addrs.end());
       }
     }
   } else {
     // PINED-RQ++ matching: re-read every record from storage ("disk") and
-    // join its tag against the matching table.
+    // join its tag against the matching table. A tag with no table entry
+    // (template loss, checker failure) simply joins to nothing — the
+    // record stays stored but unreachable, like any dropped join row.
+    // The tag filter, one cache line per probe, answers "definitely
+    // absent" before the hash-table lookup; false negatives are
+    // impossible, so the join result is identical with or without it.
+    filter = query::TagFilter::Build(*table);
     for (const auto& [tag, addr] : pub->tagged) {
       auto bytes = pub->storage.Read(addr);
       if (!bytes.ok()) return bytes.status();
+      if (!filter.MayContain(tag)) {
+        ++stats.filter_negatives;
+        continue;
+      }
       auto leaf = table->Lookup(tag);
-      if (!leaf.ok()) return leaf.status();
+      if (!leaf.ok()) continue;  // filter false positive: truly absent
       if (*leaf < num_leaves) {
-        pub->postings[*leaf].push_back(addr);
+        postings[*leaf].push_back(addr);
         ++stats.records_matched;
       }
     }
+    FRESQUE_COUNTER_ADD("query.tag_filter.negatives", stats.filter_negatives);
   }
 
-  pub->index.emplace(std::move(publication.index));
-  pub->overflow.emplace(std::move(publication.overflow));
-  pub->evidence = std::move(raw_payload);
-  pub->metadata.clear();  // metadata destroyed after matching (paper §5.3)
+  // Freeze the publication. From here on its storage, index, overflow and
+  // postings are immutable and shared with every QueryView epoch that
+  // includes it; the open-phase metadata is destroyed (paper §5.3).
+  // fresque-lint: allow(hot-alloc) one allocation per publication install, not per record
+  pub->installed = std::make_shared<const query::InstalledPublication>(
+      pn, std::move(pub->storage), std::move(publication.index),
+      std::move(publication.overflow), std::move(postings),
+      std::move(raw_payload), std::move(filter));
+  pub->metadata.clear();
   pub->tagged.clear();
-  pub->published = true;
+  views_.Install(pub->installed);
 
   stats.matching_millis = watch.ElapsedMillis();
   return stats;
@@ -102,7 +126,7 @@ Result<MatchingStats> CloudServer::PublishIndexed(
   MutexLock lock(mu_);
   auto pub = Find(pn);
   if (!pub.ok()) return pub.status();
-  if ((*pub)->published) {
+  if ((*pub)->published()) {
     return Status::FailedPrecondition("publication already published");
   }
   return InstallPublication(pn, *pub, std::move(publication), nullptr,
@@ -115,7 +139,7 @@ Result<MatchingStats> CloudServer::PublishWithMatchingTable(
   MutexLock lock(mu_);
   auto pub = Find(pn);
   if (!pub.ok()) return pub.status();
-  if ((*pub)->published) {
+  if ((*pub)->published()) {
     return Status::FailedPrecondition("publication already published");
   }
   return InstallPublication(pn, *pub, std::move(publication), &table,
@@ -140,24 +164,23 @@ Result<MatchingStats> CloudServer::PublishBatch(
 
 Result<QueryResult> CloudServer::ExecuteQuery(
     const index::RangeQuery& q) const {
-  MutexLock lock(mu_);
+  return ExecuteQuery(q, query::QueryContext{});
+}
+
+Result<QueryResult> CloudServer::ExecuteQuery(
+    const index::RangeQuery& q, const query::QueryContext& ctx) const {
   QueryResult result;
-  for (const auto& [pn, pub] : publications_) {
-    if (pub.published) {
-      std::vector<size_t> leaves = pub.index->Traverse(q);
-      for (size_t leaf : leaves) {
-        for (const auto& addr : pub.postings[leaf]) {
-          auto bytes = pub.storage.Read(addr);
-          if (!bytes.ok()) return bytes.status();
-          result.indexed_records.push_back({pn, std::move(*bytes)});
-        }
-        if (pub.overflow && leaf < pub.overflow->num_leaves()) {
-          for (const auto& slot : pub.overflow->leaf(leaf)) {
-            if (!slot.empty()) result.overflow_records.push_back({pn, slot});
-          }
-        }
-      }
-    } else {
+  std::shared_ptr<const query::QueryView> view;
+  {
+    // Snapshot point. Installs publish the view under this same mutex, so
+    // inside the critical section every publication is in exactly one of
+    // two states: open (its pairs copied out here) or installed (present
+    // in `view`). No publication can be missed or seen twice, and no
+    // half-installed state is observable.
+    MutexLock lock(mu_);
+    view = views_.Current();
+    for (const auto& [pn, pub] : publications_) {
+      if (pub.published()) continue;
       // Open publication: no index yet; filter the cached pairs one by
       // one on the (public) leaf interval.
       for (const auto& [leaf, addrs] : pub.metadata) {
@@ -172,40 +195,58 @@ Result<QueryResult> CloudServer::ExecuteQuery(
       }
     }
   }
+  // Installed publications: scanned against the pinned immutable view
+  // with no server lock held — ingest and installs proceed concurrently.
+  FRESQUE_RETURN_NOT_OK(
+      query::ScanView(*view, q, ctx, &leaf_cache_, &result));
   return result;
 }
 
 int64_t CloudServer::ApproximateCount(const index::RangeQuery& q) const {
-  MutexLock lock(mu_);
+  // Served purely from the immutable view: no lock, no record access.
+  auto view = views_.Current();
   int64_t total = 0;
-  for (const auto& [pn, pub] : publications_) {
-    (void)pn;
-    if (pub.published) total += pub.index->NoisyRangeCount(q);
+  for (const auto& pub : view->publications()) {
+    total += pub->index.NoisyRangeCount(q);
   }
   return total;
 }
 
+std::shared_ptr<const query::QueryView> CloudServer::CurrentView() const {
+  return views_.Current();
+}
+
+uint64_t CloudServer::view_epoch() const { return views_.epoch(); }
+
 Result<Bytes> CloudServer::PublicationEvidence(uint64_t pn) const {
-  MutexLock lock(mu_);
-  auto it = publications_.find(pn);
-  if (it == publications_.end() || !it->second.published ||
-      it->second.evidence.empty()) {
+  auto pub = views_.Current()->Find(pn);
+  if (pub == nullptr || pub->evidence.empty()) {
     return Status::NotFound("no publication evidence for " +
                             std::to_string(pn));
   }
-  return it->second.evidence;
+  return pub->evidence;
 }
 
 Status CloudServer::ForEachStoredRecord(
     uint64_t pn,
     const std::function<Status(const PhysicalAddress&, const uint8_t*,
                                size_t)>& fn) const {
-  MutexLock lock(mu_);
-  auto it = publications_.find(pn);
-  if (it == publications_.end()) {
-    return Status::NotFound("unknown publication " + std::to_string(pn));
+  std::shared_ptr<const query::InstalledPublication> installed;
+  {
+    MutexLock lock(mu_);
+    auto it = publications_.find(pn);
+    if (it == publications_.end()) {
+      return Status::NotFound("unknown publication " + std::to_string(pn));
+    }
+    if (!it->second.published()) {
+      // Open publication: storage still mutates under mu_, so iterate
+      // inside the critical section.
+      return it->second.storage.ForEachRecord(fn);
+    }
+    installed = it->second.installed;
   }
-  return it->second.storage.ForEachRecord(fn);
+  // Installed storage is immutable; iterate without the lock.
+  return installed->storage.ForEachRecord(fn);
 }
 
 size_t CloudServer::num_publications() const {
@@ -218,7 +259,8 @@ size_t CloudServer::total_records() const {
   size_t t = 0;
   for (const auto& [pn, pub] : publications_) {
     (void)pn;
-    t += pub.storage.num_records();
+    t += pub.published() ? pub.installed->storage.num_records()
+                         : pub.storage.num_records();
   }
   return t;
 }
@@ -228,9 +270,13 @@ size_t CloudServer::total_bytes() const {
   size_t t = 0;
   for (const auto& [pn, pub] : publications_) {
     (void)pn;
-    t += pub.storage.total_bytes();
-    if (pub.index) t += pub.index->CountBytes();
-    if (pub.overflow) t += pub.overflow->PayloadBytes();
+    if (pub.published()) {
+      t += pub.installed->storage.total_bytes();
+      t += pub.installed->index.CountBytes();
+      t += pub.installed->overflow.PayloadBytes();
+    } else {
+      t += pub.storage.total_bytes();
+    }
   }
   return t;
 }

@@ -20,38 +20,28 @@
 #include "index/matching.h"
 #include "index/overflow.h"
 #include "net/payloads.h"
+#include "query/context.h"
+#include "query/leaf_cache.h"
+#include "query/result.h"
+#include "query/view.h"
 
 namespace fresque {
 namespace cloud {
 
-/// One ciphertext in a query result, tagged with the publication it
-/// belongs to so the client can derive the right decryption key.
-struct ResultRecord {
-  uint64_t pn = 0;
-  Bytes e_record;
-};
-
-/// Everything a range query returns from the cloud: ciphertexts only.
-struct QueryResult {
-  /// Records reachable through published secure indexes.
-  std::vector<ResultRecord> indexed_records;
-  /// Overflow-array slots of the leaves the query touched.
-  std::vector<ResultRecord> overflow_records;
-  /// Records of still-open publications whose leaf interval overlaps the
-  /// query (the paper's "unindexed data, processed one by one").
-  std::vector<ResultRecord> unindexed_records;
-
-  size_t TotalRecords() const {
-    return indexed_records.size() + overflow_records.size() +
-           unindexed_records.size();
-  }
-};
+/// Result types live in query/result.h so the scan/executor layers can
+/// produce them without a server dependency; aliased here for the many
+/// existing cloud::QueryResult call sites.
+using ResultRecord = query::ResultRecord;
+using QueryResult = query::QueryResult;
 
 /// Per-publication matching cost, reported for Fig. 13/15.
 struct MatchingStats {
   uint64_t pn = 0;
   size_t records_matched = 0;
   double matching_millis = 0;
+  /// Tag-filter outcomes of the PINED-RQ++ join (zero in FRESQUE mode):
+  /// probes answered "definitely absent" skip the hash-table lookup.
+  size_t filter_negatives = 0;
 };
 
 /// The untrusted cloud server (paper §5.3 "Cloud").
@@ -61,12 +51,22 @@ struct MatchingStats {
 /// only reshuffles addresses (FRESQUE), or — in PINED-RQ++ mode — re-reads
 /// every record and joins it against the matching table, which is the
 /// expensive path Fig. 15 contrasts.
+///
+/// Query serving is snapshot-consistent and concurrent (DESIGN.md §15):
+/// installing a publication freezes it into an immutable
+/// query::InstalledPublication and publishes a new epoch of the
+/// query::QueryView RCU-style. ExecuteQuery pins one view and scans it
+/// with *no server lock held*; mu_ is only taken briefly to copy out the
+/// open publication's cached pairs, so ingest and publication install
+/// proceed while arbitrarily large range scans run.
 class CloudServer {
  public:
   /// `binning` describes how leaf offsets map to value intervals (public
-  /// configuration shared by collector and cloud).
+  /// configuration shared by collector and cloud). `leaf_cache_capacity`
+  /// bounds the hot-leaf descriptor cache (DESIGN.md §15).
   explicit CloudServer(index::DomainBinning binning,
-                       const Clock* clock = SystemClock::Global());
+                       const Clock* clock = SystemClock::Global(),
+                       size_t leaf_cache_capacity = 4096);
 
   /// Opens a new publication (kPublicationStart).
   Status StartPublication(uint64_t pn) FRESQUE_EXCLUDES(mu_);
@@ -106,9 +106,10 @@ class CloudServer {
   /// Visits every stored e-record of publication `pn` in ingest order
   /// without the per-record copy Read performs; used by merger-side
   /// verification and recovery equivalence checks. `fn` sees a pointer
-  /// into live segment memory that is invalid once it returns. The
-  /// server's mutex is held for the whole iteration — `fn` must not call
-  /// back into this server.
+  /// into live segment memory that is invalid once it returns. For open
+  /// publications the server's mutex is held for the whole iteration —
+  /// `fn` must not call back into this server; installed publications are
+  /// iterated against their immutable snapshot.
   Status ForEachStoredRecord(
       uint64_t pn,
       const std::function<Status(const PhysicalAddress&, const uint8_t* data,
@@ -127,13 +128,33 @@ class CloudServer {
   Result<QueryResult> ExecuteQuery(const index::RangeQuery& q) const
       FRESQUE_EXCLUDES(mu_);
 
+  /// Deadline/cancellation-aware evaluation: pins the current QueryView,
+  /// copies the open publications' overlapping pairs under a short lock,
+  /// then scans the view lock-free in batches, honoring `ctx` between
+  /// batches. This is the entry point query::QueryExecutor workers bind.
+  Result<QueryResult> ExecuteQuery(const index::RangeQuery& q,
+                                   const query::QueryContext& ctx) const
+      FRESQUE_EXCLUDES(mu_);
+
   /// Differentially-private approximate COUNT(*) for `q`, answered from
   /// the published indexes alone — no records touched, no keys needed
-  /// (the noisy counts are public by design). Open publications are not
-  /// included: they have no DP index yet, and counting their cached
-  /// pairs would leak un-noised cardinalities.
+  /// (the noisy counts are public by design). Served entirely from the
+  /// current view, lock-free. Open publications are not included: they
+  /// have no DP index yet, and counting their cached pairs would leak
+  /// un-noised cardinalities.
   int64_t ApproximateCount(const index::RangeQuery& q) const
       FRESQUE_EXCLUDES(mu_);
+
+  /// The current immutable publication snapshot (never null). Pinning it
+  /// keeps every contained publication's storage alive regardless of
+  /// later installs or retirement.
+  std::shared_ptr<const query::QueryView> CurrentView() const;
+
+  /// Epoch of the current view (increments per install/retire).
+  uint64_t view_epoch() const;
+
+  /// Hot-leaf descriptor cache shared by every query (DESIGN.md §15).
+  const query::LeafCache& leaf_cache() const { return leaf_cache_; }
 
   /// Persists the whole server state (every publication: ciphertext
   /// segments, postings, indexes, overflow arrays, metadata of open
@@ -141,7 +162,8 @@ class CloudServer {
   Status SaveSnapshot(const std::string& path) const FRESQUE_EXCLUDES(mu_);
 
   /// Restores a server from SaveSnapshot output. (Heap-allocated: the
-  /// server holds a mutex and is not movable.)
+  /// server holds a mutex and is not movable.) The query view is rebuilt,
+  /// so restored stores serve lock-free queries immediately.
   static Result<std::unique_ptr<CloudServer>> LoadSnapshot(
       const std::string& path);
 
@@ -156,17 +178,17 @@ class CloudServer {
 
  private:
   struct Publication {
+    /// Open-phase storage; moved into `installed` at publish time.
     SegmentStorage storage;
     // Streaming metadata: leaf -> addresses (FRESQUE mode).
     std::unordered_map<uint32_t, std::vector<PhysicalAddress>> metadata;
     // Streaming metadata: tag -> address (PINED-RQ++ mode).
     std::vector<std::pair<uint64_t, PhysicalAddress>> tagged;
-    // Set once published.
-    std::optional<index::HistogramIndex> index;
-    std::optional<index::OverflowArrays> overflow;
-    std::vector<std::vector<PhysicalAddress>> postings;  // per leaf
-    Bytes evidence;  // verbatim publication payload, for integrity checks
-    bool published = false;
+    /// Set exactly once, at install; immutable afterwards. Shared with
+    /// every QueryView epoch that contains this publication.
+    std::shared_ptr<const query::InstalledPublication> installed;
+
+    bool published() const { return installed != nullptr; }
   };
 
   Result<Publication*> Find(uint64_t pn) FRESQUE_REQUIRES(mu_);
@@ -180,6 +202,10 @@ class CloudServer {
   const Clock* clock_;
   mutable Mutex mu_;
   std::map<uint64_t, Publication> publications_ FRESQUE_GUARDED_BY(mu_);
+  /// Internally synchronized; written under mu_ (install path), read
+  /// lock-free by queries.
+  query::ViewManager views_;
+  mutable query::LeafCache leaf_cache_;
 };
 
 }  // namespace cloud

@@ -56,9 +56,9 @@ Status CloudServer::SaveSnapshot(const std::string& path) const {
   w.PutU64(publications_.size());
   for (const auto& [pn, pub] : publications_) {
     w.PutU64(pn);
-    w.PutU8(pub.published ? 1 : 0);
-    w.PutBytes(pub.storage.Serialize());
-    if (!pub.published) {
+    w.PutU8(pub.published() ? 1 : 0);
+    if (!pub.published()) {
+      w.PutBytes(pub.storage.Serialize());
       w.PutU64(pub.metadata.size());
       for (const auto& [leaf, addrs] : pub.metadata) {
         w.PutU32(leaf);
@@ -71,11 +71,13 @@ Status CloudServer::SaveSnapshot(const std::string& path) const {
         PutAddress(&w, addr);
       }
     } else {
-      w.PutBytes(pub.index->Serialize());
-      w.PutBytes(pub.overflow->Serialize());
-      w.PutBytes(pub.evidence);
-      w.PutU64(pub.postings.size());
-      for (const auto& posting : pub.postings) {
+      const query::InstalledPublication& inst = *pub.installed;
+      w.PutBytes(inst.storage.Serialize());
+      w.PutBytes(inst.index.Serialize());
+      w.PutBytes(inst.overflow.Serialize());
+      w.PutBytes(inst.evidence);
+      w.PutU64(inst.postings.size());
+      for (const auto& posting : inst.postings) {
         w.PutU64(posting.size());
         for (const auto& a : posting) PutAddress(&w, a);
       }
@@ -141,9 +143,9 @@ Result<std::unique_ptr<CloudServer>> CloudServer::LoadSnapshot(
     Publication pub;
     auto storage = SegmentStorage::Deserialize(*storage_bytes);
     if (!storage.ok()) return storage.status();
-    pub.storage = std::move(*storage);
 
     if (*published == 0) {
+      pub.storage = std::move(*storage);
       auto groups = r.GetU64();
       if (!groups.ok()) return Status::Corruption("truncated metadata");
       if (*groups > r.remaining() / 12) {  // leaf + count per group
@@ -198,30 +200,34 @@ Result<std::unique_ptr<CloudServer>> CloudServer::LoadSnapshot(
       if (!idx.ok()) return idx.status();
       auto ovf = index::OverflowArrays::Deserialize(*overflow_bytes);
       if (!ovf.ok()) return ovf.status();
-      pub.index.emplace(std::move(*idx));
-      pub.overflow.emplace(std::move(*ovf));
-      pub.evidence = std::move(*evidence);
       if (*leaves > r.remaining() / 8) {  // one count per leaf
         return Status::Corruption("snapshot leaf count implausible");
       }
-      pub.postings.resize(*leaves);
+      std::vector<std::vector<PhysicalAddress>> postings(*leaves);
       for (uint64_t leaf = 0; leaf < *leaves; ++leaf) {
         auto n = r.GetU64();
         if (!n.ok()) return Status::Corruption("truncated postings");
         if (*n > r.remaining() / 12) {
           return Status::Corruption("snapshot posting count implausible");
         }
-        pub.postings[leaf].reserve(*n);
+        postings[leaf].reserve(*n);
         for (uint64_t j = 0; j < *n; ++j) {
           auto a = GetAddress(&r);
           if (!a.ok()) return a.status();
-          if (!pub.storage.Contains(*a)) {
+          if (!storage->Contains(*a)) {
             return Status::Corruption("snapshot posting address unbacked");
           }
-          pub.postings[leaf].push_back(*a);
+          postings[leaf].push_back(*a);
         }
       }
-      pub.published = true;
+      // Re-freeze the publication and publish the view, so a restored
+      // store serves lock-free queries exactly like a live one. The tag
+      // filter is an install-time join accelerator and is not persisted;
+      // a default (pass-everything) filter is correct here.
+      pub.installed = std::make_shared<const query::InstalledPublication>(
+          *pn, std::move(*storage), std::move(*idx), std::move(*ovf),
+          std::move(postings), std::move(*evidence), query::TagFilter());
+      server->views_.Install(pub.installed);
     }
     server->publications_.emplace(*pn, std::move(pub));
   }

@@ -234,6 +234,9 @@ bool CloudNode::Handle(net::Message&& m) {
       if (outcome.has_value()) {
         if (outcome->ok()) {
           FRESQUE_COUNTER_ADD("cloud.publications_installed", 1);
+          // The install published a new query-view epoch; surface it so
+          // operators can correlate query snapshots with installs.
+          FRESQUE_GAUGE_SET("cloud.view_epoch", server_->view_epoch());
           // Publish-barrier stamp -> flush -> merge -> install + WAL
           // commit: the paper's "publication latency".
           if (m.born_ns != 0) {
@@ -277,6 +280,7 @@ bool CloudNode::Handle(net::Message&& m) {
       if (outcome.has_value()) {
         if (outcome->ok()) {
           FRESQUE_COUNTER_ADD("cloud.publications_installed", 1);
+          FRESQUE_GAUGE_SET("cloud.view_epoch", server_->view_epoch());
         } else {
           FRESQUE_COUNTER_ADD("cloud.publications_failed", 1);
         }

@@ -1,0 +1,151 @@
+#include "query/executor.h"
+
+#include "telemetry/telemetry.h"
+
+namespace fresque {
+namespace query {
+
+Result<QueryResult> QueryTicket::Wait() {
+  MutexLock lock(mu_);
+  while (!result_.has_value()) cv_.Wait(mu_);
+  return *result_;
+}
+
+bool QueryTicket::done() const {
+  MutexLock lock(mu_);
+  return result_.has_value();
+}
+
+void QueryTicket::Resolve(Result<QueryResult> r) {
+  {
+    MutexLock lock(mu_);
+    if (result_.has_value()) return;  // first resolution wins
+    result_.emplace(std::move(r));
+  }
+  cv_.NotifyAll();
+}
+
+QueryExecutor::QueryExecutor(Handler handler, ExecutorOptions options)
+    : handler_(std::move(handler)),
+      options_(options),
+      queue_(options.queue_capacity) {
+  if (options_.num_threads == 0) options_.num_threads = 1;
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() { Shutdown(); }
+
+Result<std::shared_ptr<QueryTicket>> QueryExecutor::Submit(
+    const index::RangeQuery& q, QueryOptions options) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("query executor is shut down");
+  }
+  int64_t now = SystemClock::Global()->NowNanos();
+  std::chrono::nanoseconds rel =
+      options.deadline.count() > 0 ? options.deadline
+                                   : options_.default_deadline;
+  int64_t deadline_ns = rel.count() > 0 ? now + rel.count() : 0;
+  // shared_ptr: the submitter and a worker both outlive-race the ticket.
+  auto ticket = std::shared_ptr<QueryTicket>(
+      new QueryTicket(q, deadline_ns, now));
+  if (!queue_.TryPush(ticket)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("query.shed", 1);
+    return Status::Overloaded("query admission: queue full (depth " +
+                              std::to_string(options_.queue_capacity) + ")");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  FRESQUE_COUNTER_ADD("query.submitted", 1);
+  return ticket;
+}
+
+Result<QueryResult> QueryExecutor::Execute(const index::RangeQuery& q,
+                                           QueryOptions options) {
+  auto ticket = Submit(q, options);
+  if (!ticket.ok()) return ticket.status();
+  return (*ticket)->Wait();
+}
+
+void QueryExecutor::Finish(const std::shared_ptr<QueryTicket>& ticket,
+                           Result<QueryResult> r) {
+  if (r.ok()) {
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("query.executed", 1);
+    FRESQUE_HISTOGRAM_RECORD(
+        "query.e2e_ns", SystemClock::Global()->NowNanos() - ticket->submit_ns_);
+  } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("query.deadline_exceeded", 1);
+  } else if (r.status().code() == StatusCode::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("query.cancelled", 1);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    FRESQUE_COUNTER_ADD("query.failed", 1);
+  }
+  ticket->Resolve(std::move(r));
+}
+
+void QueryExecutor::WorkerLoop() {
+  while (auto item = queue_.Pop()) {
+    std::shared_ptr<QueryTicket> ticket = std::move(*item);
+    if (stopping_.load(std::memory_order_acquire)) {
+      Finish(ticket, Status::Cancelled("executor shutting down"));
+      continue;
+    }
+    if (ticket->cancel_.cancelled()) {
+      Finish(ticket, Status::Cancelled("query cancelled before execution"));
+      continue;
+    }
+    int64_t now = SystemClock::Global()->NowNanos();
+    if (ticket->deadline_ns_ != 0 && now >= ticket->deadline_ns_) {
+      // Expired in the queue: never pay for the scan.
+      Finish(ticket,
+             Status::DeadlineExceeded("query deadline expired in queue"));
+      continue;
+    }
+    QueryContext ctx;
+    ctx.deadline_ns = ticket->deadline_ns_;
+    ctx.cancel = &ticket->cancel_;
+    int64_t inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    FRESQUE_GAUGE_SET("query.inflight", inflight);
+    Result<QueryResult> r = handler_(ticket->query_, ctx);
+    inflight = inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    FRESQUE_GAUGE_SET("query.inflight", inflight);
+    Finish(ticket, std::move(r));
+  }
+}
+
+void QueryExecutor::Shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    // Already shutting down; just make join idempotent.
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    return;
+  }
+  queue_.Close();  // workers drain the backlog as cancelled, then exit
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+ExecutorMetrics QueryExecutor::metrics() const {
+  ExecutorMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.executed = executed_.load(std::memory_order_relaxed);
+  m.shed = shed_.load(std::memory_order_relaxed);
+  m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  m.cancelled = cancelled_.load(std::memory_order_relaxed);
+  m.failed = failed_.load(std::memory_order_relaxed);
+  m.inflight = inflight_.load(std::memory_order_relaxed);
+  return m;
+}
+
+}  // namespace query
+}  // namespace fresque

@@ -1,0 +1,142 @@
+#ifndef FRESQUE_QUERY_EXECUTOR_H_
+#define FRESQUE_QUERY_EXECUTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/queue.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "index/index.h"
+#include "query/context.h"
+#include "query/result.h"
+
+namespace fresque {
+namespace query {
+
+/// Per-query knobs.
+struct QueryOptions {
+  /// Relative deadline; zero falls back to the executor default (which
+  /// may itself be zero = unbounded).
+  std::chrono::nanoseconds deadline{0};
+};
+
+/// Executor-wide configuration.
+struct ExecutorOptions {
+  size_t num_threads = 2;
+  /// Admission bound: submissions beyond this many queued queries are
+  /// shed with kOverloaded instead of building an unbounded backlog.
+  size_t queue_capacity = 64;
+  std::chrono::nanoseconds default_deadline{0};  ///< 0 = unbounded
+};
+
+/// Counters snapshot (relaxed reads; same convention as telemetry).
+struct ExecutorMetrics {
+  uint64_t submitted = 0;
+  uint64_t executed = 0;           ///< completed OK
+  uint64_t shed = 0;               ///< rejected at admission
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;             ///< handler returned a non-deadline error
+  int64_t inflight = 0;            ///< currently executing
+};
+
+/// Handle to one submitted query: wait for the result, or cancel it.
+/// Cancellation is cooperative — a queued query resolves without running,
+/// a running one aborts at its next batch boundary.
+class QueryTicket {
+ public:
+  /// Blocks until the query resolves. Idempotent.
+  Result<QueryResult> Wait() FRESQUE_EXCLUDES(mu_);
+
+  /// Requests cancellation. Safe from any thread, any time.
+  void Cancel() { cancel_.Cancel(); }
+
+  bool done() const FRESQUE_EXCLUDES(mu_);
+
+ private:
+  friend class QueryExecutor;
+  QueryTicket(index::RangeQuery q, int64_t deadline_ns, int64_t submit_ns)
+      : query_(q), deadline_ns_(deadline_ns), submit_ns_(submit_ns) {}
+
+  void Resolve(Result<QueryResult> r) FRESQUE_EXCLUDES(mu_);
+
+  const index::RangeQuery query_;
+  const int64_t deadline_ns_;  ///< absolute; 0 = none
+  const int64_t submit_ns_;
+  CancelToken cancel_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::optional<Result<QueryResult>> result_ FRESQUE_GUARDED_BY(mu_);
+};
+
+/// Fixed-size worker pool serving range queries against a handler
+/// (typically CloudServer::ExecuteQuery over the current QueryView).
+///
+/// Admission is by queue depth: when `queue_capacity` queries are already
+/// waiting, Submit fails fast with kOverloaded — the same shed-don't-block
+/// discipline the ingest path uses. Each query carries an absolute
+/// deadline; a query that expires in the queue is never executed, and one
+/// that expires mid-scan aborts at the next batch boundary. Metrics are
+/// mirrored into the telemetry registry under `query.*`.
+class QueryExecutor {
+ public:
+  using Handler = std::function<Result<QueryResult>(
+      const index::RangeQuery&, const QueryContext&)>;
+
+  /// Workers start immediately. `handler` must be thread-safe: it runs
+  /// concurrently from `num_threads` workers.
+  QueryExecutor(Handler handler, ExecutorOptions options = {});
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Enqueues a query. Fails with kOverloaded when the queue is full and
+  /// with kFailedPrecondition after Shutdown().
+  Result<std::shared_ptr<QueryTicket>> Submit(const index::RangeQuery& q,
+                                              QueryOptions options = {});
+
+  /// Submit + Wait.
+  Result<QueryResult> Execute(const index::RangeQuery& q,
+                              QueryOptions options = {});
+
+  /// Stops admission, resolves still-queued queries as cancelled, asks
+  /// running queries to cancel, and joins the workers. Idempotent.
+  void Shutdown();
+
+  ExecutorMetrics metrics() const;
+  size_t queue_depth() const { return queue_.size(); }
+  const ExecutorOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+  /// Resolves `ticket` and classifies the outcome into counters.
+  void Finish(const std::shared_ptr<QueryTicket>& ticket,
+              Result<QueryResult> r);
+
+  Handler handler_;
+  ExecutorOptions options_;
+  BoundedQueue<std::shared_ptr<QueryTicket>> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<int64_t> inflight_{0};
+};
+
+}  // namespace query
+}  // namespace fresque
+
+#endif  // FRESQUE_QUERY_EXECUTOR_H_

@@ -1,0 +1,73 @@
+#include "query/leaf_cache.h"
+
+#include "telemetry/telemetry.h"
+
+namespace fresque {
+namespace query {
+
+LeafCache::LeafCache(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+
+LeafDescriptor LeafCache::GetOrBuild(
+    uint64_t pn, uint32_t leaf, const std::function<LeafDescriptor()>& build) {
+  Key key{pn, leaf};
+  {
+    MutexLock lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      FRESQUE_COUNTER_ADD("query.leaf_cache.hits", 1);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.descriptor;
+    }
+    ++misses_;
+    FRESQUE_COUNTER_ADD("query.leaf_cache.misses", 1);
+  }
+
+  // Build outside the lock: descriptors are deterministic functions of
+  // immutable publication state, so two racing builders agree and the
+  // second insert is a harmless overwrite.
+  LeafDescriptor d = build();
+
+  MutexLock lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.descriptor = d;
+    return d;
+  }
+  while (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+    FRESQUE_COUNTER_ADD("query.leaf_cache.evictions", 1);
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{d, lru_.begin()});
+  return d;
+}
+
+void LeafCache::Invalidate(uint64_t pn) {
+  MutexLock lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.first == pn) {
+      lru_.erase(it->second.lru_pos);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+LeafCache::Stats LeafCache::stats() const {
+  MutexLock lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = map_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace query
+}  // namespace fresque

@@ -1,0 +1,57 @@
+#include "query/tag_filter.h"
+
+namespace fresque {
+namespace query {
+
+namespace {
+
+/// splitmix64 finalizer: tags are drawn uniformly at random already, but
+/// the mix keeps the filter safe against adversarial or structured tags.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Four probe bits derived from disjoint 6-bit slices of the mixed hash,
+/// all inside one 64-bit word (one cache line touched per probe).
+inline uint64_t ProbeMask(uint64_t h) {
+  return (uint64_t{1} << (h & 63)) | (uint64_t{1} << ((h >> 6) & 63)) |
+         (uint64_t{1} << ((h >> 12) & 63)) |
+         (uint64_t{1} << ((h >> 18) & 63));
+}
+
+}  // namespace
+
+TagFilter TagFilter::Build(const index::MatchingTable& table,
+                           size_t bits_per_key) {
+  TagFilter f;
+  if (table.size() == 0) return f;
+  size_t want_words = (table.size() * bits_per_key + 63) / 64;
+  size_t words = 1;
+  while (words < want_words) words <<= 1;
+  f.words_.assign(words, 0);
+  f.word_mask_ = words - 1;
+  for (const auto& [tag, leaf] : table.entries()) {
+    (void)leaf;
+    f.Insert(tag);
+  }
+  return f;
+}
+
+void TagFilter::Insert(uint64_t tag) {
+  uint64_t h = Mix(tag);
+  words_[(h >> 24) & word_mask_] |= ProbeMask(h);
+  ++keys_;
+}
+
+bool TagFilter::MayContain(uint64_t tag) const {
+  if (words_.empty()) return true;  // no filter: never exclude
+  uint64_t h = Mix(tag);
+  uint64_t mask = ProbeMask(h);
+  return (words_[(h >> 24) & word_mask_] & mask) == mask;
+}
+
+}  // namespace query
+}  // namespace fresque

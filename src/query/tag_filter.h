@@ -1,0 +1,54 @@
+#ifndef FRESQUE_QUERY_TAG_FILTER_H_
+#define FRESQUE_QUERY_TAG_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hot.h"
+#include "index/matching.h"
+
+namespace fresque {
+namespace query {
+
+/// Register-blocked Bloom filter over the random tags of one PINED-RQ++
+/// matching table, built once at install time.
+///
+/// The per-record join the cloud performs at publication (Fig. 15) pays a
+/// hash-table probe per stored record; under template loss or checker
+/// failure some streamed tags have no table entry, and every one of those
+/// still costs a full probe. The filter answers "definitely absent" from
+/// one cache line: each key maps to a single 64-bit word and four bits
+/// inside it, so a negative is one load + compare. False positives only
+/// cost the probe that would have happened anyway; false negatives are
+/// impossible, so the join result is unchanged.
+class TagFilter {
+ public:
+  /// Empty filter: MayContain() returns true for everything (no-op), so
+  /// FRESQUE-mode publications, which have no matching table, can carry a
+  /// default-constructed filter.
+  TagFilter() = default;
+
+  /// Sizes the filter at ~`bits_per_key` bits per table entry (rounded up
+  /// to a power-of-two word count) and inserts every tag.
+  static TagFilter Build(const index::MatchingTable& table,
+                         size_t bits_per_key = 12);
+
+  /// False-negative-free membership probe.
+  FRESQUE_HOT bool MayContain(uint64_t tag) const;
+
+  bool empty() const { return words_.empty(); }
+  size_t bits() const { return words_.size() * 64; }
+  size_t keys() const { return keys_; }
+
+ private:
+  void Insert(uint64_t tag);
+
+  std::vector<uint64_t> words_;
+  uint64_t word_mask_ = 0;  ///< words_.size() - 1 (power of two)
+  size_t keys_ = 0;
+};
+
+}  // namespace query
+}  // namespace fresque
+
+#endif  // FRESQUE_QUERY_TAG_FILTER_H_

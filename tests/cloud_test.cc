@@ -149,15 +149,26 @@ TEST(CloudServerTest, TaggedMatchingRebuildsPointers) {
   EXPECT_EQ(result->indexed_records.size(), 2u);
 }
 
-TEST(CloudServerTest, TaggedMatchingFailsOnMissingTag) {
+TEST(CloudServerTest, TaggedMatchingDropsMissingTags) {
+  // A streamed tag with no matching-table entry joins to nothing: the
+  // publication still installs, the orphan record is stored but
+  // unreachable, and the rest of the join is unaffected.
   CloudServer server(TinyBinning());
   ASSERT_TRUE(server.StartPublication(0).ok());
-  (void)server.IngestTagged(0, 999, Bytes{1});
-  index::MatchingTable empty;
+  (void)server.IngestTagged(0, 999, Bytes{1});  // no table entry
+  (void)server.IngestTagged(0, 111, Bytes{2});
+  index::MatchingTable table;
+  (void)table.Add(111, 4);
+  std::vector<int64_t> counts(10, 0);
+  counts[4] = 1;
   auto stats = server.PublishWithMatchingTable(
-      0, MakePublication(server.binning(), std::vector<int64_t>(10, 0)),
-      empty);
-  EXPECT_FALSE(stats.ok());
+      0, MakePublication(server.binning(), counts), table);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_matched, 1u);
+  auto all = server.ExecuteQuery({0.0, 9.9});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->indexed_records.size(), 1u);
+  EXPECT_EQ(all->indexed_records[0].e_record, Bytes{2});
 }
 
 TEST(CloudServerTest, OpenPublicationFiltersByLeafInterval) {

@@ -33,6 +33,13 @@
 //                               trace_event JSON; open in chrome://tracing
 //                               or https://ui.perfetto.dev
 //
+// Query-engine flags (apply to `query`, see DESIGN.md §15):
+//   --query-threads=<n>      executor worker threads (default 2)
+//   --query-queue=<n>        admission bound: queued queries beyond this
+//                            are shed with kOverloaded (default 64)
+//   --query-deadline-ms=<n>  per-query deadline (0 = unbounded)
+//   --repeat=<n>             run the range n times and report p50/p95/p99
+//
 // Overload-control flags (apply to `ingest`, see DESIGN.md §13):
 //   --static-batching           disable the per-node adaptive batching
 //                               controller and apply the batch/linger
@@ -54,9 +61,13 @@
 #include <string>
 #include <thread>
 
+#include <algorithm>
+#include <vector>
+
 #include "client/client.h"
 #include "cloud/server.h"
 #include "common/bytes.h"
+#include "query/executor.h"
 #include "crypto/key_manager.h"
 #include "durability/metrics.h"
 #include "durability/recovery.h"
@@ -367,22 +378,78 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
   return 0;
 }
 
+/// Knobs for the `query` subcommand's executor path.
+struct QueryCliOptions {
+  size_t threads = 2;        ///< --query-threads
+  size_t queue = 64;         ///< --query-queue (admission bound)
+  uint64_t deadline_ms = 0;  ///< --query-deadline-ms (0 = unbounded)
+  size_t repeat = 1;         ///< --repeat (same range, reports latency)
+};
+
 int CmdQuery(const std::string& dataset, const std::string& snap_path,
-             double lo, double hi, const std::string& key_hex) {
+             double lo, double hi, const std::string& key_hex,
+             const QueryCliOptions& opts) {
   auto spec = SpecByName(dataset);
   if (!spec.ok()) return Fail(spec.status().ToString());
   auto server = cloud::CloudServer::LoadSnapshot(snap_path);
   if (!server.ok()) return Fail(server.status().ToString());
 
+  // Serve through the concurrent query engine (DESIGN.md §15): the
+  // executor's workers scan the restored store's immutable view, with the
+  // same admission/deadline semantics a live deployment gets.
+  query::ExecutorOptions eo;
+  eo.num_threads = opts.threads;
+  eo.queue_capacity = opts.queue;
+  eo.default_deadline =
+      std::chrono::milliseconds(opts.deadline_ms);
+  cloud::CloudServer* srv = server->get();
+  query::QueryExecutor executor(
+      [srv](const index::RangeQuery& q, const query::QueryContext& ctx) {
+        return srv->ExecuteQuery(q, ctx);
+      },
+      eo);
+
   client::Client client(KeysFromHex(key_hex), &spec->parser->schema());
-  auto records = client.Query(**server, {lo, hi});
+  const index::RangeQuery q{lo, hi};
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(opts.repeat);
+  Result<cloud::QueryResult> last = cloud::QueryResult{};
+  for (size_t i = 0; i < opts.repeat; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    last = executor.Execute(q);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!last.ok()) return Fail(last.status().ToString());
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  auto records = client.Decrypt(*last, q);
   if (!records.ok()) return Fail(records.status().ToString());
+
   std::cout << records->size() << " records match ["
             << lo << ", " << hi << "]\n";
   for (size_t i = 0; i < records->size() && i < 5; ++i) {
     std::cout << "  " << (*records)[i].ToString() << "\n";
   }
   if (records->size() > 5) std::cout << "  ...\n";
+
+  if (opts.repeat > 1) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    auto pct = [&](double p) {
+      size_t i = static_cast<size_t>(p * (latencies_ms.size() - 1));
+      return latencies_ms[i];
+    };
+    std::cout << "latency over " << opts.repeat << " runs: p50 " << pct(0.50)
+              << " ms, p95 " << pct(0.95) << " ms, p99 " << pct(0.99)
+              << " ms\n";
+  }
+  executor.Shutdown();
+  auto m = executor.metrics();
+  std::cout << "executor: " << m.submitted << " submitted, " << m.executed
+            << " ok, " << m.shed << " shed, " << m.deadline_exceeded
+            << " deadline-exceeded, " << m.cancelled << " cancelled, "
+            << m.failed << " failed (view epoch "
+            << (*server)->view_epoch() << ", leaf cache hit ratio "
+            << (*server)->leaf_cache().stats().HitRatio() << ")\n";
   return 0;
 }
 
@@ -554,6 +621,8 @@ int Usage() {
          " [--shed-watermarks=<low>:<high>]\n"
       << "  fresque_cli query <nasa|gowalla> <snapshot.bin> <lo> <hi>"
          " [key_hex]\n"
+      << "      [--query-threads=<n>] [--query-queue=<n>]"
+         " [--query-deadline-ms=<n>] [--repeat=<n>]\n"
       << "  fresque_cli verify <nasa|gowalla> <snapshot.bin> [key_hex]\n"
       << "  fresque_cli inspect <snapshot.bin>\n"
       << "  fresque_cli wal-dump <data-dir>\n"
@@ -569,6 +638,7 @@ int main(int argc, char** argv) {
   fresque::engine::DurabilityConfig dur;
   TelemetryOptions tel;
   OverloadOptions ovl;
+  QueryCliOptions qopts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--data-dir=", 0) == 0) {
@@ -596,6 +666,33 @@ int main(int argc, char** argv) {
       } catch (const std::exception&) {
         return Fail("bad --snapshot-every value: " + arg.substr(17));
       }
+    } else if (arg.rfind("--query-threads=", 0) == 0) {
+      try {
+        qopts.threads = std::stoul(arg.substr(16));
+      } catch (const std::exception&) {
+        return Fail("bad --query-threads value: " + arg.substr(16));
+      }
+      if (qopts.threads == 0) qopts.threads = 1;
+    } else if (arg.rfind("--query-queue=", 0) == 0) {
+      try {
+        qopts.queue = std::stoul(arg.substr(14));
+      } catch (const std::exception&) {
+        return Fail("bad --query-queue value: " + arg.substr(14));
+      }
+      if (qopts.queue == 0) qopts.queue = 1;
+    } else if (arg.rfind("--query-deadline-ms=", 0) == 0) {
+      try {
+        qopts.deadline_ms = std::stoull(arg.substr(20));
+      } catch (const std::exception&) {
+        return Fail("bad --query-deadline-ms value: " + arg.substr(20));
+      }
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      try {
+        qopts.repeat = std::stoul(arg.substr(9));
+      } catch (const std::exception&) {
+        return Fail("bad --repeat value: " + arg.substr(9));
+      }
+      if (qopts.repeat == 0) qopts.repeat = 1;
     } else if (arg == "--static-batching") {
       ovl.static_batching = true;
     } else if (arg.rfind("--admission-rps=", 0) == 0) {
@@ -650,7 +747,7 @@ int main(int argc, char** argv) {
     if (cmd == "query" && args.size() >= 5) {
       std::string key = args.size() > 5 ? args[5] : kDefaultKeyHex;
       return CmdQuery(args[1], args[2], std::stod(args[3]),
-                      std::stod(args[4]), key);
+                      std::stod(args[4]), key, qopts);
     }
     if (cmd == "verify" && args.size() >= 3) {
       std::string key = args.size() > 3 ? args[3] : kDefaultKeyHex;
