@@ -11,6 +11,14 @@
 # are relaxed atomics and spans are a single branch when tracing is off,
 # so a larger gap means someone put real work on the hot path.
 #
+# Since the observability plane landed (DESIGN.md §16), the ON tree also
+# carries its dormant hooks — the per-record FRESQUE_OBS_E2E_SAMPLE stamp
+# (three relaxed atomics, no clock read; ~2 ns in bench_obs) and the
+# control-plane flight-recorder events — so this gate covers the obs
+# plane with no server running, exactly the state production ships in
+# when --obs-addr is unset. bench/bench_obs.cc breaks the same costs out
+# per primitive if this gate ever trips.
+#
 # Throughput on shared CI hosts is noisy; the bench is run several times
 # per tree and the *best* run is compared, which cancels most scheduler
 # interference (the fastest run is the least-perturbed one).

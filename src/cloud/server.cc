@@ -1,5 +1,6 @@
 #include "cloud/server.h"
 
+#include "obs/flight.h"
 #include "query/scan.h"
 #include "telemetry/telemetry.h"
 
@@ -116,6 +117,8 @@ Result<MatchingStats> CloudServer::InstallPublication(
   pub->metadata.clear();
   pub->tagged.clear();
   views_.Install(pub->installed);
+  FRESQUE_FLIGHT_EVENT(kPublication, "view epoch installed", pn,
+                       views_.epoch(), stats.records_matched);
 
   stats.matching_millis = watch.ElapsedMillis();
   return stats;

@@ -5,6 +5,7 @@
 #include "durability/snapshot_manager.h"
 #include "index/binning.h"
 #include "net/payloads.h"
+#include "obs/flight.h"
 
 namespace fresque {
 namespace durability {
@@ -23,6 +24,8 @@ Result<RecoveredCloud> RecoveryManager::Recover(const std::string& dir,
       if (!server.ok()) return server.status();
       out.server = std::move(*server);
       out.stats.snapshot_loaded = true;
+      FRESQUE_FLIGHT_EVENT(kRecovery, "snapshot loaded", manifest->wal_lsn, 0,
+                           0);
     }
     after_lsn = manifest->wal_lsn;
     out.stats.snapshot_lsn = manifest->wal_lsn;
@@ -107,6 +110,8 @@ Result<RecoveredCloud> RecoveryManager::Recover(const std::string& dir,
                             " (no snapshot, no WAL frames)");
   }
   out.stats.recovery_millis = watch.ElapsedMillis();
+  FRESQUE_FLIGHT_EVENT(kRecovery, "wal replay complete", out.stats.frames_replayed,
+                       out.stats.last_lsn, out.stats.torn_tail ? 1 : 0);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "durability/io.h"
+#include "obs/flight.h"
 #include "telemetry/telemetry.h"
 
 namespace fresque {
@@ -137,6 +138,8 @@ Status SnapshotManager::WriteSnapshotLocked() {
   last_snapshot_millis_ = watch.ElapsedMillis();
   FRESQUE_HISTOGRAM_RECORD("snapshot.write_ns",
                            FRESQUE_TELEMETRY_NOW_NS() - write_start);
+  FRESQUE_FLIGHT_EVENT(kDurability, "snapshot written", lsn,
+                       snapshots_written_, 0);
   return Status::OK();
 }
 

@@ -41,6 +41,7 @@
 
 #include "durability/crc32.h"
 #include "durability/io.h"
+#include "obs/flight.h"
 #include "telemetry/telemetry.h"
 
 namespace fresque {
@@ -440,6 +441,8 @@ Status Wal::OpenSegmentLocked(uint64_t base_lsn) {
   segment_written_ = kSegHeaderSize;
   segments_.push_back({path, base_lsn});
   ++segments_created_;
+  FRESQUE_FLIGHT_EVENT(kDurability, "wal segment opened", base_lsn,
+                       segments_created_, 0);
   return SyncDir(opts_.dir);
 }
 

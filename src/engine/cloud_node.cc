@@ -1,6 +1,7 @@
 #include "engine/cloud_node.h"
 
 #include "common/logging.h"
+#include "obs/flight.h"
 #include "telemetry/telemetry.h"
 
 namespace fresque {
@@ -140,6 +141,8 @@ bool CloudNode::Handle(net::Message&& m) {
     case net::MessageType::kPublicationStart: {
       Status st = server_->StartPublication(m.pn);
       if (st.ok() && wal_ != nullptr) st = wal_->AppendStart(m.pn);
+      FRESQUE_FLIGHT_EVENT(kPublication, "cloud publication started", m.pn,
+                           st.ok() ? 0 : 1, 0);
       NoteError(st);
       return true;
     }
@@ -157,9 +160,10 @@ bool CloudNode::Handle(net::Message&& m) {
         // End of the record's pipeline: dispatcher stamp -> parse ->
         // check/randomer -> cloud ingest (+ WAL stage).
         if (m.born_ns != 0) {
-          FRESQUE_HISTOGRAM_RECORD(
-              "pipeline.record_e2e_ns",
-              FRESQUE_TELEMETRY_NOW_NS() - m.born_ns);
+          const int64_t now_ns = FRESQUE_TELEMETRY_NOW_NS();
+          const int64_t e2e_ns = now_ns - m.born_ns;
+          FRESQUE_HISTOGRAM_RECORD("pipeline.record_e2e_ns", e2e_ns);
+          FRESQUE_OBS_E2E_SAMPLE(e2e_ns, now_ns);
         }
       } else {
         FRESQUE_COUNTER_ADD("cloud.records_rejected", 1);
@@ -179,9 +183,10 @@ bool CloudNode::Handle(net::Message&& m) {
       if (st.ok()) {
         FRESQUE_COUNTER_ADD("cloud.records_in", 1);
         if (m.born_ns != 0) {
-          FRESQUE_HISTOGRAM_RECORD(
-              "pipeline.record_e2e_ns",
-              FRESQUE_TELEMETRY_NOW_NS() - m.born_ns);
+          const int64_t now_ns = FRESQUE_TELEMETRY_NOW_NS();
+          const int64_t e2e_ns = now_ns - m.born_ns;
+          FRESQUE_HISTOGRAM_RECORD("pipeline.record_e2e_ns", e2e_ns);
+          FRESQUE_OBS_E2E_SAMPLE(e2e_ns, now_ns);
         }
       } else {
         FRESQUE_COUNTER_ADD("cloud.records_rejected", 1);
@@ -244,8 +249,12 @@ bool CloudNode::Handle(net::Message&& m) {
                 "pipeline.publish_e2e_ns",
                 FRESQUE_TELEMETRY_NOW_NS() - m.born_ns);
           }
+          FRESQUE_FLIGHT_EVENT(kPublication, "cloud publication installed",
+                               m.pn, server_->view_epoch(), 0);
         } else {
           FRESQUE_COUNTER_ADD("cloud.publications_failed", 1);
+          FRESQUE_FLIGHT_EVENT(kPublication, "cloud publication failed", m.pn,
+                               0, 0);
         }
         Ack(m.pn, *outcome);
         if (outcome->ok()) NoteDurableInstall();
@@ -281,8 +290,12 @@ bool CloudNode::Handle(net::Message&& m) {
         if (outcome->ok()) {
           FRESQUE_COUNTER_ADD("cloud.publications_installed", 1);
           FRESQUE_GAUGE_SET("cloud.view_epoch", server_->view_epoch());
+          FRESQUE_FLIGHT_EVENT(kPublication, "cloud publication installed",
+                               m.pn, server_->view_epoch(), 0);
         } else {
           FRESQUE_COUNTER_ADD("cloud.publications_failed", 1);
+          FRESQUE_FLIGHT_EVENT(kPublication, "cloud publication failed", m.pn,
+                               0, 0);
         }
         Ack(m.pn, *outcome);
         if (outcome->ok()) NoteDurableInstall();

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "engine/collector_nodes.h"
 #include "index/binning.h"
+#include "obs/flight.h"
 #include "telemetry/telemetry.h"
 
 namespace fresque {
@@ -81,6 +82,9 @@ Status FresqueCollector::Start() {
 
   started_ = true;
   pn_ = 0;
+  FRESQUE_FLIGHT_EVENT(kConfig, "collector pipeline started",
+                       config_.num_computing_nodes, config_.mailbox_capacity,
+                       config_.admission.enabled ? 1 : 0);
   if (config_.admission.enabled && config_.admission.rate_records_per_sec > 0) {
     bucket_tokens_ = config_.admission.burst_records;
     bucket_refill_ns_ = SystemClock::Global()->NowNanos();
@@ -173,6 +177,7 @@ uint64_t FresqueCollector::shed_records(IngestPriority priority) const {
 
 Status FresqueCollector::OpenInterval() {
   open_interval_lines_ = 0;
+  FRESQUE_FLIGHT_EVENT(kPublication, "interval opened", pn_, 0, 0);
   return dispatcher_->OpenInterval(pn_);
 }
 
@@ -199,7 +204,20 @@ Status FresqueCollector::Ingest(std::string_view line, IngestPriority priority,
           break;
       }
       FRESQUE_COUNTER_ADD("ingest.shed_records", 1);
+      // Flight-record shed *transitions*, not every shed: the ring must
+      // keep hours of control-plane history, not seconds of overload.
+      if (!shedding_) {
+        shedding_ = true;
+        FRESQUE_FLIGHT_EVENT(kShed, "admission shedding began", pn_,
+                             static_cast<int64_t>(cached_fill_ * 100),
+                             static_cast<int64_t>(priority));
+      }
       return admitted;
+    }
+    if (shedding_) {
+      shedding_ = false;
+      FRESQUE_FLIGHT_EVENT(kShed, "admission shedding ended", pn_,
+                           static_cast<int64_t>(cached_fill_ * 100), 0);
     }
   }
   // Honest-latency stamp: open-loop drivers pass the record's *scheduled*
@@ -274,6 +292,8 @@ void FresqueCollector::PublishCurrentInterval() {
   // Per-link FIFO is the barrier's correctness condition: every buffered
   // record must enter its node's mailbox before that node's kPublish.
   FlushDispatchBuffers();
+  FRESQUE_FLIGHT_EVENT(kPublication, "publish barrier dispatched", pn_,
+                       open_interval_lines_, computing_.size());
   for (auto& cn : computing_) {
     net::Message p;
     p.type = net::MessageType::kPublish;
@@ -301,6 +321,8 @@ Status FresqueCollector::Shutdown() {
   if (!started_) return Status::FailedPrecondition("never started");
   if (shut_down_) return Status::OK();
   shut_down_ = true;
+  FRESQUE_FLIGHT_EVENT(kLifecycle, "collector shutdown drain", pn_,
+                       open_interval_lines_, 0);
 
   // Drain: the open interval's records are already inside the pipeline —
   // tearing threads down without the publish barrier would destroy them

@@ -213,6 +213,7 @@ class FresqueCollector {
   static constexpr uint64_t kAdmissionSampleStride = 32;
   uint64_t admission_ticks_ = 0;      // records seen since Start
   double cached_fill_ = 0;            // last sampled max inbox fill
+  bool shedding_ = false;             // edge detector for flight events
   double bucket_tokens_ = 0;          // token bucket level
   int64_t bucket_refill_ns_ = 0;      // last refill stamp (SystemClock)
   std::atomic<uint64_t> shed_low_{0};

@@ -52,6 +52,35 @@ Status TcpConnection::SetNoDelay(bool on) {
   return Status::OK();
 }
 
+Status TcpConnection::SetRecvTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Result<size_t> TcpConnection::ReadSome(uint8_t* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  for (;;) {
+    ssize_t n = ::recv(fd_, data, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timed out");
+    }
+    return Errno("recv");
+  }
+}
+
+Status TcpConnection::WriteRaw(const uint8_t* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  return WriteAll(data, len);
+}
+
 Status TcpConnection::WriteAll(const uint8_t* data, size_t len) {
   while (len > 0) {
     ssize_t n = ::send(fd_, data, len, 0);
@@ -150,15 +179,23 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   return *this;
 }
 
-Result<TcpListener> TcpListener::Bind() {
+Result<TcpListener> TcpListener::Bind() { return Bind("127.0.0.1", 0); }
+
+Result<TcpListener> TcpListener::Bind(const std::string& host, uint16_t port) {
+  in_addr bind_addr{};
+  if (host.empty() || host == "localhost") {
+    bind_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &bind_addr) != 1) {
+    return Status::InvalidArgument("unparseable bind address: " + host);
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   int reuse = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr = bind_addr;
+  addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     return Errno("bind");

@@ -2,6 +2,7 @@
 #define FRESQUE_NET_TCP_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/result.h"
 #include "net/message.h"
@@ -42,6 +43,19 @@ class TcpConnection {
   /// Disables Nagle's algorithm (TCP_NODELAY) — per-message latency mode.
   Status SetNoDelay(bool on);
 
+  /// Bounds how long a raw read may block (SO_RCVTIMEO); 0 restores
+  /// blocking mode. The obs HTTP server uses this so a silent client
+  /// cannot wedge the accept loop.
+  Status SetRecvTimeout(int timeout_ms);
+
+  /// Raw byte-stream access for protocols that are not Message-framed
+  /// (the obs plane speaks HTTP/1.1 over these). ReadSome returns the
+  /// bytes read — 0 on orderly peer close — and fails with
+  /// kDeadlineExceeded on a receive timeout; WriteRaw writes the whole
+  /// buffer.
+  Result<size_t> ReadSome(uint8_t* data, size_t len);
+  Status WriteRaw(const uint8_t* data, size_t len);
+
   void Close();
 
  private:
@@ -59,6 +73,11 @@ class TcpListener {
  public:
   /// Binds an ephemeral localhost port.
   static Result<TcpListener> Bind();
+
+  /// Binds an explicit address. `host` must be a dotted-quad IPv4 address
+  /// (or "localhost"); `port` 0 picks an ephemeral port. The obs HTTP
+  /// endpoint binds through this so `--obs-addr=0.0.0.0:9464` works.
+  static Result<TcpListener> Bind(const std::string& host, uint16_t port);
 
   ~TcpListener();
   TcpListener(TcpListener&& other) noexcept;

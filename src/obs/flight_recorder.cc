@@ -1,0 +1,305 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "telemetry/trace.h"
+
+namespace fresque {
+namespace obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_global{nullptr};
+std::atomic<size_t> g_global_capacity{FlightRecorder::kDefaultCapacity};
+
+// --- async-signal-safe formatting helpers -------------------------------
+// The crash path may run with the heap corrupted and arbitrary locks
+// held; it can only use write(2) and stack memory. These helpers format
+// into caller-provided buffers with no libc beyond memcpy-by-hand.
+
+size_t SafeStrLen(const char* s) {
+  size_t n = 0;
+  while (s[n] != '\0' && n < 512) ++n;
+  return n;
+}
+
+void SafeWrite(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w <= 0) return;  // best effort; nowhere to report errors mid-crash
+    off += static_cast<size_t>(w);
+  }
+}
+
+void SafeWriteStr(int fd, const char* s) { SafeWrite(fd, s, SafeStrLen(s)); }
+
+// Formats `v` as decimal into buf (at least 21 bytes); returns length.
+size_t FormatInt(int64_t v, char* buf) {
+  char tmp[20];
+  size_t n = 0;
+  bool neg = v < 0;
+  uint64_t u =
+      neg ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  do {
+    tmp[n++] = static_cast<char>('0' + (u % 10));
+    u /= 10;
+  } while (u != 0);
+  size_t len = 0;
+  if (neg) buf[len++] = '-';
+  while (n != 0) buf[len++] = tmp[--n];
+  return len;
+}
+
+void SafeWriteInt(int fd, int64_t v) {
+  char buf[21];
+  SafeWrite(fd, buf, FormatInt(v, buf));
+}
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal";
+  }
+}
+
+// Crash-handler state. The dump path is copied into a fixed buffer at
+// install time so the handler never touches std::string.
+char g_dump_path[512] = {0};
+std::atomic<bool> g_handlers_installed{false};
+volatile sig_atomic_t g_dumping = 0;
+
+void DumpHeader(int fd, int sig) {
+  SafeWriteStr(fd, "=== FRESQUE FLIGHT RECORDER DUMP (");
+  SafeWriteStr(fd, SignalName(sig));
+  SafeWriteStr(fd, ", signal ");
+  SafeWriteInt(fd, sig);
+  SafeWriteStr(fd, ") ===\n");
+}
+
+void CrashHandler(int sig) {
+  // Reentrancy guard: a second fault while dumping (or a racing thread)
+  // skips straight to the re-raise.
+  if (g_dumping == 0) {
+    g_dumping = 1;
+    FlightRecorder* rec = g_global.load(std::memory_order_acquire);
+    DumpHeader(STDERR_FILENO, sig);
+    if (rec != nullptr) rec->DumpTo(STDERR_FILENO);
+    SafeWriteStr(STDERR_FILENO, "=== END FLIGHT RECORDER DUMP ===\n");
+    if (g_dump_path[0] != '\0') {
+      int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        DumpHeader(fd, sig);
+        if (rec != nullptr) rec->DumpTo(fd);
+        SafeWriteStr(fd, "=== END FLIGHT RECORDER DUMP ===\n");
+        ::close(fd);
+      }
+    }
+  }
+  // Restore the default disposition and re-raise so the process dies with
+  // the original signal (core dump, exit code) as if we were never here.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+const char* FlightCategoryName(FlightCategory cat) {
+  switch (cat) {
+    case FlightCategory::kLifecycle: return "lifecycle";
+    case FlightCategory::kConfig: return "config";
+    case FlightCategory::kPublication: return "publication";
+    case FlightCategory::kShed: return "shed";
+    case FlightCategory::kDurability: return "durability";
+    case FlightCategory::kRecovery: return "recovery";
+    case FlightCategory::kObs: return "obs";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(std::max(kMinCapacity, std::min(capacity, kMaxCapacity))),
+      slots_(new Slot[std::max(kMinCapacity,
+                               std::min(capacity, kMaxCapacity))]) {}
+
+FlightRecorder::~FlightRecorder() { delete[] slots_; }
+
+FlightRecorder* FlightRecorder::Global() {
+  FlightRecorder* rec = g_global.load(std::memory_order_acquire);
+  if (rec != nullptr) return rec;
+  auto* fresh =
+      new FlightRecorder(g_global_capacity.load(std::memory_order_relaxed));
+  FlightRecorder* expected = nullptr;
+  if (g_global.compare_exchange_strong(expected, fresh,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    return fresh;  // intentionally leaked: must outlive crash handlers
+  }
+  delete fresh;
+  return expected;
+}
+
+bool FlightRecorder::ConfigureGlobalCapacity(size_t capacity) {
+  if (capacity < kMinCapacity || capacity > kMaxCapacity) return false;
+  if (g_global.load(std::memory_order_acquire) != nullptr) return false;
+  g_global_capacity.store(capacity, std::memory_order_relaxed);
+  return true;
+}
+
+void FlightRecorder::Record(FlightCategory cat, const char* msg, int64_t a0,
+                            int64_t a1, int64_t a2) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % capacity_];
+  // Invalidate first so a concurrent reader never pairs the new seq with
+  // the old payload; payload stores are relaxed, the seq publish is the
+  // release point.
+  slot.seq.store(0, std::memory_order_relaxed);
+  slot.ns.store(telemetry::NowNanos(), std::memory_order_relaxed);
+  slot.cat.store(static_cast<uint8_t>(cat), std::memory_order_relaxed);
+  slot.msg.store(msg, std::memory_order_relaxed);
+  slot.a0.store(a0, std::memory_order_relaxed);
+  slot.a1.store(a1, std::memory_order_relaxed);
+  slot.a2.store(a2, std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+uint64_t FlightRecorder::Dropped() const {
+  const uint64_t recorded = next_seq_.load(std::memory_order_relaxed);
+  return recorded > capacity_ ? recorded - capacity_ : 0;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::SnapshotEvents() const {
+  std::vector<Event> out;
+  const uint64_t newest = next_seq_.load(std::memory_order_acquire);
+  const uint64_t oldest = newest > capacity_ ? newest - capacity_ : 0;
+  out.reserve(static_cast<size_t>(newest - oldest));
+  for (uint64_t s = oldest; s < newest; ++s) {
+    const Slot& slot = slots_[s % capacity_];
+    if (slot.seq.load(std::memory_order_acquire) != s + 1) continue;
+    Event e;
+    e.seq = s;
+    e.ns = slot.ns.load(std::memory_order_relaxed);
+    e.cat = static_cast<FlightCategory>(slot.cat.load(std::memory_order_relaxed));
+    e.msg = slot.msg.load(std::memory_order_relaxed);
+    e.a0 = slot.a0.load(std::memory_order_relaxed);
+    e.a1 = slot.a1.load(std::memory_order_relaxed);
+    e.a2 = slot.a2.load(std::memory_order_relaxed);
+    // Re-check: if the slot was recycled mid-copy the payload may belong
+    // to a newer event; drop it rather than emit a frankenstein record.
+    if (slot.seq.load(std::memory_order_acquire) != s + 1) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpJson() const {
+  const std::vector<Event> events = SnapshotEvents();
+  std::string out;
+  out.reserve(events.size() * 96 + 128);
+  out += "{\"capacity\":" + std::to_string(capacity_);
+  out += ",\"recorded\":" + std::to_string(Recorded());
+  out += ",\"dropped\":" + std::to_string(Dropped());
+  out += ",\"events\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":" + std::to_string(e.seq);
+    out += ",\"ns\":" + std::to_string(e.ns);
+    out += ",\"category\":\"";
+    out += FlightCategoryName(e.cat);
+    out += "\",\"msg\":\"";
+    // msg is always a repo string literal (no quotes/backslashes), but
+    // escape defensively so /flightz can never emit invalid JSON.
+    for (const char* p = e.msg; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') out += '\\';
+      if (static_cast<unsigned char>(*p) < 0x20) continue;
+      out += *p;
+    }
+    out += "\",\"args\":[" + std::to_string(e.a0) + ',' +
+           std::to_string(e.a1) + ',' + std::to_string(e.a2) + "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void FlightRecorder::DumpTo(int fd) const {
+  const uint64_t newest = next_seq_.load(std::memory_order_acquire);
+  const uint64_t oldest = newest > capacity_ ? newest - capacity_ : 0;
+  SafeWriteStr(fd, "flight events: recorded=");
+  SafeWriteInt(fd, static_cast<int64_t>(newest));
+  SafeWriteStr(fd, " dropped=");
+  SafeWriteInt(fd, static_cast<int64_t>(Dropped()));
+  SafeWriteStr(fd, "\n");
+  for (uint64_t s = oldest; s < newest; ++s) {
+    const Slot& slot = slots_[s % capacity_];
+    if (slot.seq.load(std::memory_order_acquire) != s + 1) continue;
+    // One line per event, formatted into a stack buffer so the whole
+    // record lands in a single write(2).
+    char line[768];
+    size_t n = 0;
+    auto append_str = [&line, &n](const char* str) {
+      const size_t len = SafeStrLen(str);
+      const size_t room = sizeof(line) - 1 - n;
+      const size_t take = len < room ? len : room;
+      for (size_t i = 0; i < take; ++i) line[n++] = str[i];
+    };
+    auto append_int = [&line, &n](int64_t v) {
+      char buf[21];
+      const size_t len = FormatInt(v, buf);
+      const size_t room = sizeof(line) - 1 - n;
+      const size_t take = len < room ? len : room;
+      for (size_t i = 0; i < take; ++i) line[n++] = buf[i];
+    };
+    append_str("  [");
+    append_int(static_cast<int64_t>(s));
+    append_str("] ns=");
+    append_int(slot.ns.load(std::memory_order_relaxed));
+    append_str(" ");
+    append_str(FlightCategoryName(
+        static_cast<FlightCategory>(slot.cat.load(std::memory_order_relaxed))));
+    append_str(" ");
+    const char* msg = slot.msg.load(std::memory_order_relaxed);
+    append_str(msg != nullptr ? msg : "(null)");
+    append_str(" args=");
+    append_int(slot.a0.load(std::memory_order_relaxed));
+    append_str(",");
+    append_int(slot.a1.load(std::memory_order_relaxed));
+    append_str(",");
+    append_int(slot.a2.load(std::memory_order_relaxed));
+    append_str("\n");
+    SafeWrite(fd, line, n);
+  }
+}
+
+void InstallCrashHandlers(const std::string& dump_path) {
+  if (!dump_path.empty() && g_dump_path[0] == '\0') {
+    const size_t n = std::min(dump_path.size(), sizeof(g_dump_path) - 1);
+    std::memcpy(g_dump_path, dump_path.data(), n);
+    g_dump_path[n] = '\0';
+  }
+  bool expected = false;
+  if (!g_handlers_installed.compare_exchange_strong(expected, true)) return;
+  // Touch the global recorder so the handler never has to construct it.
+  (void)FlightRecorder::Global();
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &CrashHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  const int signals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE, SIGTERM};
+  for (int sig : signals) sigaction(sig, &sa, nullptr);
+}
+
+}  // namespace obs
+}  // namespace fresque

@@ -1,0 +1,138 @@
+#include "obs/http.h"
+
+#include <cstring>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace fresque {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+constexpr int kRecvTimeoutMs = 5000;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, Handler handler) {
+  routes_.emplace_back(path, std::move(handler));
+}
+
+Status HttpServer::Start(const std::string& host, uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("obs HTTP server already running");
+  }
+  auto listener = net::TcpListener::Bind(host, port);
+  if (!listener.ok()) return listener.status();
+  port_ = listener->port();
+  listener_.emplace(std::move(*listener));
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&HttpServer::Loop, this);
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  // accept(2) has no portable cancellation: connect to ourselves so the
+  // blocked accept returns, then the loop observes stop_ and exits.
+  {
+    auto poke = net::TcpConnect(port_);
+    (void)poke;  // failure just means the loop is already past accept
+  }
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto conn = listener_->Accept();
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (!conn.ok()) continue;  // transient accept failure; keep serving
+    ServeOne(std::move(*conn));
+  }
+}
+
+void HttpServer::ServeOne(net::TcpConnection conn) {
+  // A stuck client must not wedge the plane: bound the header read.
+  (void)conn.SetRecvTimeout(kRecvTimeoutMs);  // best effort; read still bounded
+
+  std::string request;
+  uint8_t buf[2048];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    auto n = conn.ReadSome(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) return;  // timeout, error, or peer close
+    request.append(reinterpret_cast<const char*>(buf), *n);
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION. Everything else (headers,
+  // body) is irrelevant for a scrape surface.
+  HttpResponse resp;
+  const size_t line_end = request.find("\r\n");
+  const size_t sp1 = request.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : request.find(' ', sp1 + 1);
+  bool head_only = false;
+  if (line_end == std::string::npos || sp1 == std::string::npos ||
+      sp2 == std::string::npos || sp2 > line_end) {
+    resp.status = 400;
+    resp.body = "malformed request\n";
+  } else {
+    const std::string method = request.substr(0, sp1);
+    std::string target = request.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t query = target.find('?');
+    if (query != std::string::npos) target.resize(query);
+    if (method != "GET" && method != "HEAD") {
+      resp.status = 405;
+      resp.body = "only GET is served here\n";
+    } else {
+      head_only = method == "HEAD";
+      resp.status = 404;
+      resp.body = "unknown path\n";
+      for (const auto& route : routes_) {
+        if (route.first == target) {
+          resp = route.second(target);
+          break;
+        }
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(resp.body.size() + 160);
+  out += "HTTP/1.1 " + std::to_string(resp.status) + ' ' +
+         StatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += resp.body;
+
+  // Response delivery is best effort — a scraper that hung up early is
+  // its problem, and the next request gets a fresh connection anyway.
+  (void)conn.WriteRaw(reinterpret_cast<const uint8_t*>(out.data()),
+                      out.size());
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  FRESQUE_COUNTER_ADD("obs.http_requests", 1);
+}
+
+}  // namespace obs
+}  // namespace fresque

@@ -1,0 +1,82 @@
+#ifndef FRESQUE_OBS_HTTP_H_
+#define FRESQUE_OBS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "net/tcp.h"
+
+namespace fresque {
+namespace obs {
+
+/// One HTTP response from a handler.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal embedded HTTP/1.1 server for the observability plane.
+///
+/// Deliberately tiny: a blocking accept loop on one dedicated thread,
+/// one connection served at a time, `Connection: close` on every
+/// response. GET/HEAD only. That is exactly what a scrape/health surface
+/// needs — Prometheus polls at seconds granularity — and it keeps the
+/// plane free of connection-pool state that could fail in interesting
+/// ways while the process is melting down.
+///
+/// Route handlers are registered before Start() (no lock: the route
+/// table is immutable while the server thread runs) and must be
+/// thread-safe with respect to the pipeline they observe.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  HttpServer();
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for an exact path ("/metrics"). Must be called
+  /// before Start().
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds `host:port` (port 0 = ephemeral) and starts the accept loop.
+  Status Start(const std::string& host, uint16_t port);
+
+  /// Stops the accept loop and joins the server thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Bound port (valid after a successful Start; stable until Stop).
+  uint16_t port() const { return port_; }
+  /// Requests served (any route, any status).
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void ServeOne(net::TcpConnection conn);
+
+  std::vector<std::pair<std::string, Handler>> routes_;
+  std::optional<net::TcpListener> listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace fresque
+
+#endif  // FRESQUE_OBS_HTTP_H_

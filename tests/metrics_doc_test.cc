@@ -1,0 +1,169 @@
+// Metric-name hygiene golden test (DESIGN.md §16): drives a miniature
+// pipeline plus the query engine and the obs sampler so the telemetry
+// registry is populated the way a live process populates it, then asserts
+//   1. every registered metric name matches ^[a-z0-9_.]+$ (the exporter
+//      sanitizer is then a pure '.'->'_' rewrite, collision-free), and
+//   2. every `query.*`, `pipeline.*` and `slo.*` metric is documented in
+//      docs/METRICS.md — adding a metric in those families without
+//      documenting it fails this test.
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "crypto/key_manager.h"
+#include "engine/cloud_node.h"
+#include "engine/fresque_collector.h"
+#include "engine/metrics.h"
+#include "obs/sampler.h"
+#include "query/executor.h"
+#include "record/dataset.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+#ifndef FRESQUE_SOURCE_DIR
+#error "metrics_doc_test needs FRESQUE_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace fresque {
+namespace {
+
+bool NameIsClean(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool HasDocPrefix(const std::string& name) {
+  return name.rfind("query.", 0) == 0 || name.rfind("pipeline.", 0) == 0 ||
+         name.rfind("slo.", 0) == 0;
+}
+
+class MetricsDocTest : public ::testing::Test {
+ protected:
+  // One full pipeline + query + sampler pass, run once for the suite.
+  static void SetUpTestSuite() {
+    telemetry::Registry::Global()->ResetForTest();
+    obs::ResetE2eStateForTest();
+    obs::SetSloE2eTargetNs(1);  // everything violates: exercises slo.*
+    obs::SetE2eSamplingActive(true);
+
+    auto spec = record::GowallaDataset();
+    ASSERT_TRUE(spec.ok());
+    auto binning = index::DomainBinning::Create(
+        spec->domain_min, spec->domain_max, spec->bin_width);
+    cloud::CloudServer server(std::move(binning).ValueOrDie());
+    engine::CloudNode cloud_node(&server);
+    cloud_node.Start();
+
+    crypto::KeyManager keys(Bytes(32, 0x21));
+    engine::CollectorConfig cfg;
+    cfg.dataset = *spec;
+    cfg.num_computing_nodes = 2;
+    cfg.seed = 7;
+    engine::FresqueCollector collector(cfg, keys, cloud_node.inbox());
+    cloud_node.RouteAcksTo(collector.publication_acks());
+    ASSERT_TRUE(collector.Start().ok());
+    auto gen = record::MakeGenerator(*spec, 99);
+    for (uint64_t i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(collector.Ingest((*gen)->NextLine()).ok());
+    }
+    ASSERT_TRUE(collector.Publish().ok());
+    ASSERT_TRUE(collector.Shutdown().ok());
+    cloud_node.Shutdown();
+    ASSERT_TRUE(cloud_node.first_error().ok());
+    engine::ExportToRegistry(collector.Metrics());
+
+    // Query engine: registers the query.* family.
+    query::QueryExecutor executor(
+        [&server](const index::RangeQuery& q,
+                  const query::QueryContext& ctx) {
+          return server.ExecuteQuery(q, ctx);
+        },
+        query::ExecutorOptions{});
+    auto result = executor.Execute(
+        index::RangeQuery{spec->domain_min, spec->domain_max});
+    ASSERT_TRUE(result.ok());
+    executor.Shutdown();
+
+    // Sampler fold: registers pipeline.e2e_p* / ingest.lag_ms / slo.*.
+    obs::ObsSampler sampler(3600 * 1000);
+    sampler.FoldOnce();
+    obs::SetE2eSamplingActive(false);
+  }
+
+  static void TearDownTestSuite() {
+    obs::ResetE2eStateForTest();
+    telemetry::Registry::Global()->ResetForTest();
+  }
+
+  static std::vector<std::string> AllNames() {
+    auto snap = telemetry::Registry::Global()->Snapshot();
+    std::vector<std::string> names;
+    for (const auto& [name, v] : snap.counters) {
+      (void)v;
+      names.push_back(name);
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      (void)v;
+      names.push_back(name);
+    }
+    for (const auto& h : snap.histograms) names.push_back(h.name);
+    return names;
+  }
+};
+
+TEST_F(MetricsDocTest, PipelinePopulatedTheFamiliesUnderTest) {
+#if !FRESQUE_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out: hot-path macros register nothing";
+#endif
+  bool saw_query = false, saw_pipeline = false, saw_slo = false;
+  for (const auto& name : AllNames()) {
+    if (name.rfind("query.", 0) == 0) saw_query = true;
+    if (name.rfind("pipeline.", 0) == 0) saw_pipeline = true;
+    if (name.rfind("slo.", 0) == 0) saw_slo = true;
+  }
+  EXPECT_TRUE(saw_query);
+  EXPECT_TRUE(saw_pipeline);
+  EXPECT_TRUE(saw_slo);
+}
+
+TEST_F(MetricsDocTest, EveryNameMatchesTheCharterRegex) {
+  for (const auto& name : AllNames()) {
+    EXPECT_TRUE(NameIsClean(name))
+        << "metric name '" << name << "' violates ^[a-z0-9_.]+$";
+  }
+}
+
+TEST_F(MetricsDocTest, QueryPipelineSloFamiliesAreDocumented) {
+  const std::string doc_path =
+      std::string(FRESQUE_SOURCE_DIR) + "/docs/METRICS.md";
+  std::ifstream in(doc_path);
+  ASSERT_TRUE(in) << "cannot open " << doc_path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+
+  for (const auto& name : AllNames()) {
+    if (!HasDocPrefix(name)) continue;
+    // Documented means the exact name appears in backticks, the table-row
+    // convention of docs/METRICS.md.
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "metric '" << name
+        << "' is not documented in docs/METRICS.md — add a row describing"
+           " it (family query./pipeline./slo. is doc-mandatory)";
+  }
+}
+
+}  // namespace
+}  // namespace fresque

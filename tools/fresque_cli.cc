@@ -33,6 +33,20 @@
 //                               trace_event JSON; open in chrome://tracing
 //                               or https://ui.perfetto.dev
 //
+// Live-observability flags (apply to `ingest`, see DESIGN.md §16):
+//   --obs-addr=<[host:]port>    serve GET /metrics /healthz /readyz
+//                               /statusz /flightz on this address for the
+//                               duration of the run (port 0 = ephemeral;
+//                               the bound port is printed at startup)
+//   --slo-e2e-ms=<n>            end-to-end latency SLO target; samples
+//                               above it burn `slo.e2e_violations`
+//                               (0 = SLO accounting off)
+//   --flight-capacity=<n>       flight-recorder ring size in events
+//                               (default 4096); the ring is dumped to
+//                               stderr (and <data-dir>/flight.dump when
+//                               --data-dir is set) on SIGSEGV/SIGABRT/
+//                               SIGTERM and served live at /flightz
+//
 // Query-engine flags (apply to `query`, see DESIGN.md §15):
 //   --query-threads=<n>      executor worker threads (default 2)
 //   --query-queue=<n>        admission bound: queued queries beyond this
@@ -52,11 +66,13 @@
 //                               0.50:0.85; only meaningful with
 //                               --admission-rps, which enables the gate)
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -80,6 +96,9 @@
 #include "telemetry/telemetry.h"
 
 #if FRESQUE_TELEMETRY_ENABLED
+#include "obs/flight_recorder.h"
+#include "obs/sampler.h"
+#include "obs/server.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #endif
@@ -208,7 +227,8 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
               const std::string& snap_path, double epsilon, size_t nodes,
               size_t interval, const std::string& key_hex,
               const engine::DurabilityConfig& dur,
-              const TelemetryOptions& tel, const OverloadOptions& ovl) {
+              const TelemetryOptions& tel, const OverloadOptions& ovl,
+              const engine::ObsConfig& obs) {
   auto spec = SpecByName(dataset);
   if (!spec.ok()) return Fail(spec.status().ToString());
   std::ifstream in(in_path);
@@ -225,10 +245,25 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
     telemetry::Tracer::Global()->SetCurrentThreadName("dispatcher");
   }
 #else
-  if (tel.any()) {
+  if (tel.any() || obs.enabled() || obs.slo_e2e_ms > 0) {
     std::cerr << "warning: built with FRESQUE_TELEMETRY=OFF;"
-                 " --metrics-out/--trace-out are no-ops\n";
+                 " --metrics-out/--trace-out/--obs-addr/--slo-e2e-ms are"
+                 " no-ops\n";
   }
+#endif
+
+#if FRESQUE_TELEMETRY_ENABLED
+  // Flight recorder first: capacity must land before the first event, and
+  // the crash handlers before any pipeline thread that could fault. The
+  // dump lands on stderr always, plus <data-dir>/flight.dump when a data
+  // dir exists (crash forensics next to the WAL they explain).
+  if (!obs::FlightRecorder::ConfigureGlobalCapacity(obs.flight_capacity)) {
+    std::cerr << "warning: --flight-capacity=" << obs.flight_capacity
+              << " ignored (out of range or recorder already created)\n";
+  }
+  obs::InstallCrashHandlers(dur.enabled() ? dur.data_dir + "/flight.dump"
+                                          : std::string());
+  obs::SetSloE2eTargetNs(static_cast<int64_t>(obs.slo_e2e_ms) * 1000000);
 #endif
 
   auto binning = index::DomainBinning::Create(
@@ -282,6 +317,74 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
   cloud_node.RouteAcksTo(collector.publication_acks());
   if (auto st = collector.Start(); !st.ok()) return Fail(st.ToString());
 
+  // Mirrors the dispatcher's current publication for `/statusz` readers
+  // on the obs HTTP thread (current_publication() itself is
+  // dispatcher-thread state).
+  std::atomic<int64_t> open_pn{0};
+
+#if FRESQUE_TELEMETRY_ENABLED
+  // The observability plane (DESIGN.md §16). Declared after the collector
+  // so it is destroyed (and its sampler/HTTP threads joined) first — the
+  // status/fold callbacks below capture the collector and cloud state by
+  // reference.
+  std::atomic<bool> obs_ready{true};
+  const bool dur_on = dur.enabled();
+  std::unique_ptr<obs::ObsServer> obs_server;
+  if (obs.enabled()) {
+    auto parsed = obs::ParseObsAddr(obs.addr);
+    if (!parsed.ok()) {
+      return Fail("bad --obs-addr: " + parsed.status().ToString());
+    }
+    obs::ObsServerOptions oopts;
+    oopts.host = parsed->first;
+    oopts.port = parsed->second;
+    oopts.sample_interval_ms = obs.sample_interval_ms;
+    oopts.ready_source = [&obs_ready] {
+      return obs_ready.load(std::memory_order_relaxed);
+    };
+    oopts.fold = [&collector, &cloud_node, dur_on] {
+      engine::ExportToRegistry(collector.Metrics());
+      if (dur_on) {
+        durability::ExportToRegistry(cloud_node.durability_metrics());
+      }
+    };
+    oopts.status_source = [&collector, &cloud_node, &server, &open_pn,
+                           dur_on] {
+      obs::StatusSnapshot s;
+      auto m = collector.Metrics();
+      s.nodes.reserve(m.nodes.size());
+      for (const auto& n : m.nodes) {
+        s.nodes.push_back({n.name, n.inbox.depth, n.inbox.capacity,
+                           n.inbox.high_watermark, n.frames_processed});
+      }
+      s.view_epoch = server.view_epoch();
+      s.publications = m.publications_completed;
+      s.open_publication = open_pn.load(std::memory_order_relaxed);
+      s.total_records = server.total_records();
+      if (dur_on) {
+        auto dm = cloud_node.durability_metrics();
+        s.wal_frames = dm.wal_frames;
+        s.wal_bytes = dm.wal_bytes;
+        s.wal_segments =
+            dm.wal_segments_created - dm.wal_segments_deleted;
+        s.snapshots_written = dm.snapshots_written;
+        s.last_snapshot_millis =
+            static_cast<int64_t>(dm.last_snapshot_millis);
+      }
+      return s;
+    };
+    obs_server = std::make_unique<obs::ObsServer>(std::move(oopts));
+    if (auto st = obs_server->Start(); !st.ok()) {
+      return Fail("obs server: " + st.ToString());
+    }
+    // std::endl: scrape scripts tail the log for the bound (possibly
+    // ephemeral) port, so this line must not sit in a full buffer.
+    std::cout << "obs: listening on http://" << parsed->first << ":"
+              << obs_server->port() << " (/metrics /healthz /readyz"
+              << " /statusz /flightz)" << std::endl;
+  }
+#endif
+
   std::string line;
   size_t total = 0, in_interval = 0, publications = 0;
   while (std::getline(in, line)) {
@@ -300,11 +403,16 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
       }
       in_interval = 0;
       ++publications;
+      open_pn.store(static_cast<int64_t>(collector.current_publication()),
+                    std::memory_order_relaxed);
     }
   }
   // The trailing partial interval is drained by Shutdown() itself; wait
   // for the cloud to acknowledge it so the snapshot is complete.
   uint64_t last_pn = collector.current_publication();
+#if FRESQUE_TELEMETRY_ENABLED
+  obs_ready.store(false, std::memory_order_relaxed);  // /readyz goes 503
+#endif
   if (auto st = collector.Shutdown(); !st.ok()) return Fail(st.ToString());
   if (in_interval > 0) {
     Status acked =
@@ -332,6 +440,13 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
     durability::ExportToRegistry(cloud_node.durability_metrics());
   }
 #if FRESQUE_TELEMETRY_ENABLED
+  if (obs_server) {
+    // Stop before the final metrics dump so the sampler's closing fold
+    // (e2e quantiles, queue gauges) lands in the dumped snapshot.
+    obs_server->Stop();
+    std::cout << "obs: served " << obs_server->requests()
+              << " HTTP request(s)\n";
+  }
   dumper.reset();  // stop the thread and write the final snapshot
   if (!tel.trace_out.empty()) {
     telemetry::Tracer::Global()->Disable();
@@ -619,6 +734,8 @@ int Usage() {
          " [--trace-out=<file>]\n"
       << "      [--static-batching] [--admission-rps=<rate>]"
          " [--shed-watermarks=<low>:<high>]\n"
+      << "      [--obs-addr=<[host:]port>] [--slo-e2e-ms=<n>]"
+         " [--flight-capacity=<n>]\n"
       << "  fresque_cli query <nasa|gowalla> <snapshot.bin> <lo> <hi>"
          " [key_hex]\n"
       << "      [--query-threads=<n>] [--query-queue=<n>]"
@@ -636,6 +753,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   fresque::engine::DurabilityConfig dur;
+  fresque::engine::ObsConfig obs;
   TelemetryOptions tel;
   OverloadOptions ovl;
   QueryCliOptions qopts;
@@ -654,6 +772,21 @@ int main(int argc, char** argv) {
         return Fail("bad --metrics-interval-ms value: " + arg.substr(22));
       }
       if (tel.metrics_interval_ms == 0) tel.metrics_interval_ms = 1;
+    } else if (arg.rfind("--obs-addr=", 0) == 0) {
+      obs.addr = arg.substr(11);
+      if (obs.addr.empty()) return Fail("--obs-addr wants [host:]port");
+    } else if (arg.rfind("--slo-e2e-ms=", 0) == 0) {
+      try {
+        obs.slo_e2e_ms = std::stoull(arg.substr(13));
+      } catch (const std::exception&) {
+        return Fail("bad --slo-e2e-ms value: " + arg.substr(13));
+      }
+    } else if (arg.rfind("--flight-capacity=", 0) == 0) {
+      try {
+        obs.flight_capacity = std::stoul(arg.substr(18));
+      } catch (const std::exception&) {
+        return Fail("bad --flight-capacity value: " + arg.substr(18));
+      }
     } else if (arg.rfind("--fsync=", 0) == 0) {
       auto policy =
           fresque::durability::ParseFsyncPolicy(arg.substr(8),
@@ -733,7 +866,7 @@ int main(int argc, char** argv) {
       size_t interval = args.size() > 6 ? std::stoul(args[6]) : 100000;
       std::string key = args.size() > 7 ? args[7] : kDefaultKeyHex;
       return CmdIngest(args[1], args[2], args[3], epsilon, nodes, interval,
-                       key, dur, tel, ovl);
+                       key, dur, tel, ovl, obs);
     }
     if (cmd == "wal-dump" && args.size() == 2) {
       return CmdWalDump(args[1]);

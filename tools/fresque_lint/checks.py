@@ -1,4 +1,4 @@
-"""The five FRESQUE-specific checks, over the srcmodel IR.
+"""The six FRESQUE-specific checks, over the srcmodel IR.
 
 Each check returns a list of Finding. Suppression filtering happens in
 the driver (fresque_lint.py), so checks report everything they see.
@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import srcmodel
 from srcmodel import (
     CHECK_DISCARDED_STATUS,
+    CHECK_DUP_METRIC,
     CHECK_GUARDED_BY,
     CHECK_HOT_ALLOC,
     CHECK_LOCK_ORDER,
@@ -551,5 +552,84 @@ def run_guarded_by(model: Model) -> List[Finding]:
                 f" {file}:{line}) but carries no FRESQUE_GUARDED_BY —"
                 " annotate it, or suppress with a reason if it is"
                 " confined to one thread by construction",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Check 6: one metric name, one instrument kind
+# ---------------------------------------------------------------------
+
+# Registration sites the token scan recognizes. The telemetry registry
+# keys counters, gauges and histograms in separate maps, so registering
+# the same name with two kinds silently produces two series that the
+# exporter emits under one Prometheus family — exactly the corruption
+# this check exists to catch at lint time.
+_METRIC_SITES = {
+    "FRESQUE_COUNTER_ADD": "Counter",
+    "FRESQUE_GAUGE_SET": "Gauge",
+    "FRESQUE_HISTOGRAM_RECORD": "Histogram",
+    "GetCounter": "Counter",
+    "GetGauge": "Gauge",
+    "GetHistogram": "Histogram",
+}
+
+
+def run_dup_metric(model: Model) -> List[Finding]:
+    """Flags a metric name registered as more than one instrument kind.
+
+    Only literal first arguments count: `FRESQUE_COUNTER_ADD("a.b", 1)`
+    and `reg->GetCounter("a.b")` register, `GetCounter(prefix + ".b")`
+    is dynamic and skipped (the charter test covers those at runtime).
+    The same name registered with the same kind at many sites is fine —
+    the registry deduplicates; only a kind conflict is an error."""
+    regs: Dict[str, Dict[str, List[Tuple[str, int]]]] = {}
+    for path, sf in sorted(model.files.items()):
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            kind = _METRIC_SITES.get(t.text)
+            if kind is None:
+                continue
+            if i + 2 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            # The name must be one literal (or adjacent-literal splice)
+            # forming the entire first argument.
+            j = i + 2
+            name_parts: List[str] = []
+            while j < len(toks) and toks[j].kind == "str":
+                name_parts.append(toks[j].text.strip('"'))
+                j += 1
+            if not name_parts or j >= len(toks):
+                continue
+            if toks[j].text not in (",", ")"):
+                continue  # "prefix" + var — dynamic name, skip
+            name = "".join(name_parts)
+            if not name:
+                continue
+            regs.setdefault(name, {}).setdefault(kind, []).append(
+                (path, toks[i + 2].line)
+            )
+
+    findings: List[Finding] = []
+    for name in sorted(regs):
+        kinds = regs[name]
+        if len(kinds) < 2:
+            continue
+        for kind in sorted(kinds):
+            file, line = sorted(kinds[kind])[0]
+            others = "; ".join(
+                f"{k} at {sorted(v)[0][0]}:{sorted(v)[0][1]}"
+                for k, v in sorted(kinds.items())
+                if k != kind
+            )
+            findings.append(Finding(
+                CHECK_DUP_METRIC, file, line,
+                f"metric `{name}` is registered as {kind} here but also"
+                f" as {others} — the registry keys each kind separately,"
+                " so both series would scrape under one Prometheus"
+                " family; one metric name must map to exactly one"
+                " instrument kind",
             ))
     return findings

@@ -8,6 +8,8 @@ Checks (see DESIGN.md "Static analysis layer"):
   discarded-status  Status/Result results must not be silently dropped
   guarded-by        mutated members of mutex-owning classes need
                     FRESQUE_GUARDED_BY
+  dup-metric        a metric name must register as exactly one
+                    instrument kind (Counter xor Gauge xor Histogram)
 
 Frontends:
   lite   dependency-free tokenizer frontend (always available; the
@@ -194,6 +196,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         findings.extend(checks_mod.run_discarded_status(model))
     if srcmodel.CHECK_GUARDED_BY in selected:
         findings.extend(checks_mod.run_guarded_by(model))
+    if srcmodel.CHECK_DUP_METRIC in selected:
+        findings.extend(checks_mod.run_dup_metric(model))
 
     findings.extend(_validate_suppressions(model))
 

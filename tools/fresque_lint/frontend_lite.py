@@ -156,7 +156,8 @@ def tokenize(text: str, path: str) -> SourceFile:
                 if text[j] == "\\":
                     j += 1
                 j += 1
-            tokens.append(Token("str", '""', line))
+            # Content kept (quotes included): dup-metric reads the names.
+            tokens.append(Token("str", text[i:min(j + 1, n)], line))
             i = j + 1
             continue
         if c == "'":

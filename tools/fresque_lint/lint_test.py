@@ -142,6 +142,24 @@ class GuardedByTest(unittest.TestCase):
         self.assertEqual(run(model, checks_mod.run_guarded_by), [])
 
 
+class DupMetricTest(unittest.TestCase):
+    def test_positive_kind_conflicts(self):
+        model = load("dup_metric_bad.cc")
+        findings = run(model, checks_mod.run_dup_metric)
+        # Two conflicting names, one finding per kind involved.
+        self.assertEqual(len(findings), 4)
+        named = {f.message.split("`")[1] for f in findings}
+        self.assertEqual(named, {"pipeline.depth", "queue.wait_ns"})
+        msgs = "\n".join(f.message for f in findings)
+        self.assertIn("Counter", msgs)
+        self.assertIn("Gauge", msgs)
+        self.assertIn("Histogram", msgs)
+
+    def test_negative_same_kind_and_dynamic_names(self):
+        model = load("dup_metric_good.cc")
+        self.assertEqual(run(model, checks_mod.run_dup_metric), [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_silences_line_above_and_same_line(self):
         model = load("suppression.cc")
@@ -200,6 +218,7 @@ class RepoInvariantsTest(unittest.TestCase):
             checks_mod.run_hot_alloc,
             checks_mod.run_discarded_status,
             checks_mod.run_guarded_by,
+            checks_mod.run_dup_metric,
         ):
             self.assertEqual(run(model, runner), [],
                              f"{runner.__name__} must be clean")

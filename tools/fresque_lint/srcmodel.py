@@ -3,7 +3,7 @@
 A frontend (frontend_lite or frontend_clang) parses C++ sources into this
 IR; the checks in checks.py consume only the IR, so they are oblivious to
 which frontend produced it. The IR is deliberately coarse: it models only
-what the five FRESQUE checks need — functions with their call/acquire/
+what the six FRESQUE checks need — functions with their call/acquire/
 local-declaration events, class fields with their annotations, and raw
 token streams for the pattern checks.
 """
@@ -20,12 +20,14 @@ CHECK_RAW_SYNC = "raw-sync"
 CHECK_HOT_ALLOC = "hot-alloc"
 CHECK_DISCARDED_STATUS = "discarded-status"
 CHECK_GUARDED_BY = "guarded-by"
+CHECK_DUP_METRIC = "dup-metric"
 ALL_CHECKS = (
     CHECK_LOCK_ORDER,
     CHECK_RAW_SYNC,
     CHECK_HOT_ALLOC,
     CHECK_DISCARDED_STATUS,
     CHECK_GUARDED_BY,
+    CHECK_DUP_METRIC,
 )
 
 # Per-site suppression:   // fresque-lint: allow(check-a,check-b) reason

@@ -1,0 +1,27 @@
+// Positive fixture for dup-metric: the same metric name registered as
+// two (or three) different instrument kinds must be reported.
+
+namespace fresque {
+
+class Registry {
+ public:
+  int* GetCounter(const char* name);
+  int* GetGauge(const char* name);
+  int* GetHistogram(const char* name);
+};
+
+void RecordIngest(Registry* reg, int depth) {
+  // One name, two macro kinds: conflict.
+  FRESQUE_COUNTER_ADD("pipeline.depth", 1);
+  FRESQUE_GAUGE_SET("pipeline.depth", depth);
+
+  // Conflict across a macro and a registry call, with an
+  // adjacent-literal splice on one side.
+  FRESQUE_HISTOGRAM_RECORD("queue." "wait_ns", depth);
+  reg->GetCounter("queue.wait_ns");
+
+  // Single-kind registration: silent.
+  FRESQUE_HISTOGRAM_RECORD("pipeline.e2e_ns", depth);
+}
+
+}  // namespace fresque

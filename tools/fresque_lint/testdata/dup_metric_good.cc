@@ -1,0 +1,30 @@
+// Negative fixture for dup-metric: everything here is legitimate and
+// the check must stay silent.
+
+#include <string>
+
+namespace fresque {
+
+class Registry {
+ public:
+  int* GetCounter(const std::string& name);
+  int* GetGauge(const std::string& name);
+};
+
+void RecordIngest(Registry* reg, const std::string& node, int depth) {
+  // Same name, same kind, many sites: the registry deduplicates.
+  FRESQUE_COUNTER_ADD("cloud.records_in", 1);
+  FRESQUE_COUNTER_ADD("cloud.records_in", depth);
+  reg->GetCounter("cloud.records_in");
+
+  // Distinct names may use distinct kinds freely.
+  FRESQUE_GAUGE_SET("queue.depth", depth);
+  FRESQUE_HISTOGRAM_RECORD("queue.wait_ns", depth);
+
+  // Dynamic names are skipped (the runtime charter test covers them);
+  // this must NOT collide with the literal gauge above.
+  FRESQUE_COUNTER_ADD("queue." + node, 1);
+  reg->GetGauge(node);
+}
+
+}  // namespace fresque
