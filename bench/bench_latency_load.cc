@@ -110,10 +110,7 @@ LoadResult RunLoad(fresque::engine::CollectorConfig cfg,
     std::exit(1);
   }
 
-  auto gen = fresque::record::MakeGenerator(spec, 99 + n);
-  std::vector<std::string> lines;
-  lines.reserve(n);
-  for (size_t i = 0; i < n; ++i) lines.push_back((*gen)->NextLine());
+  auto lines = fresque::bench::GenerateLines(spec, n, 99 + n);
   const std::vector<int64_t> sched =
       MakeArrivalScheduleNs(shape, n, rate_rps, /*seed=*/17);
 
@@ -197,10 +194,7 @@ double MeasureCapacity(fresque::engine::CollectorConfig cfg,
   fresque::crypto::KeyManager keys(fresque::Bytes(32, 0x42));
   fresque::engine::FresqueCollector collector(cfg, keys, sink.inbox());
   (void)collector.Start();
-  auto gen = fresque::record::MakeGenerator(spec, 555);
-  std::vector<std::string> lines;
-  lines.reserve(records);
-  for (uint64_t i = 0; i < records; ++i) lines.push_back((*gen)->NextLine());
+  auto lines = fresque::bench::GenerateLines(spec, records, 555);
   fresque::Stopwatch watch;
   for (auto& line : lines) (void)collector.Ingest(line);
   (void)collector.Shutdown();

@@ -30,11 +30,7 @@ double LiveThroughput(const fresque::engine::CollectorConfig& cfg,
   Collector collector(cfg, keys, cloud_node.inbox());
   (void)collector.Start();
 
-  // Pre-generate lines so the source is never the bottleneck.
-  auto gen = fresque::record::MakeGenerator(spec, 555);
-  std::vector<std::string> lines;
-  lines.reserve(records);
-  for (uint64_t i = 0; i < records; ++i) lines.push_back((*gen)->NextLine());
+  auto lines = fresque::bench::GenerateLines(spec, records, 555);
 
   Stopwatch watch;
   for (auto& line : lines) (void)collector.Ingest(line);

@@ -17,12 +17,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <cstdlib>
-#include <random>
 #include <thread>
 #include <vector>
 
+#include "bench/arrivals.h"
 #include "bench/bench_util.h"
 #include "bench/drivers.h"
 #include "common/clock.h"
@@ -32,8 +31,11 @@ using fresque::Stopwatch;
 using fresque::bench::BinningOf;
 using fresque::bench::Fmt;
 using fresque::bench::MakeConfig;
+using fresque::bench::Median;
+using fresque::bench::Percentile;
 using fresque::bench::TableWriter;
 using fresque::bench::ValueOrExit;
+using fresque::bench::ZipfKeySampler;
 
 namespace {
 
@@ -70,39 +72,26 @@ BenchConfig MakeBenchConfig() {
   return c;
 }
 
-double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  size_t i = static_cast<size_t>(p * (sorted.size() - 1));
-  return sorted[i];
-}
-
-/// Zipf-ranked query origin: rank r picked with P(r) ~ 1/r over kRanks
-/// hot spots spread across the domain, so a handful of leaf runs absorb
-/// most queries — the skew the leaf-descriptor cache is built for.
+/// Zipf-ranked query origin over 64 hot spots (bench/arrivals.h sampler,
+/// theta 0.99 ~ the 1/r shape), so a handful of leaf runs absorb most
+/// queries — the skew the leaf-descriptor cache is built for.
 class ZipfRanges {
  public:
   ZipfRanges(double domain_min, double domain_max, uint64_t seed)
-      : lo_(domain_min), span_(domain_max - domain_min), rng_(seed) {
-    std::vector<double> w(kRanks);
-    for (size_t r = 0; r < kRanks; ++r) w[r] = 1.0 / static_cast<double>(r + 1);
-    pick_ = std::discrete_distribution<size_t>(w.begin(), w.end());
-  }
+      : lo_(domain_min),
+        span_(domain_max - domain_min),
+        sampler_(/*num_keys=*/64, /*theta=*/0.99, seed) {}
 
   fresque::index::RangeQuery Next() {
-    size_t rank = pick_(rng_);
-    // Scatter ranks over the domain deterministically (golden-ratio walk)
-    // so "hot" does not mean "low values".
-    double frac = std::fmod(0.618033988749895 * static_cast<double>(rank + 1), 1.0);
-    double start = lo_ + frac * span_ * (1.0 - kSelectivity);
+    double start = ZipfKeySampler::KeyForRank(
+        sampler_.NextRank(), lo_, lo_ + span_ * (1.0 - kSelectivity));
     return {start, start + kSelectivity * span_};
   }
 
  private:
-  static constexpr size_t kRanks = 64;
   double lo_;
   double span_;
-  std::mt19937_64 rng_;
-  std::discrete_distribution<size_t> pick_;
+  ZipfKeySampler sampler_;
 };
 
 struct MixedResult {
@@ -192,12 +181,6 @@ MixedResult RunMixed(const fresque::record::DatasetSpec& spec,
   return out;
 }
 
-double Median(std::vector<double> v) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  return v[v.size() / 2];
-}
-
 }  // namespace
 
 int main() {
@@ -213,18 +196,13 @@ int main() {
   // Generate every input line once: baseline and mixed runs ingest
   // byte-identical batches, so the only difference between modes is the
   // query load itself.
-  auto gen = ValueOrExit(fresque::record::MakeGenerator(spec, 99));
-  std::vector<std::string> prepop;
-  prepop.reserve(static_cast<size_t>(bc.prepop_intervals) *
-                 bc.prepop_records_per_interval);
-  for (size_t i = 0; i < prepop.capacity(); ++i) {
-    prepop.push_back(gen->NextLine());
-  }
-  std::vector<std::string> lines;
-  lines.reserve(bc.measured_records);
-  for (int i = 0; i < bc.measured_records; ++i) {
-    lines.push_back(gen->NextLine());
-  }
+  auto prepop = fresque::bench::GenerateLines(
+      spec,
+      static_cast<size_t>(bc.prepop_intervals) *
+          static_cast<size_t>(bc.prepop_records_per_interval),
+      99);
+  auto lines = fresque::bench::GenerateLines(
+      spec, static_cast<size_t>(bc.measured_records), 100);
 
   // Interleaved measurement: baseline and mixed runs alternate within
   // each rep, and the reported degradation compares the medians of the

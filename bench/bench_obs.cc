@@ -78,13 +78,6 @@ std::string HttpGet(uint16_t port, const std::string& path) {
   return response;
 }
 
-double Percentile(std::vector<double>* v, double p) {
-  if (v->empty()) return 0;
-  std::sort(v->begin(), v->end());
-  size_t i = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
-  return (*v)[i];
-}
-
 }  // namespace
 
 int main() {
@@ -226,10 +219,12 @@ int main() {
   server.Stop();
   fresque::obs::ResetE2eStateForTest();
 
-  const double scrape_p50 = Percentile(&metrics_ms, 0.50);
-  const double scrape_p99 = Percentile(&metrics_ms, 0.99);
-  const double status_p50 = Percentile(&statusz_ms, 0.50);
-  const double status_p99 = Percentile(&statusz_ms, 0.99);
+  std::sort(metrics_ms.begin(), metrics_ms.end());
+  std::sort(statusz_ms.begin(), statusz_ms.end());
+  const double scrape_p50 = fresque::bench::Percentile(metrics_ms, 0.50);
+  const double scrape_p99 = fresque::bench::Percentile(metrics_ms, 0.99);
+  const double status_p50 = fresque::bench::Percentile(statusz_ms, 0.50);
+  const double status_p99 = fresque::bench::Percentile(statusz_ms, 0.99);
 
   fresque::bench::TableWriter table(
       "Observability plane cost",

@@ -17,18 +17,9 @@ using fresque::Stopwatch;
 using fresque::bench::BinningOf;
 using fresque::bench::Fmt;
 using fresque::bench::MakeConfig;
+using fresque::bench::Percentile;
 using fresque::bench::TableWriter;
 using fresque::bench::ValueOrExit;
-
-namespace {
-
-double Percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0;
-  size_t i = static_cast<size_t>(p * (sorted.size() - 1));
-  return sorted[i];
-}
-
-}  // namespace
 
 int main() {
   fresque::bench::PrintEnvironmentHeader();

@@ -1,0 +1,153 @@
+// Per-shard DP budget composition ablation (DESIGN.md §17): with N range
+// shards over *disjoint* sub-domains, does each shard spend the full
+// epsilon (parallel composition) or epsilon/N (sequential composition)?
+//
+// The decision is empirical as well as formal: this bench ingests the
+// same stream under both rules and measures the approximate-COUNT error
+// of fanned-out range queries against exact ground truth computed from
+// the raw lines. Parallel composition ("full") should match the
+// unsharded baseline's accuracy — every query leaf is noised once, at
+// the full budget — while "split" inflates the Laplace scale by N on
+// every shard, so its error should be ~N times worse for nothing: no
+// adversary observes the same record in two shards' releases when the
+// sub-domains are disjoint. Hash sharding has no such disjointness,
+// which is why its default stays "split" (see shard/partition.h).
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/drivers.h"
+#include "shard/pipeline.h"
+
+using fresque::bench::Fmt;
+using fresque::bench::MakeConfig;
+using fresque::bench::Median;
+using fresque::bench::Percentile;
+using fresque::bench::TableWriter;
+using fresque::bench::ValueOrExit;
+
+namespace {
+
+constexpr double kEpsilon = 1.0;
+
+/// Scattered closed range queries at a few selectivities (golden-ratio
+/// starts, same idiom as the query benches).
+std::vector<fresque::index::RangeQuery> MakeQueries(
+    const fresque::record::DatasetSpec& spec) {
+  std::vector<fresque::index::RangeQuery> qs;
+  const double span = spec.domain_max - spec.domain_min;
+  for (double frac : {0.01, 0.05, 0.2}) {
+    for (int i = 0; i < 11; ++i) {
+      const double f =
+          std::fmod(0.618033988749895 * static_cast<double>(i + 1), 1.0);
+      const double lo = spec.domain_min + f * span * (1.0 - frac);
+      qs.push_back({lo, lo + frac * span - 1});
+    }
+  }
+  return qs;
+}
+
+/// Exact per-query counts from the raw lines (via the parser's
+/// indexed-value fast path — the same extraction the router uses).
+std::vector<int64_t> TrueCounts(
+    const fresque::record::DatasetSpec& spec,
+    const std::vector<std::string>& lines,
+    const std::vector<fresque::index::RangeQuery>& qs) {
+  std::vector<double> values;
+  values.reserve(lines.size());
+  for (const auto& line : lines) {
+    auto v = spec.parser->IndexedValue(line);
+    if (v.ok()) values.push_back(*v);
+  }
+  std::vector<int64_t> counts(qs.size(), 0);
+  for (double v : values) {
+    for (size_t i = 0; i < qs.size(); ++i) {
+      if (v >= qs[i].lo && v <= qs[i].hi) ++counts[i];
+    }
+  }
+  return counts;
+}
+
+struct AblationRow {
+  double shard_epsilon = 0;
+  double median_abs_err = 0;
+  double p95_abs_err = 0;
+};
+
+AblationRow RunOnce(const fresque::record::DatasetSpec& spec, size_t shards,
+                    fresque::shard::EpsilonComposition comp,
+                    const std::vector<std::string>& lines,
+                    const std::vector<fresque::index::RangeQuery>& qs,
+                    const std::vector<int64_t>& truth) {
+  fresque::shard::ShardedPipelineConfig cfg;
+  cfg.collector = MakeConfig(spec, 2, kEpsilon);
+  cfg.shard.num_shards = shards;
+  cfg.shard.shard_by = fresque::shard::ShardBy::kRange;
+  cfg.shard.epsilon_composition = comp;
+  fresque::crypto::KeyManager keys(fresque::Bytes(32, 0x42));
+  fresque::shard::ShardedPipeline pipe(cfg, keys);
+  auto st = pipe.Start();
+  if (!st.ok()) {
+    std::cerr << "pipeline start failed: " << st.ToString() << "\n";
+    std::exit(1);
+  }
+  // Two publications: half the stream, publish, rest, drain-publish.
+  for (size_t i = 0; i < lines.size(); ++i) {
+    (void)pipe.Ingest(lines[i]);
+    if (i + 1 == lines.size() / 2) (void)pipe.Publish();
+  }
+  (void)pipe.Shutdown();
+
+  AblationRow row;
+  row.shard_epsilon = pipe.placement().ShardEpsilon(kEpsilon);
+  std::vector<double> errs;
+  errs.reserve(qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const int64_t approx = pipe.cloud()->ApproximateCount(qs[i]);
+    errs.push_back(std::fabs(static_cast<double>(approx - truth[i])));
+  }
+  row.median_abs_err = Median(errs);
+  std::sort(errs.begin(), errs.end());
+  row.p95_abs_err = Percentile(errs, 0.95);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  fresque::bench::PrintEnvironmentHeader();
+  const char* smoke_env = std::getenv("FRESQUE_BENCH_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
+  const size_t records = smoke ? 20000 : 60000;
+
+  TableWriter table(
+      "Sharded DP budget composition: approximate-COUNT error (records)",
+      {"dataset", "shards", "composition", "shard_epsilon", "median_abs_err",
+       "p95_abs_err"});
+
+  auto nasa = ValueOrExit(fresque::record::NasaDataset());
+  auto gowalla = ValueOrExit(fresque::record::GowallaDataset());
+  for (const auto* spec : {&nasa, &gowalla}) {
+    auto lines = fresque::bench::GenerateLines(*spec, records, 2021);
+    auto qs = MakeQueries(*spec);
+    auto truth = TrueCounts(*spec, lines, qs);
+
+    auto base = RunOnce(*spec, 1, fresque::shard::EpsilonComposition::kAuto,
+                        lines, qs, truth);
+    table.Row({spec->name, "1", "baseline", Fmt(base.shard_epsilon, "%.3f"),
+               Fmt(base.median_abs_err, "%.1f"),
+               Fmt(base.p95_abs_err, "%.1f")});
+    for (auto comp : {fresque::shard::EpsilonComposition::kFull,
+                      fresque::shard::EpsilonComposition::kSplit}) {
+      auto r = RunOnce(*spec, 4, comp, lines, qs, truth);
+      table.Row({spec->name, "4", fresque::shard::ToString(comp),
+                 Fmt(r.shard_epsilon, "%.3f"), Fmt(r.median_abs_err, "%.1f"),
+                 Fmt(r.p95_abs_err, "%.1f")});
+    }
+  }
+  table.WriteCsv("shard_dp_ablation");
+  return 0;
+}

@@ -1,6 +1,7 @@
 #ifndef FRESQUE_BENCH_BENCH_UTIL_H_
 #define FRESQUE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -67,6 +68,37 @@ inline std::string Fmt(double v, const char* fmt = "%.1f") {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+/// p-th quantile of an ascending-sorted sample (nearest-rank floor).
+/// Callers sort once and read several quantiles.
+inline double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto i = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[i];
+}
+
+/// Median of an unsorted sample (copies; callers keep their order).
+inline double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Pre-generates `n` workload lines so a live-pipeline bench's source is
+/// never the bottleneck (and reruns ingest byte-identical input for a
+/// given seed). Shared by every bench that drives a real collector.
+inline std::vector<std::string> GenerateLines(const record::DatasetSpec& spec,
+                                              size_t n, uint64_t seed) {
+  auto gen = record::MakeGenerator(spec, seed);
+  if (!gen.ok()) {
+    std::cerr << "generator setup failed: " << gen.status().ToString() << "\n";
+    std::exit(1);
+  }
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  for (size_t i = 0; i < n; ++i) lines.push_back((*gen)->NextLine());
+  return lines;
 }
 
 /// Measures (and memoizes within the process) the cost models for the two

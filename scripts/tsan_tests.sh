@@ -37,9 +37,10 @@ if [[ "$SAN" == thread ]]; then
   cmake --build "$BUILD_DIR" -j \
     --target concurrency_test tcp_test drain_shutdown_test queue_test \
       durability_test crash_recovery_test telemetry_test overload_test \
-      query_engine_test query_concurrency_test obs_test obs_concurrency_test
+      query_engine_test query_concurrency_test obs_test obs_concurrency_test \
+      shard_test shard_recovery_test
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R '^(ConcurrencyTest|TcpTest|DrainShutdownTest|CheckingNodeTest|QueueTest|WalTest|SnapshotManagerTest|RecoveryTest|CrashRecoveryTest|RegistryConcurrencyTest|TracerTest|QueueWaitHookTest|AdaptiveBatchingTest|AdmissionTest|OverloadPipelineTest|TagFilterTest|LeafCacheTest|ViewManagerTest|QueryExecutorTest|CloudServerViewTest|QueryConcurrencyTest|StreamingQuantilesTest|FlightRecorderTest|HttpServerTest|SamplerTest|ObsServerTest|ObsConcurrencyTest)'
+    -R '^(ConcurrencyTest|TcpTest|DrainShutdownTest|CheckingNodeTest|QueueTest|WalTest|SnapshotManagerTest|RecoveryTest|CrashRecoveryTest|RegistryConcurrencyTest|TracerTest|QueueWaitHookTest|AdaptiveBatchingTest|AdmissionTest|OverloadPipelineTest|TagFilterTest|LeafCacheTest|ViewManagerTest|QueryExecutorTest|CloudServerViewTest|QueryConcurrencyTest|StreamingQuantilesTest|FlightRecorderTest|HttpServerTest|SamplerTest|ObsServerTest|ObsConcurrencyTest|ShardPlacementTest|ShardRouterTest|ShardedPipelineTest|ShardRecoveryTest)'
 else
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
   export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"

@@ -148,6 +148,20 @@ HttpResponse ObsServer::ServeStatusz() {
     b += ",\"high_watermark\":" + std::to_string(n.high_watermark);
     b += ",\"processed\":" + std::to_string(n.processed) + '}';
   }
+  b += "],\"shards\":[";
+  first = true;
+  for (const StatusSnapshot::Shard& s : snap.shards) {
+    if (!first) b += ',';
+    first = false;
+    b += "{\"shard\":" + std::to_string(s.shard);
+    b += ",\"routed\":" + std::to_string(s.routed);
+    b += ",\"ingress_depth\":" + std::to_string(s.ingress_depth);
+    b += ",\"ingress_capacity\":" + std::to_string(s.ingress_capacity);
+    b += ",\"ingress_watermark\":" + std::to_string(s.ingress_watermark);
+    b += ",\"view_epoch\":" + std::to_string(s.view_epoch);
+    b += ",\"publications\":" + std::to_string(s.publications);
+    b += ",\"records\":" + std::to_string(s.records) + '}';
+  }
   b += "]}";
 
   HttpResponse resp;

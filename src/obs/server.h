@@ -28,7 +28,20 @@ struct StatusSnapshot {
     uint64_t high_watermark = 0;
     uint64_t processed = 0;
   };
+  /// One collector shard of a sharded deployment (DESIGN.md §17):
+  /// rendered as the `/statusz` shard table. Empty when unsharded.
+  struct Shard {
+    uint64_t shard = 0;
+    uint64_t routed = 0;           // lines the router sent this shard
+    uint64_t ingress_depth = 0;    // router -> shard queue, now
+    uint64_t ingress_capacity = 0;
+    uint64_t ingress_watermark = 0;
+    uint64_t view_epoch = 0;       // this shard's installed view
+    uint64_t publications = 0;
+    uint64_t records = 0;          // resident in this shard's store
+  };
   std::vector<Node> nodes;        // pipeline topology, dispatch order
+  std::vector<Shard> shards;      // per-shard table, empty when unsharded
   uint64_t view_epoch = 0;        // installed query view epoch
   uint64_t publications = 0;      // publications installed so far
   int64_t open_publication = -1;  // pn currently open for ingest, -1 if none

@@ -132,6 +132,20 @@ Status ApacheLogParser::ParseInto(std::string_view line, Record* out) const {
   return Status::OK();
 }
 
+Result<double> ApacheLogParser::IndexedValue(std::string_view line) const {
+  // bytes is the last space-delimited token; "-" (no reply body) is 0.
+  while (!line.empty() && line.back() == ' ') line.remove_suffix(1);
+  size_t sp = line.rfind(' ');
+  if (sp == std::string_view::npos || sp + 1 >= line.size()) {
+    return ParseError("bytes token", line);
+  }
+  std::string_view tok = line.substr(sp + 1);
+  if (tok == "-") return 0.0;
+  auto v = ParseInt(tok);
+  if (!v.ok()) return ParseError("bytes token", line);
+  return static_cast<double>(*v);
+}
+
 Result<Record> CsvParser::Parse(std::string_view line) const {
   Record rec;
   Status st = ParseInto(line, &rec);
@@ -174,6 +188,34 @@ Status CsvParser::ParseInto(std::string_view line, Record* out) const {
     start = comma + 1;
   }
   return Status::OK();
+}
+
+Result<double> CsvParser::IndexedValue(std::string_view line) const {
+  const size_t target = schema_.indexed_field_index();
+  size_t start = 0;
+  for (size_t i = 0; i < target; ++i) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      return ParseError("too few cells", line);
+    }
+    start = comma + 1;
+  }
+  size_t comma = line.find(',', start);
+  std::string_view cell = (comma == std::string_view::npos)
+                              ? line.substr(start)
+                              : line.substr(start, comma - start);
+  switch (schema_.field(target).type) {
+    case ValueType::kInt64: {
+      auto v = ParseInt(cell);
+      if (!v.ok()) return v.status();
+      return static_cast<double>(*v);
+    }
+    case ValueType::kDouble:
+      return ParseDouble(cell);
+    case ValueType::kString:
+      break;
+  }
+  return ParseError("indexed cell type", line);
 }
 
 }  // namespace record

@@ -36,6 +36,20 @@ class LineParser {
     return Status::OK();
   }
 
+  /// Extracts only the indexed attribute Aq from a raw line, without
+  /// materializing a Record. The shard router calls this on its ingress
+  /// path to place a line before any shard's computing nodes parse it, so
+  /// overrides must stay far cheaper than ParseInto (a substring scan, not
+  /// a full parse). The default does a full Parse and reads the indexed
+  /// field; a fast override may accept lines the full parser would later
+  /// reject — routing only needs a best-effort value, the owning shard's
+  /// pipeline still applies the authoritative parse.
+  virtual Result<double> IndexedValue(std::string_view line) const {
+    auto rec = Parse(line);
+    if (!rec.ok()) return rec.status();
+    return rec->IndexedValue(schema());
+  }
+
   /// Schema of the records this parser produces.
   virtual const Schema& schema() const = 0;
 };
@@ -50,6 +64,9 @@ class ApacheLogParser : public LineParser {
 
   Result<Record> Parse(std::string_view line) const override;
   Status ParseInto(std::string_view line, Record* out) const override;
+  /// Fast path: the indexed `bytes` attribute is the final space-delimited
+  /// token, so routing never touches the rest of the line.
+  Result<double> IndexedValue(std::string_view line) const override;
   const Schema& schema() const override { return schema_; }
 
  private:
@@ -68,6 +85,8 @@ class CsvParser : public LineParser {
 
   Result<Record> Parse(std::string_view line) const override;
   Status ParseInto(std::string_view line, Record* out) const override;
+  /// Fast path: scans commas up to the indexed column only.
+  Result<double> IndexedValue(std::string_view line) const override;
   const Schema& schema() const override { return schema_; }
 
  private:

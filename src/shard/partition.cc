@@ -1,0 +1,132 @@
+#include "shard/partition.h"
+
+#include <utility>
+
+namespace fresque {
+namespace shard {
+
+Result<ShardBy> ParseShardBy(std::string_view s) {
+  if (s == "range") return ShardBy::kRange;
+  if (s == "hash") return ShardBy::kHash;
+  return Status::InvalidArgument("unknown --shard-by value '" +
+                                 std::string(s) + "' (range|hash)");
+}
+
+Result<EpsilonComposition> ParseEpsilonComposition(std::string_view s) {
+  if (s == "auto") return EpsilonComposition::kAuto;
+  if (s == "split") return EpsilonComposition::kSplit;
+  if (s == "full") return EpsilonComposition::kFull;
+  return Status::InvalidArgument("unknown epsilon composition '" +
+                                 std::string(s) + "' (auto|split|full)");
+}
+
+const char* ToString(ShardBy by) {
+  return by == ShardBy::kRange ? "range" : "hash";
+}
+
+const char* ToString(EpsilonComposition comp) {
+  switch (comp) {
+    case EpsilonComposition::kAuto:
+      return "auto";
+    case EpsilonComposition::kSplit:
+      return "split";
+    case EpsilonComposition::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+Result<ShardPlacement> ShardPlacement::Create(
+    const record::DatasetSpec& dataset, const ShardOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards " + std::to_string(options.num_shards) + " exceeds cap " +
+        std::to_string(kMaxShards));
+  }
+  auto binning = index::DomainBinning::Create(
+      dataset.domain_min, dataset.domain_max, dataset.bin_width);
+  if (!binning.ok()) return binning.status();
+  if (options.shard_by == ShardBy::kRange &&
+      options.num_shards > binning->num_bins()) {
+    return Status::InvalidArgument(
+        "num_shards " + std::to_string(options.num_shards) +
+        " exceeds the dataset's " + std::to_string(binning->num_bins()) +
+        " bins; a range shard needs at least one leaf");
+  }
+  return ShardPlacement(dataset, options, std::move(binning).ValueOrDie());
+}
+
+ShardPlacement::ShardPlacement(const record::DatasetSpec& dataset,
+                               const ShardOptions& options,
+                               index::DomainBinning binning)
+    : num_shards_(options.num_shards),
+      shard_by_(options.shard_by),
+      composition_(options.epsilon_composition),
+      binning_(binning) {
+  if (composition_ == EpsilonComposition::kAuto) {
+    // Range slices are disjoint sub-domains: each record contributes to
+    // exactly one shard's index, so the releases compose in parallel and
+    // every shard may spend the full epsilon. Hash shards all cover the
+    // full domain — sequential composition, split the budget.
+    composition_ = shard_by_ == ShardBy::kRange ? EpsilonComposition::kFull
+                                                : EpsilonComposition::kSplit;
+  }
+  base_ = binning_.num_bins() / num_shards_;
+  rem_ = binning_.num_bins() % num_shards_;
+  wide_span_ = rem_ * (base_ + 1);
+  shard_specs_.reserve(num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    record::DatasetSpec sub = dataset;
+    sub.name = dataset.name + "/shard-" + std::to_string(i);
+    if (shard_by_ == ShardBy::kRange) {
+      sub.domain_min = binning_.LeafLow(SliceStart(i));
+      sub.domain_max = binning_.LeafLow(SliceStart(i + 1));
+    }
+    shard_specs_.push_back(std::move(sub));
+  }
+}
+
+size_t ShardPlacement::FallbackShard(std::string_view line) const {
+  // FNV-1a over the raw bytes, finalized through the same mixer.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : line) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix(h) % num_shards_;
+}
+
+std::vector<size_t> ShardPlacement::ShardsForQuery(
+    const index::RangeQuery& q) const {
+  std::vector<size_t> out;
+  if (q.hi < q.lo) return out;
+  // Closed query vs half-open domain [dmin, dmax).
+  if (q.hi < binning_.domain_min() || q.lo >= binning_.domain_max()) {
+    return out;
+  }
+  if (shard_by_ == ShardBy::kHash) {
+    out.reserve(num_shards_);
+    for (size_t i = 0; i < num_shards_; ++i) out.push_back(i);
+    return out;
+  }
+  const size_t first = ShardOf(q.lo);
+  const size_t last = ShardOf(q.hi);
+  out.reserve(last - first + 1);
+  for (size_t i = first; i <= last; ++i) out.push_back(i);
+  return out;
+}
+
+index::DomainBinning ShardPlacement::ShardBinning(size_t i) const {
+  const record::DatasetSpec& spec = shard_specs_[i];
+  auto binning = index::DomainBinning::Create(spec.domain_min, spec.domain_max,
+                                              spec.bin_width);
+  // ShardSpec domains are slices of a binning Create() already accepted,
+  // so re-creating one cannot fail.
+  return std::move(binning).ValueOrDie();
+}
+
+}  // namespace shard
+}  // namespace fresque

@@ -1,0 +1,154 @@
+#ifndef FRESQUE_SHARD_PARTITION_H_
+#define FRESQUE_SHARD_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hot.h"
+#include "common/result.h"
+#include "index/binning.h"
+#include "index/index.h"
+#include "record/dataset.h"
+
+namespace fresque {
+namespace shard {
+
+/// How incoming records are placed onto collector shards.
+enum class ShardBy {
+  /// Contiguous bin-aligned slices of the indexed domain: shard i owns
+  /// leaves [start_i, end_i). Queries prune to the shards whose slice
+  /// intersects, and — because every record belongs to exactly one
+  /// shard's sub-domain — the per-shard DP budgets compose in parallel
+  /// (DESIGN.md §17).
+  kRange,
+  /// Hash of the record's leaf offset: every shard indexes the full
+  /// domain and every query fans out to all shards. Balances skewed key
+  /// distributions, but the budgets compose sequentially.
+  kHash,
+};
+
+/// How the total privacy budget epsilon maps onto the N shards.
+enum class EpsilonComposition {
+  /// Pick per mode: range partitioning takes kFull (parallel
+  /// composition over disjoint sub-domains), hash takes kSplit
+  /// (sequential composition — a value's records could be observed
+  /// against every shard's index over time). The default.
+  kAuto,
+  /// Each shard spends epsilon / N.
+  kSplit,
+  /// Each shard spends the full epsilon.
+  kFull,
+};
+
+Result<ShardBy> ParseShardBy(std::string_view s);
+Result<EpsilonComposition> ParseEpsilonComposition(std::string_view s);
+const char* ToString(ShardBy by);
+const char* ToString(EpsilonComposition comp);
+
+struct ShardOptions {
+  size_t num_shards = 1;
+  ShardBy shard_by = ShardBy::kRange;
+  EpsilonComposition epsilon_composition = EpsilonComposition::kAuto;
+};
+
+/// Immutable value->shard placement map for one dataset, SMASH-style: the
+/// router keeps only this O(1)-lookup structure, never per-key state.
+///
+/// Range mode slices the dataset's leaf bins into N contiguous runs whose
+/// sizes differ by at most one, so ShardOf is pure arithmetic; each
+/// shard's collector and cloud store then run against the sliced
+/// sub-domain returned by ShardSpec/ShardBinning. Hash mode gives every
+/// shard the full domain and scatters leaf offsets with a splitmix64 mix.
+class ShardPlacement {
+ public:
+  /// Fails unless 1 <= num_shards <= min(dataset bins, kMaxShards).
+  static Result<ShardPlacement> Create(const record::DatasetSpec& dataset,
+                                       const ShardOptions& options);
+
+  static constexpr size_t kMaxShards = 64;
+
+  size_t num_shards() const { return num_shards_; }
+  ShardBy shard_by() const { return shard_by_; }
+
+  /// Shard owning indexed value `v` (clamped into the domain, like
+  /// DomainBinning::LeafOffset). O(1), no shared state: safe to call from
+  /// any thread.
+  FRESQUE_HOT size_t ShardOf(double v) const {
+    const size_t bin = binning_.LeafOffset(v);
+    if (shard_by_ == ShardBy::kHash) return Mix(bin) % num_shards_;
+    return bin < wide_span_ ? bin / (base_ + 1)
+                            : rem_ + (bin - wide_span_) / base_;
+  }
+
+  /// Deterministic placement for a line whose indexed attribute could not
+  /// be extracted: a byte hash of the line. The owning shard's pipeline
+  /// still applies the authoritative parse, so such lines become ordinary
+  /// counted parse errors there — never silent drops at the router.
+  size_t FallbackShard(std::string_view line) const;
+
+  /// Shards whose key-range intersects the (closed) query. Range mode
+  /// returns the contiguous run of intersecting slices — empty when the
+  /// query misses the domain entirely; hash mode returns all shards for
+  /// any domain-intersecting query.
+  std::vector<size_t> ShardsForQuery(const index::RangeQuery& q) const;
+
+  /// Dataset spec shard `i`'s collector indexes: the sliced sub-domain in
+  /// range mode, the full domain in hash mode. Parser is shared.
+  const record::DatasetSpec& ShardSpec(size_t i) const {
+    return shard_specs_[i];
+  }
+
+  /// Binning of shard `i`'s cloud store (matches ShardSpec(i)).
+  index::DomainBinning ShardBinning(size_t i) const;
+
+  /// The composition rule actually in force (kAuto resolved per mode).
+  EpsilonComposition effective_composition() const { return composition_; }
+
+  /// Budget each shard spends per publication, given the total epsilon.
+  double ShardEpsilon(double total_epsilon) const {
+    return composition_ == EpsilonComposition::kFull
+               ? total_epsilon
+               : total_epsilon / static_cast<double>(num_shards_);
+  }
+
+  /// Full-domain binning the router maps values through.
+  const index::DomainBinning& binning() const { return binning_; }
+
+ private:
+  ShardPlacement(const record::DatasetSpec& dataset,
+                 const ShardOptions& options, index::DomainBinning binning);
+
+  static uint64_t Mix(uint64_t x) {
+    // splitmix64 finalizer: full-avalanche, so adjacent leaf offsets land
+    // on unrelated shards.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// First bin of shard i's slice (range mode).
+  size_t SliceStart(size_t i) const {
+    return i <= rem_ ? i * (base_ + 1) : wide_span_ + (i - rem_) * base_;
+  }
+
+  size_t num_shards_;
+  ShardBy shard_by_;
+  EpsilonComposition composition_;
+  index::DomainBinning binning_;
+  // Range-slice arithmetic: the first `rem_` shards own `base_ + 1` bins,
+  // the rest own `base_`; `wide_span_` = rem_ * (base_ + 1) is the bin
+  // index where the narrow slices start.
+  size_t base_ = 0;
+  size_t rem_ = 0;
+  size_t wide_span_ = 0;
+  std::vector<record::DatasetSpec> shard_specs_;
+};
+
+}  // namespace shard
+}  // namespace fresque
+
+#endif  // FRESQUE_SHARD_PARTITION_H_

@@ -34,6 +34,10 @@ struct CostModel {
   double randomer_push_ns = 0;   ///< randomer buffer insert + eviction
   double hop_ns = 0;             ///< mailbox enqueue+dequeue (one link)
   double cloud_store_ns = 0;     ///< segment append + metadata cache
+  /// Shard-router placement: LineParser::IndexedValue substring extraction
+  /// + the O(1) ShardPlacement lookup (src/shard). Far below parse_ns by
+  /// design — the router must not re-introduce the parsing bottleneck.
+  double route_extract_ns = 0;
 
   /// Mean ciphertext size (bytes) — reported for context.
   double ciphertext_bytes = 0;

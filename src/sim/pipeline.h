@@ -82,6 +82,19 @@ struct SimConfig {
 /// checking node -> cloud.
 SimResult SimulateFresque(const CostModel& cm, size_t k, SimConfig cfg);
 
+/// Sharded FRESQUE (src/shard, DESIGN.md §17): one router in front of
+/// `num_shards` independent full pipelines (dispatcher -> k computing
+/// nodes -> checking node -> cloud each). The router is a single-server
+/// station paying `route_extract_ns` per record plus the ingress hops
+/// amortized over the real router's PushBatch depth, so the model exposes
+/// the point where the shared router itself becomes the bottleneck. `shard_weights`, when non-empty (size == num_shards),
+/// skews record placement (weighted round-robin) to model imbalance under
+/// skewed keys; empty means uniform. `num_shards == 1` degenerates to
+/// SimulateFresque plus the router hop.
+SimResult SimulateShardedFresque(const CostModel& cm, size_t k,
+                                 size_t num_shards, SimConfig cfg,
+                                 const std::vector<double>& shard_weights = {});
+
 /// Rejected design (paper §5.1a): the checker placed *between* the parser
 /// and the encrypter. Each record then crosses the network twice more:
 /// CN(parse) -> checking -> CN(encrypt) -> checking -> cloud. Used by the

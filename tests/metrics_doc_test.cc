@@ -24,6 +24,7 @@
 #include "obs/sampler.h"
 #include "query/executor.h"
 #include "record/dataset.h"
+#include "shard/pipeline.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
@@ -46,7 +47,24 @@ bool NameIsClean(const std::string& name) {
 
 bool HasDocPrefix(const std::string& name) {
   return name.rfind("query.", 0) == 0 || name.rfind("pipeline.", 0) == 0 ||
-         name.rfind("slo.", 0) == 0;
+         name.rfind("slo.", 0) == 0 || name.rfind("shard.", 0) == 0;
+}
+
+/// Doc-lookup form of a metric name: the per-shard families embed the
+/// shard index (`shard.3.records_in`), documented once as
+/// `shard.i.records_in`. Everything else passes through unchanged.
+std::string CanonicalName(const std::string& name) {
+  constexpr const char kShard[] = "shard.";
+  if (name.rfind(kShard, 0) != 0) return name;
+  const size_t start = sizeof(kShard) - 1;
+  const size_t dot = name.find('.', start);
+  if (dot == std::string::npos || dot == start) return name;
+  for (size_t i = start; i < dot; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return name;
+  }
+  std::string canon = "shard.i";
+  canon.append(name, dot, std::string::npos);
+  return canon;
 }
 
 class MetricsDocTest : public ::testing::Test {
@@ -96,6 +114,24 @@ class MetricsDocTest : public ::testing::Test {
     ASSERT_TRUE(result.ok());
     executor.Shutdown();
 
+    // Sharded mini-pipeline: registers the shard.* family the way a
+    // --shards deployment does (router counters + ExportTelemetry
+    // gauges, DESIGN.md §17).
+    {
+      shard::ShardedPipelineConfig scfg;
+      scfg.collector.dataset = *spec;
+      scfg.collector.num_computing_nodes = 2;
+      scfg.collector.seed = 8;
+      scfg.shard.num_shards = 2;
+      shard::ShardedPipeline pipe(scfg, keys);
+      ASSERT_TRUE(pipe.Start().ok());
+      for (uint64_t i = 0; i < 200; ++i) {
+        ASSERT_TRUE(pipe.Ingest((*gen)->NextLine()).ok());
+      }
+      ASSERT_TRUE(pipe.Shutdown().ok());
+      pipe.ExportTelemetry();
+    }
+
     // Sampler fold: registers pipeline.e2e_p* / ingest.lag_ms / slo.*.
     obs::ObsSampler sampler(3600 * 1000);
     sampler.FoldOnce();
@@ -128,14 +164,19 @@ TEST_F(MetricsDocTest, PipelinePopulatedTheFamiliesUnderTest) {
   GTEST_SKIP() << "telemetry compiled out: hot-path macros register nothing";
 #endif
   bool saw_query = false, saw_pipeline = false, saw_slo = false;
+  bool saw_shard = false, saw_per_shard = false;
   for (const auto& name : AllNames()) {
     if (name.rfind("query.", 0) == 0) saw_query = true;
     if (name.rfind("pipeline.", 0) == 0) saw_pipeline = true;
     if (name.rfind("slo.", 0) == 0) saw_slo = true;
+    if (name.rfind("shard.", 0) == 0) saw_shard = true;
+    if (CanonicalName(name).rfind("shard.i.", 0) == 0) saw_per_shard = true;
   }
   EXPECT_TRUE(saw_query);
   EXPECT_TRUE(saw_pipeline);
   EXPECT_TRUE(saw_slo);
+  EXPECT_TRUE(saw_shard);
+  EXPECT_TRUE(saw_per_shard);
 }
 
 TEST_F(MetricsDocTest, EveryNameMatchesTheCharterRegex) {
@@ -157,11 +198,15 @@ TEST_F(MetricsDocTest, QueryPipelineSloFamiliesAreDocumented) {
   for (const auto& name : AllNames()) {
     if (!HasDocPrefix(name)) continue;
     // Documented means the exact name appears in backticks, the table-row
-    // convention of docs/METRICS.md.
-    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+    // convention of docs/METRICS.md. Per-shard names look up their
+    // `shard.i.` canonical row.
+    std::string needle = "`";
+    needle += CanonicalName(name);
+    needle += '`';
+    EXPECT_NE(doc.find(needle), std::string::npos)
         << "metric '" << name
         << "' is not documented in docs/METRICS.md — add a row describing"
-           " it (family query./pipeline./slo. is doc-mandatory)";
+           " it (family query./pipeline./slo./shard. is doc-mandatory)";
   }
 }
 

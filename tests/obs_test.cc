@@ -374,6 +374,8 @@ TEST(ObsServerTest, ServesAllFiveEndpoints) {
   opts.status_source = [] {
     StatusSnapshot s;
     s.nodes.push_back({"cn0", 3, 64, 17, 1234});
+    s.shards.push_back({0, 900, 2, 8192, 41, 9, 4, 870});
+    s.shards.push_back({1, 100, 0, 8192, 7, 9, 4, 95});
     s.view_epoch = 9;
     s.publications = 4;
     s.open_publication = 5;
@@ -407,6 +409,11 @@ TEST(ObsServerTest, ServesAllFiveEndpoints) {
   EXPECT_NE(body.find("\"open_publication\":5"), std::string::npos);
   EXPECT_NE(body.find("\"cn0\""), std::string::npos);
   EXPECT_NE(body.find("\"queue_depth\":3"), std::string::npos);
+  // The shard table (DESIGN.md §17): one row per collector shard.
+  EXPECT_NE(body.find("\"shards\":[{\"shard\":0,\"routed\":900"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"ingress_watermark\":7"), std::string::npos);
 
   std::string flightz = HttpGet(port, "/flightz");
   const size_t fbody_at = flightz.find("\r\n\r\n");

@@ -93,6 +93,8 @@
 #include "engine/config.h"
 #include "engine/fresque_collector.h"
 #include "record/dataset.h"
+#include "shard/pipeline.h"
+#include "shard/sharded_cloud.h"
 #include "telemetry/telemetry.h"
 
 #if FRESQUE_TELEMETRY_ENABLED
@@ -213,6 +215,27 @@ class MetricsDumper {
 
 #endif  // FRESQUE_TELEMETRY_ENABLED
 
+/// Knobs for the `query` subcommand's executor path.
+struct QueryCliOptions {
+  size_t threads = 2;        ///< --query-threads
+  size_t queue = 64;         ///< --query-queue (admission bound)
+  uint64_t deadline_ms = 0;  ///< --query-deadline-ms (0 = unbounded)
+  size_t repeat = 1;         ///< --repeat (same range, reports latency)
+};
+
+/// `--shards` / `--shard-by` / `--epsilon-composition` (DESIGN.md §17).
+struct ShardCliOptions {
+  fresque::shard::ShardOptions opts;
+  bool sharded() const { return opts.num_shards > 1; }
+};
+
+/// Where shard `i` of a sharded ingest persists its snapshot: the
+/// unsharded path plus a `.shard-<i>` suffix, so `query --shards=N` can
+/// reassemble the fleet from the base path alone.
+std::string ShardSnapshotPath(const std::string& snap_path, size_t i) {
+  return snap_path + ".shard-" + std::to_string(i);
+}
+
 bool HasDurabilityState(const std::string& dir) {
   if (std::filesystem::exists(dir + "/MANIFEST")) return true;
   std::error_code ec;
@@ -221,6 +244,255 @@ bool HasDurabilityState(const std::string& dir) {
     if (name.rfind("wal-", 0) == 0) return true;
   }
   return false;
+}
+
+/// `ingest --shards=N`: the sharded scale-out path (DESIGN.md §17). One
+/// ShardedPipeline replaces the collector+cloud-node pair: a router fans
+/// raw lines out to N full collector pipelines, each with its own cloud
+/// slice, publication counter, durability directory (`<data-dir>/
+/// shard-<i>`) and DP budget per the placement's composition rule. Each
+/// shard's final state lands in `<snapshot.bin>.shard-<i>`; query them
+/// back with the same `--shards`/`--shard-by` values.
+int CmdIngestSharded(const std::string& dataset, const std::string& in_path,
+                     const std::string& snap_path, double epsilon,
+                     size_t nodes, size_t interval, const std::string& key_hex,
+                     const engine::DurabilityConfig& dur,
+                     const OverloadOptions& ovl, const engine::ObsConfig& obs,
+                     const ShardCliOptions& shards) {
+  auto spec = SpecByName(dataset);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  std::ifstream in(in_path);
+  if (!in) return Fail("cannot open " + in_path);
+  if (ovl.static_batching || ovl.admission_rps > 0) {
+    std::cerr << "warning: overload-control flags are per-collector and"
+                 " not yet wired through --shards; ignored\n";
+  }
+
+  if (dur.enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dur.data_dir, ec);
+    for (size_t i = 0; i < shards.opts.num_shards; ++i) {
+      const std::string sdir = shard::ShardDataDir(dur.data_dir, i);
+      if (std::filesystem::exists(sdir) && HasDurabilityState(sdir)) {
+        return Fail("shard data dir " + sdir +
+                    " already holds durability state; recover it first or"
+                    " pick a fresh directory");
+      }
+    }
+  }
+
+  shard::ShardedPipelineConfig cfg;
+  cfg.collector.dataset = *spec;
+  cfg.collector.epsilon = epsilon;
+  cfg.collector.num_computing_nodes = nodes;
+  cfg.shard = shards.opts;
+  cfg.durability = dur;
+  shard::ShardedPipeline pipe(cfg, KeysFromHex(key_hex));
+  if (auto st = pipe.Start(); !st.ok()) return Fail(st.ToString());
+
+#if FRESQUE_TELEMETRY_ENABLED
+  std::unique_ptr<obs::ObsServer> obs_server;
+  std::atomic<bool> obs_ready{true};
+  if (obs.enabled()) {
+    auto parsed = obs::ParseObsAddr(obs.addr);
+    if (!parsed.ok()) {
+      return Fail("bad --obs-addr: " + parsed.status().ToString());
+    }
+    obs::ObsServerOptions oopts;
+    oopts.host = parsed->first;
+    oopts.port = parsed->second;
+    oopts.sample_interval_ms = obs.sample_interval_ms;
+    oopts.ready_source = [&obs_ready] {
+      return obs_ready.load(std::memory_order_relaxed);
+    };
+    oopts.fold = [&pipe] { pipe.ExportTelemetry(); };
+    oopts.status_source = [&pipe] {
+      obs::StatusSnapshot s;
+      auto m = pipe.Metrics();
+      s.shards.reserve(m.shards.size());
+      for (const auto& sh : m.shards) {
+        obs::StatusSnapshot::Shard row;
+        row.shard = sh.shard;
+        row.routed = sh.routed;
+        row.ingress_depth = sh.ingress_depth;
+        row.ingress_capacity = sh.ingress_capacity;
+        row.ingress_watermark = sh.ingress_high_watermark;
+        row.view_epoch = sh.view_epoch;
+        row.publications = sh.publications;
+        row.records = sh.records;
+        s.view_epoch = std::max<uint64_t>(s.view_epoch, sh.view_epoch);
+        s.publications = std::max<uint64_t>(s.publications, sh.publications);
+        s.total_records += sh.records;
+        s.shards.push_back(row);
+      }
+      s.open_publication = static_cast<int64_t>(pipe.current_publication());
+      return s;
+    };
+    obs_server = std::make_unique<obs::ObsServer>(std::move(oopts));
+    if (auto st = obs_server->Start(); !st.ok()) {
+      return Fail("obs server: " + st.ToString());
+    }
+    std::cout << "obs: listening on http://" << parsed->first << ":"
+              << obs_server->port() << " (/metrics /healthz /readyz"
+              << " /statusz /flightz)" << std::endl;
+  }
+#else
+  if (obs.enabled()) {
+    std::cerr << "warning: built with FRESQUE_TELEMETRY=OFF;"
+                 " --obs-addr is a no-op\n";
+  }
+#endif
+
+  std::string line;
+  size_t total = 0, in_interval = 0, publications = 0;
+  while (std::getline(in, line)) {
+    if (auto st = pipe.Ingest(line); !st.ok()) return Fail(st.ToString());
+    ++total;
+    if (++in_interval >= interval) {
+      if (auto st = pipe.Publish(); !st.ok()) return Fail(st.ToString());
+      in_interval = 0;
+      ++publications;
+    }
+  }
+#if FRESQUE_TELEMETRY_ENABLED
+  obs_ready.store(false, std::memory_order_relaxed);
+#endif
+  // Shutdown flushes the router, drains every shard and publishes each
+  // open interval, waiting for the final cloud acks.
+  if (auto st = pipe.Shutdown(); !st.ok()) return Fail(st.ToString());
+  if (in_interval > 0) ++publications;
+#if FRESQUE_TELEMETRY_ENABLED
+  pipe.ExportTelemetry();
+  if (obs_server) {
+    obs_server->Stop();
+    std::cout << "obs: served " << obs_server->requests()
+              << " HTTP request(s)\n";
+  }
+#endif
+
+  auto m = pipe.Metrics();
+  std::cout << "ingested " << total << " lines across "
+            << shards.opts.num_shards << " "
+            << shard::ToString(shards.opts.shard_by) << " shard(s) ("
+            << m.router.extract_fallbacks << " routed by fallback hash), "
+            << publications << " publication barrier(s), epsilon "
+            << pipe.placement().ShardEpsilon(epsilon) << "/shard ["
+            << shard::ToString(pipe.placement().effective_composition())
+            << " composition]\n";
+  uint64_t routed_sum = 0;
+  for (const auto& sh : m.shards) {
+    routed_sum += sh.routed;
+    const std::string spath = ShardSnapshotPath(snap_path, sh.shard);
+    if (auto st = pipe.cloud()->shard(sh.shard)->SaveSnapshot(spath);
+        !st.ok()) {
+      return Fail("shard " + std::to_string(sh.shard) +
+                  " snapshot: " + st.ToString());
+    }
+    std::cout << "  shard " << sh.shard << ": " << sh.routed << " routed, "
+              << sh.records << " stored record(s), ingress watermark "
+              << sh.ingress_high_watermark << "/" << sh.ingress_capacity
+              << ", " << sh.publications << " publication(s) -> " << spath
+              << "\n";
+  }
+  // Conservation ledger: every ingested line was routed to exactly one
+  // shard; a mismatch here is a router bug, not an operational condition.
+  if (routed_sum != total || m.router.routed != total) {
+    return Fail("conservation violated: ingested " + std::to_string(total) +
+                " but routed " + std::to_string(routed_sum));
+  }
+  std::cout << "conservation: " << total << " ingested == " << routed_sum
+            << " routed (exactly-once placement)\n";
+  return 0;
+}
+
+/// `query --shards=N`: reassembles the sharded cloud from the per-shard
+/// snapshots CmdIngestSharded wrote and fans the range query out across
+/// the shards whose slice intersects it, merging with exact accounting.
+int CmdQuerySharded(const std::string& dataset, const std::string& snap_path,
+                    double lo, double hi, const std::string& key_hex,
+                    const QueryCliOptions& opts,
+                    const ShardCliOptions& shards) {
+  auto spec = SpecByName(dataset);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  auto placement = shard::ShardPlacement::Create(*spec, shards.opts);
+  if (!placement.ok()) return Fail(placement.status().ToString());
+  auto cloud = std::make_unique<shard::ShardedCloudServer>(*placement);
+  for (size_t i = 0; i < placement->num_shards(); ++i) {
+    auto srv = cloud::CloudServer::LoadSnapshot(ShardSnapshotPath(snap_path, i));
+    if (!srv.ok()) {
+      return Fail("shard " + std::to_string(i) + ": " +
+                  srv.status().ToString() +
+                  " (was the ingest run with the same --shards/--shard-by?)");
+    }
+    if (auto st = cloud->AdoptShard(i, std::move(*srv)); !st.ok()) {
+      return Fail("shard " + std::to_string(i) + ": " + st.ToString());
+    }
+  }
+
+  // Same executor front door as the unsharded path: the fan-out runs
+  // under the worker's deadline/cancellation context on every shard.
+  query::ExecutorOptions eo;
+  eo.num_threads = opts.threads;
+  eo.queue_capacity = opts.queue;
+  eo.default_deadline = std::chrono::milliseconds(opts.deadline_ms);
+  shard::ShardedCloudServer* srv = cloud.get();
+  query::QueryExecutor executor(
+      [srv](const index::RangeQuery& q, const query::QueryContext& ctx) {
+        return srv->ExecuteQuery(q, ctx);
+      },
+      eo);
+
+  client::Client client(KeysFromHex(key_hex), &spec->parser->schema());
+  const index::RangeQuery q{lo, hi};
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(opts.repeat);
+  Result<cloud::QueryResult> last = cloud::QueryResult{};
+  for (size_t i = 0; i < opts.repeat; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    last = executor.Execute(q);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!last.ok()) return Fail(last.status().ToString());
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  executor.Shutdown();
+  auto records = client.Decrypt(*last, q);
+  if (!records.ok()) return Fail(records.status().ToString());
+
+  std::cout << records->size() << " records match [" << lo << ", " << hi
+            << "]\n";
+  for (size_t i = 0; i < records->size() && i < 5; ++i) {
+    std::cout << "  " << (*records)[i].ToString() << "\n";
+  }
+  if (records->size() > 5) std::cout << "  ...\n";
+  if (opts.repeat > 1) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    auto pct = [&](double p) {
+      size_t i = static_cast<size_t>(p * (latencies_ms.size() - 1));
+      return latencies_ms[i];
+    };
+    std::cout << "latency over " << opts.repeat << " runs: p50 " << pct(0.50)
+              << " ms, p95 " << pct(0.95) << " ms, p99 " << pct(0.99)
+              << " ms\n";
+  }
+
+  // The fan-out ledger: which shards were probed, what each contributed,
+  // and that the per-shard counts sum to the merged result.
+  shard::FanoutStats stats;
+  auto direct = cloud->ExecuteQuery(q, &stats);
+  if (!direct.ok()) return Fail(direct.status().ToString());
+  std::cout << "fan-out: " << stats.probed.size() << " shard(s) probed, "
+            << stats.shards_pruned << " pruned by the placement\n";
+  for (const auto& s : stats.probed) {
+    std::cout << "  shard " << s.shard << " (view epoch " << s.view_epoch
+              << "): " << s.indexed_records << " indexed + "
+              << s.overflow_records << " overflow + " << s.unindexed_records
+              << " unindexed = " << s.Total() << "\n";
+  }
+  std::cout << "ledger: " << stats.TotalRecords()
+            << " across probed shards == " << direct->TotalRecords()
+            << " merged ciphertext(s)\n";
+  return stats.TotalRecords() == direct->TotalRecords() ? 0 : 2;
 }
 
 int CmdIngest(const std::string& dataset, const std::string& in_path,
@@ -493,14 +765,6 @@ int CmdIngest(const std::string& dataset, const std::string& in_path,
   return 0;
 }
 
-/// Knobs for the `query` subcommand's executor path.
-struct QueryCliOptions {
-  size_t threads = 2;        ///< --query-threads
-  size_t queue = 64;         ///< --query-queue (admission bound)
-  uint64_t deadline_ms = 0;  ///< --query-deadline-ms (0 = unbounded)
-  size_t repeat = 1;         ///< --repeat (same range, reports latency)
-};
-
 int CmdQuery(const std::string& dataset, const std::string& snap_path,
              double lo, double hi, const std::string& key_hex,
              const QueryCliOptions& opts) {
@@ -736,10 +1000,13 @@ int Usage() {
          " [--shed-watermarks=<low>:<high>]\n"
       << "      [--obs-addr=<[host:]port>] [--slo-e2e-ms=<n>]"
          " [--flight-capacity=<n>]\n"
+      << "      [--shards=<n>] [--shard-by=range|hash]"
+         " [--epsilon-composition=auto|split|full]\n"
       << "  fresque_cli query <nasa|gowalla> <snapshot.bin> <lo> <hi>"
          " [key_hex]\n"
       << "      [--query-threads=<n>] [--query-queue=<n>]"
          " [--query-deadline-ms=<n>] [--repeat=<n>]\n"
+      << "      [--shards=<n>] [--shard-by=range|hash] (match the ingest)\n"
       << "  fresque_cli verify <nasa|gowalla> <snapshot.bin> [key_hex]\n"
       << "  fresque_cli inspect <snapshot.bin>\n"
       << "  fresque_cli wal-dump <data-dir>\n"
@@ -757,6 +1024,7 @@ int main(int argc, char** argv) {
   TelemetryOptions tel;
   OverloadOptions ovl;
   QueryCliOptions qopts;
+  ShardCliOptions shards;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--data-dir=", 0) == 0) {
@@ -826,6 +1094,23 @@ int main(int argc, char** argv) {
         return Fail("bad --repeat value: " + arg.substr(9));
       }
       if (qopts.repeat == 0) qopts.repeat = 1;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      try {
+        shards.opts.num_shards = std::stoul(arg.substr(9));
+      } catch (const std::exception&) {
+        return Fail("bad --shards value: " + arg.substr(9));
+      }
+      if (shards.opts.num_shards == 0) {
+        return Fail("--shards wants a positive count");
+      }
+    } else if (arg.rfind("--shard-by=", 0) == 0) {
+      auto by = fresque::shard::ParseShardBy(arg.substr(11));
+      if (!by.ok()) return Fail(by.status().ToString());
+      shards.opts.shard_by = *by;
+    } else if (arg.rfind("--epsilon-composition=", 0) == 0) {
+      auto comp = fresque::shard::ParseEpsilonComposition(arg.substr(22));
+      if (!comp.ok()) return Fail(comp.status().ToString());
+      shards.opts.epsilon_composition = *comp;
     } else if (arg == "--static-batching") {
       ovl.static_batching = true;
     } else if (arg.rfind("--admission-rps=", 0) == 0) {
@@ -865,6 +1150,10 @@ int main(int argc, char** argv) {
       size_t nodes = args.size() > 5 ? std::stoul(args[5]) : 4;
       size_t interval = args.size() > 6 ? std::stoul(args[6]) : 100000;
       std::string key = args.size() > 7 ? args[7] : kDefaultKeyHex;
+      if (shards.sharded()) {
+        return CmdIngestSharded(args[1], args[2], args[3], epsilon, nodes,
+                                interval, key, dur, ovl, obs, shards);
+      }
       return CmdIngest(args[1], args[2], args[3], epsilon, nodes, interval,
                        key, dur, tel, ovl, obs);
     }
@@ -879,6 +1168,10 @@ int main(int argc, char** argv) {
     }
     if (cmd == "query" && args.size() >= 5) {
       std::string key = args.size() > 5 ? args[5] : kDefaultKeyHex;
+      if (shards.sharded()) {
+        return CmdQuerySharded(args[1], args[2], std::stod(args[3]),
+                               std::stod(args[4]), key, qopts, shards);
+      }
       return CmdQuery(args[1], args[2], std::stod(args[3]),
                       std::stod(args[4]), key, qopts);
     }
